@@ -1,0 +1,337 @@
+// Package groupsafe contains the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see EXPERIMENTS.md for the
+// experiment index and DESIGN.md for the system inventory).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the reproduced data as b.ReportMetric custom metrics
+// and (for the figures) relies on the cmd/gsdb-sim and cmd/gsdb-safety tools
+// for the full human-readable tables.
+package groupsafe
+
+import (
+	"testing"
+	"time"
+
+	"groupsafe/internal/core"
+	"groupsafe/internal/db"
+	"groupsafe/internal/experiments"
+	"groupsafe/internal/gcs"
+	"groupsafe/internal/gcs/abcast"
+	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/simrep"
+	"groupsafe/internal/storage"
+	"groupsafe/internal/wal"
+	"groupsafe/internal/workload"
+)
+
+// benchSimConfig keeps the simulated runs short enough for a benchmark
+// iteration while preserving the Table 4 resource model.
+func benchSimConfig() simrep.Config {
+	cfg := simrep.DefaultConfig()
+	cfg.Duration = 20 * time.Second
+	return cfg
+}
+
+// benchmarkFigure9Point runs one (technique, load) point of Fig. 9 per
+// iteration and reports the measured response time and abort rate.
+func benchmarkFigure9Point(b *testing.B, level core.SafetyLevel, load float64) {
+	b.Helper()
+	cfg := benchSimConfig()
+	var last simrep.Result
+	for i := 0; i < b.N; i++ {
+		r, err := simrep.Run(cfg, level, load)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ResponseMeanMs, "response-ms")
+	b.ReportMetric(last.ResponseP95Ms, "p95-ms")
+	b.ReportMetric(100*last.AbortRate, "abort-%")
+	b.ReportMetric(last.ThroughputTPS, "tps")
+}
+
+// BenchmarkFigure9 regenerates the three curves of Fig. 9 (response time vs
+// load for group-safe, lazy/1-safe and group-1-safe replication) at the left
+// edge, the middle and the right edge of the paper's load axis.
+func BenchmarkFigure9(b *testing.B) {
+	for _, level := range simrep.Figure9Levels() {
+		for _, load := range []float64{20, 30, 40} {
+			b.Run(level.String()+"/load-"+itoa(int(load)), func(b *testing.B) {
+				benchmarkFigure9Point(b, level, load)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure9Extensions covers the levels the paper discusses but does
+// not plot (0-safe, 2-safe, very-safe) as an ablation of the safety/latency
+// trade-off.
+func BenchmarkFigure9Extensions(b *testing.B) {
+	for _, level := range []core.SafetyLevel{core.Safety0, core.Safety2, core.VerySafe} {
+		b.Run(level.String(), func(b *testing.B) {
+			benchmarkFigure9Point(b, level, 20)
+		})
+	}
+}
+
+// BenchmarkTable1SafetyMatrix regenerates the Table 1 classification.
+func BenchmarkTable1SafetyMatrix(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunTable1(9)
+	}
+	b.ReportMetric(float64(len(rows)), "levels")
+}
+
+// BenchmarkTable2CrashTolerance runs the operational crash-tolerance matrix
+// of Table 2 (delegate crash, minority crash, total failure for every level).
+func BenchmarkTable2CrashTolerance(b *testing.B) {
+	lost := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable2(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost = 0
+		for _, r := range rows {
+			if r.LostAfterDelegate {
+				lost++
+			}
+			if r.LostAfterTotalFail {
+				lost++
+			}
+		}
+	}
+	b.ReportMetric(float64(lost), "loss-scenarios")
+}
+
+// BenchmarkTable3LossConditions runs the group-safe versus group-1-safe loss
+// matrix of Table 3.
+func BenchmarkTable3LossConditions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5LostTransaction replays the unrecoverable-failure scenario
+// of Fig. 5 (classical atomic broadcast loses an acknowledged transaction).
+func BenchmarkFigure5LostTransaction(b *testing.B) {
+	lost := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TransactionLost {
+			lost = 1
+		}
+	}
+	b.ReportMetric(lost, "transaction-lost")
+}
+
+// BenchmarkFigure7EndToEndRecovery replays the same schedule on end-to-end
+// atomic broadcast (the transaction survives).
+func BenchmarkFigure7EndToEndRecovery(b *testing.B) {
+	lost := 0.0
+	replayed := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TransactionLost {
+			lost = 1
+		}
+		replayed = float64(res.ReplayedMessages)
+	}
+	b.ReportMetric(lost, "transaction-lost")
+	b.ReportMetric(replayed, "replayed-msgs")
+}
+
+// BenchmarkFigure2vs8Breakdown measures the single-transaction response-time
+// difference between the Fig. 2 (group-1-safe) and Fig. 8 (group-safe)
+// protocol variants on the real stack.
+func BenchmarkFigure2vs8Breakdown(b *testing.B) {
+	var res experiments.TraceResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig2VsFig8Trace(8*time.Millisecond, 70*time.Microsecond, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Group1SafeResponse)/1e6, "group1safe-ms")
+	b.ReportMetric(float64(res.GroupSafeResponse)/1e6, "groupsafe-ms")
+	b.ReportMetric(float64(res.ResponseTimeSavings)/1e6, "savings-ms")
+}
+
+// BenchmarkDiskVsBroadcast quantifies the Sect. 6 claim that an atomic
+// broadcast (~1 ms) is much cheaper than a disk force (~8 ms).
+func BenchmarkDiskVsBroadcast(b *testing.B) {
+	var res experiments.DiskVsBroadcastResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunDiskVsBroadcast(8*time.Millisecond, 70*time.Microsecond, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.DiskForce)/1e6, "disk-ms")
+	b.ReportMetric(float64(res.AtomicBroadcast)/1e6, "abcast-ms")
+	b.ReportMetric(res.Ratio, "ratio")
+}
+
+// BenchmarkSection7Scaling evaluates the Sect. 7 argument (ACID-violation
+// probability versus the number of servers for lazy and group-safe).
+func BenchmarkSection7Scaling(b *testing.B) {
+	var points []experiments.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.RunSection7Scaling(experiments.ScalingConfig{Trials: 10000})
+	}
+	first, last := points[0], points[len(points)-1]
+	b.ReportMetric(last.LazyViolationProb-first.LazyViolationProb, "lazy-growth")
+	b.ReportMetric(first.GroupSafeViolateProb-last.GroupSafeViolateProb, "groupsafe-drop")
+}
+
+// --- substrate micro-benchmarks (ablation of the building blocks) ---
+
+// BenchmarkAtomicBroadcast measures the end-to-end latency of one uniform
+// atomic broadcast over a 9-member in-memory group.
+func BenchmarkAtomicBroadcast(b *testing.B) {
+	network := transport.NewMemNetwork()
+	members := make([]string, 9)
+	for i := range members {
+		members[i] = "n" + itoa(i)
+	}
+	type node struct {
+		router *gcs.Router
+		bc     *abcast.Broadcaster
+	}
+	nodes := make([]*node, len(members))
+	for i, m := range members {
+		router := gcs.NewRouter(network.Endpoint(m))
+		bc, err := abcast.New(abcast.Config{Self: m, Members: members}, router)
+		if err != nil {
+			b.Fatal(err)
+		}
+		router.Start()
+		nodes[i] = &node{router: router, bc: bc}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.bc.Close()
+			n.router.Stop()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[0].bc.Broadcast([]byte("bench")); err != nil {
+			b.Fatal(err)
+		}
+		<-nodes[0].bc.Deliveries()
+	}
+	b.StopTimer()
+	for _, n := range nodes[1:] {
+		for len(n.bc.Deliveries()) > 0 {
+			<-n.bc.Deliveries()
+		}
+	}
+}
+
+// BenchmarkLocalCommitSync measures a forced local commit (the cost the
+// group-safe level removes from the response path).
+func BenchmarkLocalCommitSync(b *testing.B) {
+	d, err := db.Open(db.Config{Items: 1024, Policy: db.SyncOnCommit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn, err := d.Begin(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Write(i%1024, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyWriteSet measures the remote apply path (certified write-set
+// installation with exactly-once bookkeeping).
+func BenchmarkApplyWriteSet(b *testing.B) {
+	d, err := db.Open(db.Config{Items: 4096, Policy: db.AsyncCommit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	ws := storage.WriteSet{1: 10, 2: 20, 3: 30, 4: 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ApplyWriteSet(uint64(i+1), ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend measures raw write-ahead-log append throughput.
+func BenchmarkWALAppend(b *testing.B) {
+	log := wal.NewMemLog()
+	rec := wal.Record{Kind: wal.KindUpdate, TxnID: 1, Item: 2, Value: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicatedTransaction measures one full group-safe transaction on
+// the real three-replica stack (optimistic execution, atomic broadcast,
+// certification, apply).
+func BenchmarkReplicatedTransaction(b *testing.B) {
+	cluster, err := core.NewCluster(core.ClusterConfig{Replicas: 3, Items: 4096, Level: core.GroupSafe})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	gen := workload.NewGenerator(workload.Config{Items: 4096, MinOps: 5, MaxOps: 10, WriteProb: 0.5}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Execute(i%3, core.RequestFromWorkload(gen.Next(0, i%3))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerator measures Table 4 transaction generation.
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	gen := workload.NewGenerator(workload.DefaultConfig(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Next(0, i%9)
+	}
+}
+
+// itoa avoids importing strconv just for benchmark names.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

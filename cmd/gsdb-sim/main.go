@@ -1,0 +1,125 @@
+// Command gsdb-sim runs the performance experiments of the paper's Sect. 6 on
+// the discrete-event simulator: the Fig. 9 response-time-versus-load sweep,
+// the Sect. 7 scaling comparison, and the Table 4 parameter listing.
+//
+// Usage:
+//
+//	gsdb-sim -experiment fig9    [-duration 60s] [-loads 20,24,...,40]
+//	gsdb-sim -experiment scaling
+//	gsdb-sim -print-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"groupsafe/internal/core"
+	"groupsafe/internal/simrep"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig9", "experiment to run: fig9 | scaling")
+	duration := flag.Duration("duration", 60*time.Second, "simulated duration per data point")
+	loadsFlag := flag.String("loads", "", "comma-separated load points in tps (default 20..40)")
+	levelsFlag := flag.String("levels", "", "comma-separated levels: group-safe,1-safe-lazy,group-1-safe,2-safe,very-safe,0-safe")
+	printConfig := flag.Bool("print-config", false, "print the Table 4 simulator parameters and exit")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := simrep.DefaultConfig()
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+
+	if *printConfig {
+		printTable4(cfg)
+		return
+	}
+
+	switch *experiment {
+	case "fig9":
+		runFig9(cfg, *loadsFlag, *levelsFlag)
+	case "scaling":
+		runScaling()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func printTable4(cfg simrep.Config) {
+	fmt.Println("Simulator parameters (Table 4 of the paper):")
+	fmt.Printf("  Number of items in the database      %d\n", cfg.Items)
+	fmt.Printf("  Number of servers                    %d\n", cfg.Servers)
+	fmt.Printf("  Number of clients per server         %d\n", cfg.ClientsPerServer)
+	fmt.Printf("  Disks per server                     %d\n", cfg.DisksPerServer)
+	fmt.Printf("  CPUs per server                      %d\n", cfg.CPUsPerServer)
+	fmt.Printf("  Transaction length                   %d - %d operations\n", cfg.MinOps, cfg.MaxOps)
+	fmt.Printf("  Probability an operation is a write  %.0f%%\n", 100*cfg.WriteProb)
+	fmt.Printf("  Buffer hit ratio                     %.0f%%\n", 100*cfg.BufferHitRatio)
+	fmt.Printf("  Time for a read/write                %v - %v\n", cfg.DiskAccessMin, cfg.DiskAccessMax)
+	fmt.Printf("  CPU time used for an I/O operation   %v\n", cfg.CPUPerIO)
+	fmt.Printf("  Time for a message on the network    %v\n", cfg.NetworkDelay)
+	fmt.Printf("  CPU time for a network operation     %v\n", cfg.CPUPerNetworkOp)
+	fmt.Printf("  Simulated duration per data point    %v\n", cfg.Duration)
+}
+
+func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) {
+	loads := simrep.Figure9Loads()
+	if loadsFlag != "" {
+		loads = nil
+		for _, tok := range strings.Split(loadsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad load %q: %v\n", tok, err)
+				os.Exit(2)
+			}
+			loads = append(loads, v)
+		}
+	}
+	levels := simrep.Figure9Levels()
+	if levelsFlag != "" {
+		levels = nil
+		for _, tok := range strings.Split(levelsFlag, ",") {
+			level, err := parseLevel(strings.TrimSpace(tok))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			levels = append(levels, level)
+		}
+	}
+
+	fmt.Printf("Figure 9 reproduction: response time vs load (%d servers, Table 4 workload)\n\n", cfg.Servers)
+	results, err := simrep.RunFigure9(cfg, levels, loads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(simrep.FormatFigure9(results))
+	if cross := simrep.CrossoverLoad(results, core.GroupSafe, core.Safety1Lazy); cross > 0 {
+		fmt.Printf("group-safe overtakes lazy replication at %.0f tps (paper: ~38 tps)\n", cross)
+	} else {
+		fmt.Println("group-safe stayed faster than lazy replication over the whole sweep")
+	}
+}
+
+func runScaling() {
+	fmt.Println("Section 7: probability of an ACID violation vs number of servers")
+	fmt.Printf("%-10s  %-22s  %-22s\n", "servers", "lazy (grows with n)", "group-safe (shrinks)")
+	for _, p := range coreScalingPoints() {
+		fmt.Printf("%-10d  %-22.4f  %-22.4f\n", p.Servers, p.LazyViolationProb, p.GroupSafeViolateProb)
+	}
+}
+
+func parseLevel(s string) (core.SafetyLevel, error) {
+	for _, level := range core.AllLevels() {
+		if level.String() == s {
+			return level, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown safety level %q", s)
+}

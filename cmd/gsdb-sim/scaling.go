@@ -1,0 +1,9 @@
+package main
+
+import "groupsafe/internal/experiments"
+
+// coreScalingPoints runs the Sect. 7 Monte-Carlo model with its default
+// parameters (kept in a separate function so main.go stays flag-focused).
+func coreScalingPoints() []experiments.ScalingPoint {
+	return experiments.RunSection7Scaling(experiments.ScalingConfig{})
+}

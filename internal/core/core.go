@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"groupsafe/internal/gcs/fd"
+	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/workload"
+)
+
+// ClusterConfig configures an in-process replicated database cluster (one
+// replica per server, all connected by an in-memory network with failure
+// injection).
+type ClusterConfig struct {
+	// Replicas is the number of servers (the paper assumes n >= 3; Table 4
+	// uses 9).
+	Replicas int
+	// Items is the database size.
+	Items int
+	// Level is the safety criterion of every replica.
+	Level SafetyLevel
+	// DiskSyncDelay emulates the cost of forcing a log to disk.
+	DiskSyncDelay time.Duration
+	// NetworkLatency and NetworkJitter emulate the LAN.
+	NetworkLatency time.Duration
+	NetworkJitter  time.Duration
+	// ExecTimeout bounds Execute calls.
+	ExecTimeout time.Duration
+	// LazyPropagationDelay postpones lazy write-set propagation (failure
+	// injection experiments).
+	LazyPropagationDelay time.Duration
+	// StartDetectors runs heartbeat failure detectors on every replica.
+	StartDetectors bool
+	// Detector tunes the failure detectors.
+	Detector fd.Config
+	// Seed seeds the network randomness.
+	Seed int64
+}
+
+func (c *ClusterConfig) applyDefaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Items <= 0 {
+		c.Items = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Cluster is a set of replicas sharing one in-memory network.
+type Cluster struct {
+	cfg      ClusterConfig
+	network  *transport.MemNetwork
+	replicas []*Replica
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.applyDefaults()
+	netOpts := []transport.MemOption{transport.WithSeed(cfg.Seed)}
+	if cfg.NetworkLatency > 0 {
+		netOpts = append(netOpts, transport.WithLatency(cfg.NetworkLatency))
+	}
+	if cfg.NetworkJitter > 0 {
+		netOpts = append(netOpts, transport.WithJitter(cfg.NetworkJitter))
+	}
+	network := transport.NewMemNetwork(netOpts...)
+
+	members := make([]string, cfg.Replicas)
+	for i := range members {
+		members[i] = fmt.Sprintf("s%d", i+1)
+	}
+	c := &Cluster{cfg: cfg, network: network}
+	for i, id := range members {
+		r, err := NewReplica(ReplicaConfig{
+			ID:                   id,
+			Members:              members,
+			Items:                cfg.Items,
+			Level:                cfg.Level,
+			Network:              network,
+			DiskSyncDelay:        cfg.DiskSyncDelay,
+			ExecTimeout:          cfg.ExecTimeout,
+			LazyPropagationDelay: cfg.LazyPropagationDelay,
+			StartDetector:        cfg.StartDetectors,
+			Detector:             cfg.Detector,
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: start replica %d: %w", i, err)
+		}
+		c.replicas = append(c.replicas, r)
+	}
+	return c, nil
+}
+
+// Network exposes the underlying in-memory network (for partition injection).
+func (c *Cluster) Network() *transport.MemNetwork { return c.network }
+
+// Size returns the number of replicas.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// Level returns the cluster's safety level.
+func (c *Cluster) Level() SafetyLevel { return c.cfg.Level }
+
+// Replica returns the i-th replica (0-based).
+func (c *Cluster) Replica(i int) *Replica {
+	if i < 0 || i >= len(c.replicas) {
+		return nil
+	}
+	return c.replicas[i]
+}
+
+// Replicas returns all replicas.
+func (c *Cluster) Replicas() []*Replica {
+	out := make([]*Replica, len(c.replicas))
+	copy(out, c.replicas)
+	return out
+}
+
+// Execute runs a request with replica i as the delegate.
+func (c *Cluster) Execute(i int, req Request) (Result, error) {
+	r := c.Replica(i)
+	if r == nil {
+		return Result{}, fmt.Errorf("%w: index %d", ErrNotFound, i)
+	}
+	return r.Execute(req)
+}
+
+// Crash crashes replica i.
+func (c *Cluster) Crash(i int) {
+	if r := c.Replica(i); r != nil {
+		r.Crash()
+	}
+}
+
+// CrashAll crashes every replica (the total-failure scenario of Fig. 5).
+func (c *Cluster) CrashAll() {
+	for _, r := range c.replicas {
+		r.Crash()
+	}
+}
+
+// Recover restarts replica i.  For the dynamic crash no-recovery model a
+// state transfer is performed from a live replica, if any is available (the
+// paper's checkpoint-based recovery); with end-to-end atomic broadcast the
+// replica additionally replays its logged-but-unacknowledged messages.
+// It returns the number of replayed messages.
+func (c *Cluster) Recover(i int) (int, error) {
+	r := c.Replica(i)
+	if r == nil {
+		return 0, fmt.Errorf("%w: index %d", ErrNotFound, i)
+	}
+	var snapshot *StateSnapshot
+	if donor := c.liveDonor(i); donor != nil {
+		s := donor.Snapshot()
+		snapshot = &s
+	}
+	return r.Recover(snapshot)
+}
+
+// liveDonor returns the non-crashed replica (other than the one at index i)
+// that has applied the longest prefix of the delivery order, or nil when none
+// is available.  Using the most advanced donor minimises the window of
+// messages the recovering replica can no longer obtain from the group
+// (checkpoint-based recovery has no message replay; that is exactly the
+// limitation the paper's end-to-end atomic broadcast removes).
+func (c *Cluster) liveDonor(i int) *Replica {
+	var donor *Replica
+	for j, r := range c.replicas {
+		if j == i || r.Crashed() {
+			continue
+		}
+		if donor == nil || r.LastAppliedSeq() > donor.LastAppliedSeq() {
+			donor = r
+		}
+	}
+	return donor
+}
+
+// LiveCount returns the number of non-crashed replicas.
+func (c *Cluster) LiveCount() int {
+	n := 0
+	for _, r := range c.replicas {
+		if !r.Crashed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Value returns the committed value of item at replica i.
+func (c *Cluster) Value(i, item int) (int64, error) {
+	r := c.Replica(i)
+	if r == nil {
+		return 0, fmt.Errorf("%w: index %d", ErrNotFound, i)
+	}
+	v, _, err := r.DB().ReadCommitted(item)
+	return v, err
+}
+
+// WaitConsistent polls until every live replica converged to the same store
+// contents or the timeout expires; it reports whether convergence was
+// reached.  (Group-communication-based levels converge as soon as their
+// delivery queues drain; lazy replication may never converge when conflicting
+// transactions were accepted.)
+func (c *Cluster) WaitConsistent(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.consistentNow() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) consistentNow() bool {
+	var reference *Replica
+	for _, r := range c.replicas {
+		if r.Crashed() {
+			continue
+		}
+		if reference == nil {
+			reference = r
+			continue
+		}
+		if !reference.DB().Store().Equal(r.DB().Store()) {
+			return false
+		}
+	}
+	return true
+}
+
+// Consistent reports whether every live replica currently has identical
+// committed state.
+func (c *Cluster) Consistent() bool { return c.consistentNow() }
+
+// TotalStats aggregates the replica counters.
+func (c *Cluster) TotalStats() ReplicaStats {
+	var total ReplicaStats
+	for _, r := range c.replicas {
+		s := r.Stats()
+		total.Executed += s.Executed
+		total.Committed += s.Committed
+		total.Aborted += s.Aborted
+		total.Delivered += s.Delivered
+		total.LazyApply += s.LazyApply
+	}
+	return total
+}
+
+// Close shuts every replica down.
+func (c *Cluster) Close() {
+	for _, r := range c.replicas {
+		_ = r.Close()
+	}
+}
+
+// Client is a convenience wrapper that submits transactions to a fixed
+// delegate replica and measures response times.
+type Client struct {
+	cluster  *Cluster
+	delegate int
+
+	mu        sync.Mutex
+	responses []time.Duration
+	commits   int
+	aborts    int
+}
+
+// NewClient creates a client bound to the given delegate replica index.
+func NewClient(cluster *Cluster, delegate int) *Client {
+	return &Client{cluster: cluster, delegate: delegate}
+}
+
+// Run executes one request and records its response time.
+func (cl *Client) Run(req Request) (Result, error) {
+	start := time.Now()
+	res, err := cl.cluster.Execute(cl.delegate, req)
+	elapsed := time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	cl.mu.Lock()
+	cl.responses = append(cl.responses, elapsed)
+	if res.Committed() {
+		cl.commits++
+	} else {
+		cl.aborts++
+	}
+	cl.mu.Unlock()
+	return res, nil
+}
+
+// RunWorkload executes n transactions drawn from the generator.
+func (cl *Client) RunWorkload(gen *workload.Generator, n int) error {
+	for i := 0; i < n; i++ {
+		txn := gen.Next(0, cl.delegate)
+		if _, err := cl.Run(RequestFromWorkload(txn)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResponseTimes returns the recorded response times.
+func (cl *Client) ResponseTimes() []time.Duration {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]time.Duration, len(cl.responses))
+	copy(out, cl.responses)
+	return out
+}
+
+// Counts returns the number of committed and aborted transactions observed.
+func (cl *Client) Counts() (commits, aborts int) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.commits, cl.aborts
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"groupsafe/internal/storage"
+	"groupsafe/internal/workload"
+)
+
+// Request is a client transaction submitted to a delegate replica.
+type Request struct {
+	// ID identifies the transaction; zero lets the delegate assign one.
+	ID uint64
+	// Ops is the ordered list of read and write operations.
+	Ops []workload.Op
+	// Compute, when non-nil, is invoked at the delegate after the read
+	// operations of Ops have executed; it receives the values read and
+	// returns additional operations (typically writes computed from the
+	// reads, e.g. "balance - amount").  The returned operations become part
+	// of the same transaction, so the certification step protects the
+	// read-compute-write cycle against concurrent conflicting updates.
+	Compute func(reads map[int]int64) []workload.Op
+}
+
+// Outcome is the terminal state of a replicated transaction.
+type Outcome int
+
+const (
+	// OutcomePending means the transaction has not reached a decision yet.
+	OutcomePending Outcome = iota
+	// OutcomeCommitted means the transaction committed.
+	OutcomeCommitted
+	// OutcomeAborted means certification aborted the transaction.
+	OutcomeAborted
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePending:
+		return "pending"
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Result is returned to the client when the safety level's notification
+// condition is met.
+type Result struct {
+	TxnID      uint64
+	Outcome    Outcome
+	ReadValues map[int]int64
+	Delegate   string
+	Level      SafetyLevel
+}
+
+// Committed reports whether the transaction committed.
+func (r Result) Committed() bool { return r.Outcome == OutcomeCommitted }
+
+// txnPayload is the message broadcast to the group for one update
+// transaction: the versions observed by the delegate's reads (for
+// certification) and the write set to install.
+type txnPayload struct {
+	TxnID    uint64
+	Delegate string
+	ReadVers map[int]uint64
+	Writes   map[int]int64
+}
+
+// lazyPayload is the write set propagated asynchronously by the lazy (1-safe)
+// technique.
+type lazyPayload struct {
+	TxnID    uint64
+	Delegate string
+	Writes   map[int]int64
+}
+
+// ackPayload is the per-replica acknowledgement used by the very-safe level.
+type ackPayload struct {
+	TxnID   uint64
+	Replica string
+}
+
+func encodePayload(v interface{}) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("core: encode payload: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodePayload(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// writeSetOf converts a payload write map into a storage.WriteSet.
+func writeSetOf(writes map[int]int64) storage.WriteSet {
+	ws := make(storage.WriteSet, len(writes))
+	for k, v := range writes {
+		ws[k] = v
+	}
+	return ws
+}

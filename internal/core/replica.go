@@ -1,0 +1,773 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"groupsafe/internal/db"
+	"groupsafe/internal/gcs"
+	"groupsafe/internal/gcs/abcast"
+	"groupsafe/internal/gcs/e2e"
+	"groupsafe/internal/gcs/fd"
+	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/storage"
+	"groupsafe/internal/wal"
+	"groupsafe/internal/workload"
+)
+
+// Message types used by the replication layer on top of the shared router.
+const (
+	msgLazy = "rep.lazy"
+	msgAck  = "rep.ack"
+)
+
+// Errors returned by replicas.
+var (
+	ErrCrashed  = errors.New("core: replica is crashed")
+	ErrTimeout  = errors.New("core: timed out waiting for the transaction outcome")
+	ErrNotFound = errors.New("core: replica not found")
+)
+
+// ReplicaConfig configures one replica server.
+type ReplicaConfig struct {
+	// ID is the replica's address on the network (must appear in Members).
+	ID string
+	// Members is the static list of all replica addresses.
+	Members []string
+	// Items is the database size.
+	Items int
+	// Level is the safety criterion enforced when answering clients.
+	Level SafetyLevel
+	// Network is the shared in-memory network.
+	Network *transport.MemNetwork
+	// DiskSyncDelay emulates the latency of forcing a log to disk.
+	DiskSyncDelay time.Duration
+	// ExecTimeout bounds how long Execute waits for an outcome (default 10s).
+	ExecTimeout time.Duration
+	// LazyPropagationDelay postpones the asynchronous write-set propagation of
+	// the 0-safe and lazy levels, widening the window in which a delegate
+	// crash loses the transaction (used by the Table 2 experiments).
+	LazyPropagationDelay time.Duration
+	// StartDetector runs a heartbeat failure detector wired to the atomic
+	// broadcast's Suspect mechanism.
+	StartDetector bool
+	// Detector tunes the failure detector when StartDetector is set.
+	Detector fd.Config
+}
+
+func (c *ReplicaConfig) applyDefaults() error {
+	if c.ID == "" {
+		return fmt.Errorf("core: replica ID is required")
+	}
+	if len(c.Members) == 0 {
+		return fmt.Errorf("core: member list is required")
+	}
+	if c.Network == nil {
+		return fmt.Errorf("core: network is required")
+	}
+	if c.Items <= 0 {
+		c.Items = 1024
+	}
+	if c.ExecTimeout <= 0 {
+		c.ExecTimeout = 10 * time.Second
+	}
+	return nil
+}
+
+// ReplicaStats are cumulative counters of one replica.
+type ReplicaStats struct {
+	Executed  uint64
+	Committed uint64
+	Aborted   uint64
+	Delivered uint64
+	LazyApply uint64
+}
+
+// Replica is one server of the replicated database: a local database
+// component plus a group communication component, combined by the replication
+// protocol.
+type Replica struct {
+	cfg   ReplicaConfig
+	index int
+
+	mu             sync.Mutex
+	dbase          *db.DB
+	dbLog          *wal.MemLog
+	msgLog         *wal.MemLog
+	router         *gcs.Router
+	ab             *abcast.Broadcaster
+	e2eb           *e2e.Broadcaster
+	detector       *fd.Detector
+	pending        map[uint64]chan Outcome
+	veryAcks       map[uint64]map[string]bool
+	veryDone       map[uint64]chan struct{}
+	crashed        bool
+	crashCh        chan struct{}
+	incarnation    int
+	applierStop    chan struct{}
+	lastAppliedSeq uint64
+	nextTxn        uint64
+	deliverHook    func(txnID uint64)
+	stats          ReplicaStats
+}
+
+// NewReplica creates and starts a replica.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	index := -1
+	for i, m := range cfg.Members {
+		if m == cfg.ID {
+			index = i
+			break
+		}
+	}
+	if index < 0 {
+		return nil, fmt.Errorf("core: replica %q not in member list %v", cfg.ID, cfg.Members)
+	}
+	r := &Replica{
+		cfg:      cfg,
+		index:    index,
+		pending:  make(map[uint64]chan Outcome),
+		veryAcks: make(map[uint64]map[string]bool),
+		veryDone: make(map[uint64]chan struct{}),
+		crashCh:  make(chan struct{}),
+	}
+
+	r.dbLog = wal.NewMemLogWithDelay(cfg.DiskSyncDelay)
+	policy := db.AsyncCommit
+	if cfg.Level.SyncOnCommit() {
+		policy = db.SyncOnCommit
+	}
+	dbase, err := db.Open(db.Config{Items: cfg.Items, Policy: policy, Log: r.dbLog})
+	if err != nil {
+		return nil, fmt.Errorf("core: open database: %w", err)
+	}
+	r.dbase = dbase
+
+	if err := r.startGroupCommunication(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// startGroupCommunication builds (or rebuilds, after recovery) the router,
+// the broadcaster and the applier for the current incarnation.
+func (r *Replica) startGroupCommunication() error {
+	ep := r.cfg.Network.Endpoint(r.cfg.ID)
+	router := gcs.NewRouter(ep)
+	router.Handle(msgLazy, r.onLazy)
+	router.Handle(msgAck, r.onVerySafeAck)
+
+	r.incarnation++
+	stop := make(chan struct{})
+
+	if r.cfg.Level.UsesGroupCommunication() {
+		ab, err := abcast.New(abcast.Config{Self: r.cfg.ID, Members: r.cfg.Members}, router)
+		if err != nil {
+			return err
+		}
+		r.ab = ab
+		if r.cfg.Level.RequiresEndToEnd() {
+			if r.msgLog == nil {
+				r.msgLog = wal.NewMemLogWithDelay(r.cfg.DiskSyncDelay)
+			}
+			wrapped, err := e2e.Wrap(ab, e2e.Config{Log: r.msgLog})
+			if err != nil {
+				return err
+			}
+			r.e2eb = wrapped
+		} else {
+			r.e2eb = nil
+		}
+		if r.cfg.StartDetector {
+			det := fd.New(r.cfg.ID, r.cfg.Members, router, r.cfg.Detector)
+			router.Handle(fd.MsgHeartbeat, det.OnMessage)
+			det.OnEvent(func(ev fd.Event) {
+				if ev.Suspected {
+					ab.Suspect(ev.Peer)
+				} else {
+					ab.Unsuspect(ev.Peer)
+				}
+			})
+			r.detector = det
+		}
+	}
+
+	r.router = router
+	r.applierStop = stop
+	router.Start()
+	if r.detector != nil {
+		r.detector.Start()
+	}
+	if r.e2eb != nil {
+		r.e2eb.Start()
+		go r.applyLoopE2E(r.e2eb, stop)
+	} else if r.ab != nil {
+		go r.applyLoopClassical(r.ab, stop)
+	}
+	return nil
+}
+
+// stopGroupCommunication tears down the current incarnation's group
+// communication stack (used by Crash and Close).
+func (r *Replica) stopGroupCommunication() {
+	if r.applierStop != nil {
+		close(r.applierStop)
+		r.applierStop = nil
+	}
+	if r.detector != nil {
+		r.detector.Stop()
+		r.detector = nil
+	}
+	if r.e2eb != nil {
+		r.e2eb.Close()
+	}
+	if r.ab != nil {
+		r.ab.Close()
+	}
+	if r.router != nil {
+		r.router.Stop()
+	}
+}
+
+// ID returns the replica's address.
+func (r *Replica) ID() string { return r.cfg.ID }
+
+// Level returns the replica's safety level.
+func (r *Replica) Level() SafetyLevel { return r.cfg.Level }
+
+// DB exposes the local database component (used by consistency checks).
+func (r *Replica) DB() *db.DB { return r.dbase }
+
+// Crashed reports whether the replica is currently crashed.
+func (r *Replica) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
+// Stats returns a snapshot of the replica counters.
+func (r *Replica) Stats() ReplicaStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// LastAppliedSeq returns the highest atomic broadcast sequence number applied
+// to the database.
+func (r *Replica) LastAppliedSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastAppliedSeq
+}
+
+// SetDeliverHook installs a test hook invoked after a message is delivered by
+// the group communication component but before the database processes it —
+// the window in which the crash of Fig. 5 happens.
+func (r *Replica) SetDeliverHook(fn func(txnID uint64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deliverHook = fn
+}
+
+// Suspect informs the replica's broadcaster that a peer is believed crashed
+// (used by scenario drivers when no failure detector is running).
+func (r *Replica) Suspect(peer string) {
+	r.mu.Lock()
+	ab := r.ab
+	r.mu.Unlock()
+	if ab != nil {
+		ab.Suspect(peer)
+	}
+}
+
+// nextTxnID assigns a globally unique transaction identifier: the replica
+// index occupies the high bits, a local counter the low bits.
+func (r *Replica) nextTxnID() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextTxn++
+	return uint64(r.index+1)<<40 | r.nextTxn
+}
+
+// Execute runs one client transaction with this replica as the delegate and
+// returns when the safety level's notification condition holds.
+func (r *Replica) Execute(req Request) (Result, error) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return Result{}, ErrCrashed
+	}
+	crashCh := r.crashCh
+	r.mu.Unlock()
+
+	if req.ID == 0 {
+		req.ID = r.nextTxnID()
+	}
+	r.mu.Lock()
+	r.stats.Executed++
+	r.mu.Unlock()
+
+	switch r.cfg.Level {
+	case Safety0, Safety1Lazy:
+		return r.executeLocal(req)
+	default:
+		return r.executeReplicated(req, crashCh)
+	}
+}
+
+// executeLocal implements the 0-safe and lazy (1-safe) baselines: the
+// transaction runs entirely at the delegate under strict 2PL; the write set
+// is pushed to the other replicas asynchronously, after the client response.
+func (r *Replica) executeLocal(req Request) (Result, error) {
+	txn, err := r.dbase.Begin(req.ID)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: begin: %w", err)
+	}
+	readVals := make(map[int]int64)
+	runOps := func(ops []workload.Op) error {
+		for _, op := range ops {
+			if op.Write {
+				if err := txn.Write(op.Item, op.Value); err != nil {
+					return err
+				}
+				continue
+			}
+			v, err := txn.Read(op.Item)
+			if err != nil {
+				return err
+			}
+			readVals[op.Item] = v
+		}
+		return nil
+	}
+	err = runOps(req.Ops)
+	if err == nil && req.Compute != nil {
+		err = runOps(req.Compute(readVals))
+	}
+	if err != nil {
+		_ = txn.Abort()
+		r.countOutcome(OutcomeAborted)
+		return Result{TxnID: req.ID, Outcome: OutcomeAborted, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+	}
+	ws := txn.WriteSet()
+	if err := txn.Commit(); err != nil {
+		return Result{}, fmt.Errorf("core: commit: %w", err)
+	}
+	r.countOutcome(OutcomeCommitted)
+
+	// Lazy propagation happens outside the transaction boundary.
+	if len(ws) > 0 {
+		payload := encodePayload(lazyPayload{TxnID: req.ID, Delegate: r.cfg.ID, Writes: ws})
+		delay := r.cfg.LazyPropagationDelay
+		go func() {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			r.mu.Lock()
+			router, crashed := r.router, r.crashed
+			r.mu.Unlock()
+			if crashed || router == nil {
+				return
+			}
+			for _, m := range r.cfg.Members {
+				if m == r.cfg.ID {
+					continue
+				}
+				_ = router.Send(m, transport.Message{Type: msgLazy, Payload: payload})
+			}
+		}()
+	}
+	return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+}
+
+// executeReplicated implements the group-communication based levels
+// (group-safe, group-1-safe, 2-safe, very-safe): optimistic execution at the
+// delegate, atomic broadcast of the read versions and write set, deterministic
+// certification at every replica.
+func (r *Replica) executeReplicated(req Request, crashCh chan struct{}) (Result, error) {
+	readVals := make(map[int]int64)
+	readVers := make(map[int]uint64)
+	writes := make(map[int]int64)
+	runOps := func(ops []workload.Op) error {
+		for _, op := range ops {
+			if op.Write {
+				writes[op.Item] = op.Value
+				continue
+			}
+			v, ver, err := r.dbase.ReadCommitted(op.Item)
+			if err != nil {
+				return fmt.Errorf("core: read item %d: %w", op.Item, err)
+			}
+			readVals[op.Item] = v
+			if _, seen := readVers[op.Item]; !seen {
+				readVers[op.Item] = ver
+			}
+		}
+		return nil
+	}
+	if err := runOps(req.Ops); err != nil {
+		return Result{}, err
+	}
+	if req.Compute != nil {
+		if err := runOps(req.Compute(readVals)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Read-only transactions execute entirely at the delegate (Fig. 2/8:
+	// only transactions with writes are broadcast).
+	if len(writes) == 0 {
+		r.countOutcome(OutcomeCommitted)
+		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+	}
+
+	outcomeCh := make(chan Outcome, 1)
+	var veryDone chan struct{}
+	r.mu.Lock()
+	r.pending[req.ID] = outcomeCh
+	if r.cfg.Level == VerySafe {
+		veryDone = make(chan struct{})
+		r.veryDone[req.ID] = veryDone
+		r.veryAcks[req.ID] = make(map[string]bool)
+	}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, req.ID)
+		delete(r.veryDone, req.ID)
+		delete(r.veryAcks, req.ID)
+		r.mu.Unlock()
+	}()
+
+	payload := encodePayload(txnPayload{
+		TxnID:    req.ID,
+		Delegate: r.cfg.ID,
+		ReadVers: readVers,
+		Writes:   writes,
+	})
+	if err := r.broadcast(payload); err != nil {
+		return Result{}, fmt.Errorf("core: broadcast: %w", err)
+	}
+
+	timeout := time.NewTimer(r.cfg.ExecTimeout)
+	defer timeout.Stop()
+	var outcome Outcome
+	select {
+	case outcome = <-outcomeCh:
+	case <-crashCh:
+		return Result{}, ErrCrashed
+	case <-timeout.C:
+		return Result{}, fmt.Errorf("%w: txn %d", ErrTimeout, req.ID)
+	}
+
+	// Very-safe: additionally wait until every server (not just the available
+	// ones) has acknowledged the transaction.
+	if r.cfg.Level == VerySafe && outcome == OutcomeCommitted {
+		select {
+		case <-veryDone:
+		case <-crashCh:
+			return Result{}, ErrCrashed
+		case <-timeout.C:
+			return Result{}, fmt.Errorf("%w: txn %d waiting for very-safe acks", ErrTimeout, req.ID)
+		}
+	}
+	return Result{TxnID: req.ID, Outcome: outcome, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+}
+
+func (r *Replica) broadcast(payload []byte) error {
+	r.mu.Lock()
+	e2eb, ab := r.e2eb, r.ab
+	r.mu.Unlock()
+	if e2eb != nil {
+		_, err := e2eb.Broadcast(payload)
+		return err
+	}
+	if ab != nil {
+		_, err := ab.Broadcast(payload)
+		return err
+	}
+	return fmt.Errorf("core: safety level %v does not use group communication", r.cfg.Level)
+}
+
+func (r *Replica) countOutcome(o Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o == OutcomeCommitted {
+		r.stats.Committed++
+	} else if o == OutcomeAborted {
+		r.stats.Aborted++
+	}
+}
+
+// applyLoopClassical consumes deliveries from the classical atomic broadcast.
+func (r *Replica) applyLoopClassical(ab *abcast.Broadcaster, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case d := <-ab.Deliveries():
+			r.applyDelivery(d.Seq, d.Payload)
+		}
+	}
+}
+
+// applyLoopE2E consumes deliveries from the end-to-end atomic broadcast and
+// acknowledges each one after the database has processed it (successful
+// delivery, Sect. 4.2).
+func (r *Replica) applyLoopE2E(b *e2e.Broadcaster, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case d := <-b.Deliveries():
+			if r.applyDelivery(d.Seq, d.Payload) {
+				_ = b.Ack(d.Seq)
+			}
+		}
+	}
+}
+
+// applyDelivery certifies and applies one totally-ordered transaction.  It
+// returns true when the message was fully processed (successful delivery).
+func (r *Replica) applyDelivery(seq uint64, payload []byte) bool {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return false
+	}
+	hook := r.deliverHook
+	r.mu.Unlock()
+
+	var p txnPayload
+	if err := decodePayload(payload, &p); err != nil {
+		return false
+	}
+
+	// The crash window of Fig. 5: the group communication component has
+	// delivered the message, the database has not yet processed it.
+	if hook != nil {
+		hook(p.TxnID)
+		r.mu.Lock()
+		crashed := r.crashed
+		r.mu.Unlock()
+		if crashed {
+			return false
+		}
+	}
+
+	outcome := r.certify(p)
+	if outcome == OutcomeCommitted {
+		if _, err := r.dbase.ApplyWriteSet(p.TxnID, writeSetOf(p.Writes)); err != nil {
+			return false
+		}
+	} else {
+		_ = r.dbase.RecordAbort(p.TxnID)
+	}
+
+	r.mu.Lock()
+	r.stats.Delivered++
+	r.lastAppliedSeq = seq
+	ch, isDelegate := r.pending[p.TxnID]
+	r.mu.Unlock()
+
+	if isDelegate {
+		select {
+		case ch <- outcome:
+		default:
+		}
+		r.countOutcome(outcome)
+		if r.cfg.Level == VerySafe && outcome == OutcomeCommitted {
+			r.recordVerySafeAck(p.TxnID, r.cfg.ID)
+		}
+	}
+
+	// Very-safe: every replica confirms to the delegate that the transaction
+	// is logged locally.
+	if r.cfg.Level == VerySafe && !isDelegate && outcome == OutcomeCommitted {
+		ackBytes := encodePayload(ackPayload{TxnID: p.TxnID, Replica: r.cfg.ID})
+		_ = r.router.Send(p.Delegate, transport.Message{Type: msgAck, Payload: ackBytes})
+	}
+	return true
+}
+
+// certify runs the deterministic certification test (first-updater-wins): the
+// transaction aborts if any item it read has been overwritten by a
+// transaction delivered before it.
+func (r *Replica) certify(p txnPayload) Outcome {
+	for item, ver := range p.ReadVers {
+		if r.dbase.Version(item) > ver {
+			return OutcomeAborted
+		}
+	}
+	return OutcomeCommitted
+}
+
+// onLazy applies a lazily-propagated write set (1-safe replication): no
+// certification, last writer wins — the source of the inconsistencies the
+// paper attributes to lazy replication.
+func (r *Replica) onLazy(m transport.Message) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	var p lazyPayload
+	if err := decodePayload(m.Payload, &p); err != nil {
+		return
+	}
+	if _, err := r.dbase.ApplyWriteSet(p.TxnID, writeSetOf(p.Writes)); err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.stats.LazyApply++
+	r.mu.Unlock()
+}
+
+// onVerySafeAck records a per-replica acknowledgement at the delegate.
+func (r *Replica) onVerySafeAck(m transport.Message) {
+	var p ackPayload
+	if err := decodePayload(m.Payload, &p); err != nil {
+		return
+	}
+	r.recordVerySafeAck(p.TxnID, p.Replica)
+}
+
+func (r *Replica) recordVerySafeAck(txnID uint64, replica string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acks, ok := r.veryAcks[txnID]
+	if !ok {
+		return
+	}
+	acks[replica] = true
+	if len(acks) == len(r.cfg.Members) {
+		if done, ok := r.veryDone[txnID]; ok {
+			select {
+			case <-done:
+			default:
+				close(done)
+			}
+		}
+	}
+}
+
+// Crash simulates a full server crash: the replica stops processing, its
+// network endpoint goes silent, and every piece of volatile state (database
+// buffers, unsynced logs, the group communication component's in-memory
+// state) is lost.
+func (r *Replica) Crash() {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.crashed = true
+	close(r.crashCh)
+	r.mu.Unlock()
+
+	r.cfg.Network.Crash(r.cfg.ID)
+	r.stopGroupCommunication()
+}
+
+// StateSnapshot is the checkpoint shipped during state transfer.
+type StateSnapshot struct {
+	Items          []storage.Item
+	AppliedTxns    []uint64
+	LastAppliedSeq uint64
+}
+
+// Snapshot produces a state-transfer checkpoint of this replica.
+func (r *Replica) Snapshot() StateSnapshot {
+	return StateSnapshot{
+		Items:          r.dbase.SnapshotState(),
+		AppliedTxns:    r.dbase.AppliedTxns(),
+		LastAppliedSeq: r.LastAppliedSeq(),
+	}
+}
+
+// Recover restarts a crashed replica.  If snapshot is non-nil it is installed
+// first (checkpoint-based state transfer of the dynamic crash no-recovery
+// model); with end-to-end atomic broadcast, logged-but-unacknowledged
+// messages are then replayed (log-based recovery).  It returns the number of
+// replayed messages.
+func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
+	r.mu.Lock()
+	if !r.crashed {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("core: replica %s is not crashed", r.cfg.ID)
+	}
+	r.mu.Unlock()
+
+	// Volatile state of the database component is lost; rebuild from the
+	// durable prefix of its write-ahead log.
+	if err := r.dbase.CrashAndRecover(); err != nil {
+		return 0, fmt.Errorf("core: database recovery: %w", err)
+	}
+	// The group communication message log also loses its unsynced tail.
+	if r.msgLog != nil {
+		r.msgLog.Crash()
+	}
+
+	r.cfg.Network.Recover(r.cfg.ID)
+
+	r.mu.Lock()
+	r.pending = make(map[uint64]chan Outcome)
+	r.veryAcks = make(map[uint64]map[string]bool)
+	r.veryDone = make(map[uint64]chan struct{})
+	r.crashed = false
+	r.crashCh = make(chan struct{})
+	r.lastAppliedSeq = 0
+	r.mu.Unlock()
+
+	if err := r.startGroupCommunication(); err != nil {
+		return 0, err
+	}
+
+	if snapshot != nil {
+		r.installSnapshot(*snapshot)
+	}
+
+	replayed := 0
+	if r.e2eb != nil {
+		n, err := r.e2eb.Recover()
+		if err != nil {
+			return 0, fmt.Errorf("core: end-to-end recovery: %w", err)
+		}
+		replayed = n
+	}
+	return replayed, nil
+}
+
+func (r *Replica) installSnapshot(s StateSnapshot) {
+	r.dbase.RestoreState(s.Items, s.AppliedTxns)
+	r.mu.Lock()
+	r.lastAppliedSeq = s.LastAppliedSeq
+	ab := r.ab
+	r.mu.Unlock()
+	if ab != nil {
+		ab.SkipTo(s.LastAppliedSeq + 1)
+	}
+}
+
+// Close shuts the replica down.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	if !r.crashed {
+		r.crashed = true
+		close(r.crashCh)
+	}
+	r.mu.Unlock()
+	r.stopGroupCommunication()
+	return r.dbase.Close()
+}
+
+// Execute a request built from a workload transaction.
+func RequestFromWorkload(t workload.Transaction) Request {
+	return Request{ID: 0, Ops: t.Ops}
+}

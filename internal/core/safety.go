@@ -1,0 +1,147 @@
+// Package core implements the replicated database component of the paper:
+// update-everywhere, non-voting, certification-based replication (the
+// database state machine approach) built on group communication, with the
+// client response point parameterised by the safety criterion — 0-safe,
+// 1-safe (lazy), group-safe, group-1-safe, 2-safe and very-safe (Sects. 2, 4
+// and 5 of the paper).
+package core
+
+import "fmt"
+
+// SafetyLevel is the safety criterion enforced by a replica (Table 1 and
+// Table 2 of the paper).
+type SafetyLevel int
+
+const (
+	// Safety0 (0-safe): the client is notified as soon as the transaction has
+	// been executed at the delegate, before it is delivered to the group or
+	// logged anywhere.  A single crash can lose the transaction.
+	Safety0 SafetyLevel = iota
+	// Safety1Lazy (1-safe, lazy replication): the client is notified once the
+	// transaction is logged and committed at the delegate only; write sets are
+	// propagated to the other replicas lazily, outside the transaction
+	// boundary.  The crash of the delegate can lose the transaction, and
+	// concurrent conflicting transactions can violate one-copy
+	// serialisability even without failures.
+	Safety1Lazy
+	// GroupSafe (group-safe): the client is notified once the message
+	// carrying the transaction is guaranteed to be delivered at all available
+	// servers (uniform atomic broadcast) and the commit/abort decision is
+	// known; disk writes happen asynchronously.  Durability is delegated to
+	// the group: the transaction survives unless too many servers crash.
+	GroupSafe
+	// Group1Safe (group-safe and 1-safe): like GroupSafe, but the client is
+	// notified only after the delegate has also forced the transaction to its
+	// own stable storage.
+	Group1Safe
+	// Safety2 (2-safe): built on end-to-end atomic broadcast; when the client
+	// is notified, the transaction is on stable storage at every available
+	// server (via the group-communication message log) and will eventually
+	// commit everywhere, even if all servers crash.
+	Safety2
+	// VerySafe (very safe): the client is notified only after every server —
+	// available or not — has logged the transaction; a single unreachable
+	// server blocks termination, which is why the paper considers the
+	// criterion impractical.
+	VerySafe
+)
+
+// String implements fmt.Stringer.
+func (l SafetyLevel) String() string {
+	switch l {
+	case Safety0:
+		return "0-safe"
+	case Safety1Lazy:
+		return "1-safe-lazy"
+	case GroupSafe:
+		return "group-safe"
+	case Group1Safe:
+		return "group-1-safe"
+	case Safety2:
+		return "2-safe"
+	case VerySafe:
+		return "very-safe"
+	default:
+		return fmt.Sprintf("safety(%d)", int(l))
+	}
+}
+
+// UsesGroupCommunication reports whether the level relies on atomic broadcast
+// (all levels except the lazy and 0-safe baselines).
+func (l SafetyLevel) UsesGroupCommunication() bool {
+	switch l {
+	case GroupSafe, Group1Safe, Safety2, VerySafe:
+		return true
+	default:
+		return false
+	}
+}
+
+// RequiresEndToEnd reports whether the level needs the end-to-end atomic
+// broadcast primitive of Sect. 4 (classical atomic broadcast is insufficient).
+func (l SafetyLevel) RequiresEndToEnd() bool {
+	return l == Safety2 || l == VerySafe
+}
+
+// SyncOnCommit reports whether the delegate must force its log before
+// answering the client.
+func (l SafetyLevel) SyncOnCommit() bool {
+	switch l {
+	case Safety1Lazy, Group1Safe, Safety2, VerySafe:
+		return true
+	default:
+		return false
+	}
+}
+
+// ToleratedCrashes returns the number of simultaneous server crashes (out of
+// n) the level tolerates without ever losing an acknowledged transaction
+// (Table 2 of the paper).
+func (l SafetyLevel) ToleratedCrashes(n int) int {
+	switch l {
+	case Safety0, Safety1Lazy:
+		return 0
+	case GroupSafe, Group1Safe:
+		if n <= 0 {
+			return 0
+		}
+		return n - 1
+	case Safety2, VerySafe:
+		return n
+	default:
+		return 0
+	}
+}
+
+// GuaranteedDelivered returns, per Table 1, on how many replicas the message
+// carrying the transaction is guaranteed to be delivered when the client is
+// notified ("1" or "all").
+func (l SafetyLevel) GuaranteedDelivered() string {
+	switch l {
+	case Safety0, Safety1Lazy:
+		return "1"
+	default:
+		return "all"
+	}
+}
+
+// GuaranteedLogged returns, per Table 1, on how many replicas the transaction
+// is guaranteed to be logged when the client is notified ("none", "1" or
+// "all").
+func (l SafetyLevel) GuaranteedLogged() string {
+	switch l {
+	case Safety0, GroupSafe:
+		return "none"
+	case Safety1Lazy, Group1Safe:
+		return "1"
+	case Safety2, VerySafe:
+		return "all"
+	default:
+		return "none"
+	}
+}
+
+// AllLevels lists every safety level, in increasing order of guarantees.
+func AllLevels() []SafetyLevel {
+	return []SafetyLevel{Safety0, Safety1Lazy, GroupSafe, Group1Safe, Safety2, VerySafe}
+}

@@ -1,0 +1,111 @@
+package core
+
+import "testing"
+
+func TestSafetyLevelStrings(t *testing.T) {
+	want := map[SafetyLevel]string{
+		Safety0:        "0-safe",
+		Safety1Lazy:    "1-safe-lazy",
+		GroupSafe:      "group-safe",
+		Group1Safe:     "group-1-safe",
+		Safety2:        "2-safe",
+		VerySafe:       "very-safe",
+		SafetyLevel(9): "safety(9)",
+	}
+	for level, s := range want {
+		if level.String() != s {
+			t.Errorf("%d.String() = %q, want %q", level, level.String(), s)
+		}
+	}
+}
+
+func TestSafetyLevelClassification(t *testing.T) {
+	// Table 1 of the paper: delivered × logged guarantees at notification.
+	cases := []struct {
+		level     SafetyLevel
+		delivered string
+		logged    string
+	}{
+		{Safety0, "1", "none"},
+		{Safety1Lazy, "1", "1"},
+		{GroupSafe, "all", "none"},
+		{Group1Safe, "all", "1"},
+		{Safety2, "all", "all"},
+		{VerySafe, "all", "all"},
+	}
+	for _, tc := range cases {
+		if got := tc.level.GuaranteedDelivered(); got != tc.delivered {
+			t.Errorf("%v delivered = %q, want %q", tc.level, got, tc.delivered)
+		}
+		if got := tc.level.GuaranteedLogged(); got != tc.logged {
+			t.Errorf("%v logged = %q, want %q", tc.level, got, tc.logged)
+		}
+	}
+}
+
+func TestToleratedCrashesTable2(t *testing.T) {
+	// Table 2 of the paper: 0-safe/1-safe tolerate 0 crashes, group-safe and
+	// group-1-safe tolerate fewer than n, 2-safe tolerates n.
+	const n = 9
+	cases := map[SafetyLevel]int{
+		Safety0:     0,
+		Safety1Lazy: 0,
+		GroupSafe:   n - 1,
+		Group1Safe:  n - 1,
+		Safety2:     n,
+		VerySafe:    n,
+	}
+	for level, want := range cases {
+		if got := level.ToleratedCrashes(n); got != want {
+			t.Errorf("%v tolerates %d crashes, want %d", level, got, want)
+		}
+	}
+	if GroupSafe.ToleratedCrashes(0) != 0 || SafetyLevel(42).ToleratedCrashes(5) != 0 {
+		t.Error("degenerate inputs should tolerate 0 crashes")
+	}
+}
+
+func TestLevelPredicates(t *testing.T) {
+	for _, level := range []SafetyLevel{GroupSafe, Group1Safe, Safety2, VerySafe} {
+		if !level.UsesGroupCommunication() {
+			t.Errorf("%v should use group communication", level)
+		}
+	}
+	for _, level := range []SafetyLevel{Safety0, Safety1Lazy} {
+		if level.UsesGroupCommunication() {
+			t.Errorf("%v should not use group communication", level)
+		}
+	}
+	if !Safety2.RequiresEndToEnd() || !VerySafe.RequiresEndToEnd() {
+		t.Error("2-safe and very-safe need end-to-end atomic broadcast")
+	}
+	if GroupSafe.RequiresEndToEnd() || Group1Safe.RequiresEndToEnd() {
+		t.Error("group-safe levels must work on classical atomic broadcast")
+	}
+	for _, level := range []SafetyLevel{Safety1Lazy, Group1Safe, Safety2, VerySafe} {
+		if !level.SyncOnCommit() {
+			t.Errorf("%v must force the log before answering", level)
+		}
+	}
+	for _, level := range []SafetyLevel{Safety0, GroupSafe} {
+		if level.SyncOnCommit() {
+			t.Errorf("%v must not force the log before answering", level)
+		}
+	}
+	if len(AllLevels()) != 6 {
+		t.Errorf("AllLevels = %v", AllLevels())
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomePending.String() != "pending" || OutcomeCommitted.String() != "committed" ||
+		OutcomeAborted.String() != "aborted" || Outcome(7).String() != "outcome(7)" {
+		t.Fatal("outcome strings wrong")
+	}
+	if (Result{Outcome: OutcomeCommitted}).Committed() != true {
+		t.Fatal("Committed() wrong")
+	}
+	if (Result{Outcome: OutcomeAborted}).Committed() {
+		t.Fatal("aborted result reported as committed")
+	}
+}

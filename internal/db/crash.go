@@ -1,0 +1,74 @@
+package db
+
+import (
+	"fmt"
+
+	"groupsafe/internal/lock"
+	"groupsafe/internal/storage"
+	"groupsafe/internal/wal"
+)
+
+// CrashAndRecover simulates a server crash followed by a restart of the
+// database component: everything that was not forced to stable storage is
+// lost, and the committed state is rebuilt from the durable prefix of the
+// write-ahead log.  It only works for databases backed by an in-memory log
+// (the failure-injection experiments of Figs. 5 and 7); file-backed databases
+// are crash-tested by closing and reopening them.
+func (d *DB) CrashAndRecover() error {
+	mem, ok := d.log.(*wal.MemLog)
+	if !ok {
+		return fmt.Errorf("db: CrashAndRecover requires an in-memory log, have %T", d.log)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mem.Crash()
+	d.store.Reset()
+	d.locks = lock.NewManager()
+	d.gc = wal.NewGroupCommitter(mem)
+	d.applied = make(map[uint64]bool)
+	d.nextID = 1
+	d.closed = false
+	return d.recoverLocked()
+}
+
+// CommittedWriteCount returns the total number of version bumps across all
+// items, a cheap fingerprint used by tests to compare replica states.
+func (d *DB) CommittedWriteCount() uint64 {
+	var total uint64
+	snap := d.store.Snapshot()
+	for _, it := range snap {
+		total += it.Version
+	}
+	return total
+}
+
+// SnapshotState returns a deep copy of the committed item state, used for the
+// checkpoint-based state transfer of the dynamic crash no-recovery model.
+func (d *DB) SnapshotState() []storage.Item { return d.store.Snapshot() }
+
+// RestoreState installs a state snapshot received through state transfer and
+// marks the given transactions as applied.
+func (d *DB) RestoreState(snapshot []storage.Item, appliedTxns []uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.store.Restore(snapshot)
+	for _, id := range appliedTxns {
+		d.applied[id] = true
+		if id >= d.nextID {
+			d.nextID = id + 1
+		}
+	}
+}
+
+// AppliedTxns returns the identifiers of every transaction applied so far
+// (sorted order is not guaranteed); it is shipped along with state snapshots
+// so that the receiving replica can keep enforcing exactly-once application.
+func (d *DB) AppliedTxns() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]uint64, 0, len(d.applied))
+	for id := range d.applied {
+		out = append(out, id)
+	}
+	return out
+}

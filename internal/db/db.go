@@ -1,0 +1,436 @@
+// Package db implements the local database component of the paper's model
+// (Sect. 2.2): it stores a full copy of the database, executes local
+// transactions under strict two-phase locking, enforces durability through a
+// write-ahead log, recovers committed state after a crash, and provides the
+// "testable transactions" facility (a transaction is applied at most once even
+// if it is submitted multiple times) that the replication layer relies on.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"groupsafe/internal/lock"
+	"groupsafe/internal/storage"
+	"groupsafe/internal/wal"
+)
+
+// SyncPolicy controls when the write-ahead log is forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncOnCommit forces the log before a commit is acknowledged (the
+	// behaviour needed by 1-safe, group-1-safe and 2-safe replication).
+	SyncOnCommit SyncPolicy = iota
+	// AsyncCommit lets commits be acknowledged before the log is forced; the
+	// log is forced lazily by Flush (the behaviour exploited by group-safe
+	// replication, which delegates durability to the group).
+	AsyncCommit
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncOnCommit:
+		return "sync-on-commit"
+	case AsyncCommit:
+		return "async-commit"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Errors returned by the database component.
+var (
+	ErrTxnDone        = errors.New("db: transaction already committed or aborted")
+	ErrAlreadyApplied = errors.New("db: transaction already applied")
+	ErrClosed         = errors.New("db: database closed")
+)
+
+// Config configures a database instance.
+type Config struct {
+	// Items is the database size (Table 4: 10'000 items).
+	Items int
+	// Policy selects the commit durability behaviour.
+	Policy SyncPolicy
+	// Log is the stable-storage log.  When nil an in-memory log is created.
+	Log wal.Log
+}
+
+// Stats are cumulative counters maintained by the database.
+type Stats struct {
+	Commits       uint64
+	Aborts        uint64
+	Deadlocks     uint64
+	AppliedRemote uint64
+	SkippedDup    uint64
+}
+
+// DB is a single-node transactional database over integer items.
+type DB struct {
+	store *storage.Store
+	locks *lock.Manager
+	log   wal.Log
+	gc    *wal.GroupCommitter
+
+	mu      sync.Mutex
+	policy  SyncPolicy
+	applied map[uint64]bool
+	nextID  uint64
+	closed  bool
+	stats   Stats
+}
+
+// Open creates a database from cfg and recovers committed state from its log.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Items <= 0 {
+		cfg.Items = 1
+	}
+	logStore := cfg.Log
+	if logStore == nil {
+		logStore = wal.NewMemLog()
+	}
+	d := &DB{
+		store:   storage.NewStore(cfg.Items),
+		locks:   lock.NewManager(),
+		log:     logStore,
+		gc:      wal.NewGroupCommitter(logStore),
+		policy:  cfg.Policy,
+		applied: make(map[uint64]bool),
+		nextID:  1,
+	}
+	if err := d.recoverLocked(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// recoverLocked rebuilds the committed state by redoing the write-ahead log.
+// Updates belonging to transactions without a commit record are discarded.
+func (d *DB) recoverLocked() error {
+	pending := make(map[uint64]storage.WriteSet)
+	err := d.log.Replay(func(r wal.Record) error {
+		switch r.Kind {
+		case wal.KindUpdate:
+			ws, ok := pending[r.TxnID]
+			if !ok {
+				ws = make(storage.WriteSet)
+				pending[r.TxnID] = ws
+			}
+			ws[int(r.Item)] = r.Value
+		case wal.KindCommit:
+			if ws, ok := pending[r.TxnID]; ok {
+				if err := d.store.ApplyWriteSet(ws); err != nil {
+					return fmt.Errorf("db: redo txn %d: %w", r.TxnID, err)
+				}
+				delete(pending, r.TxnID)
+			}
+			d.applied[r.TxnID] = true
+			if r.TxnID >= d.nextID {
+				d.nextID = r.TxnID + 1
+			}
+		case wal.KindAbort:
+			delete(pending, r.TxnID)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("db: recovery: %w", err)
+	}
+	return nil
+}
+
+// Store exposes the underlying versioned store (used by the replication layer
+// for certification and by tests for consistency checks).
+func (d *DB) Store() *storage.Store { return d.store }
+
+// Log exposes the underlying write-ahead log.
+func (d *DB) Log() wal.Log { return d.log }
+
+// Policy returns the current sync policy.
+func (d *DB) Policy() SyncPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.policy
+}
+
+// SetPolicy changes the durability policy (the paper notes that an
+// implementation can switch between group-safe and group-1-safe at runtime;
+// this is the corresponding knob).
+func (d *DB) SetPolicy(p SyncPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.policy = p
+}
+
+// Stats returns a snapshot of the database counters.
+func (d *DB) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Deadlocks = d.locks.Deadlocks()
+	return s
+}
+
+// Applied reports whether the transaction with the given id has already been
+// applied (committed locally or installed through ApplyWriteSet).  This is
+// the "testable transaction" interface of Sect. 2.2.
+func (d *DB) Applied(txnID uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applied[txnID]
+}
+
+// ReadCommitted returns the committed value and version of an item without
+// acquiring locks; it is used by the optimistic read phase of the delegate
+// server in the certification-based replication protocol.
+func (d *DB) ReadCommitted(item int) (int64, uint64, error) {
+	return d.store.Read(item)
+}
+
+// Version returns the committed version of an item.
+func (d *DB) Version(item int) uint64 { return d.store.Version(item) }
+
+// Flush forces the write-ahead log to stable storage.
+func (d *DB) Flush() error { return d.log.Sync() }
+
+// Close closes the database and its log.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	return d.log.Close()
+}
+
+// Begin starts a locally-executed transaction.  If id is zero a fresh
+// identifier is assigned.
+func (d *DB) Begin(id uint64) (*Txn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if id == 0 {
+		id = d.nextID
+		d.nextID++
+	} else if id >= d.nextID {
+		d.nextID = id + 1
+	}
+	if d.applied[id] {
+		return nil, fmt.Errorf("%w: txn %d", ErrAlreadyApplied, id)
+	}
+	return &Txn{
+		db:       d,
+		id:       id,
+		writes:   make(storage.WriteSet),
+		readVers: make(map[int]uint64),
+	}, nil
+}
+
+// ApplyWriteSet installs the write set of a remotely-certified transaction
+// exactly once.  The first return value reports whether the write set was
+// applied (false when the transaction had already been applied, e.g. a
+// replayed end-to-end atomic broadcast message).
+func (d *DB) ApplyWriteSet(txnID uint64, ws storage.WriteSet) (bool, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false, ErrClosed
+	}
+	if d.applied[txnID] {
+		d.stats.SkippedDup++
+		d.mu.Unlock()
+		return false, nil
+	}
+	policy := d.policy
+	d.mu.Unlock()
+
+	// Lock the written items (sorted to avoid deadlocks between appliers).
+	items := make([]int, 0, len(ws))
+	for it := range ws {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	for _, it := range items {
+		if err := d.locks.Acquire(txnID, it, lock.Exclusive); err != nil {
+			d.locks.ReleaseAll(txnID)
+			return false, fmt.Errorf("db: apply writeset of txn %d: %w", txnID, err)
+		}
+	}
+	defer d.locks.ReleaseAll(txnID)
+
+	var lastLSN wal.LSN
+	for _, it := range items {
+		lsn, err := d.log.Append(wal.Record{Kind: wal.KindUpdate, TxnID: txnID, Item: int64(it), Value: ws[it]})
+		if err != nil {
+			return false, fmt.Errorf("db: log update: %w", err)
+		}
+		lastLSN = lsn
+	}
+	lsn, err := d.log.Append(wal.Record{Kind: wal.KindCommit, TxnID: txnID})
+	if err != nil {
+		return false, fmt.Errorf("db: log commit: %w", err)
+	}
+	lastLSN = lsn
+	if policy == SyncOnCommit {
+		if err := d.gc.WaitDurable(lastLSN); err != nil {
+			return false, fmt.Errorf("db: force log: %w", err)
+		}
+	}
+	if err := d.store.ApplyWriteSet(ws); err != nil {
+		return false, fmt.Errorf("db: install writeset: %w", err)
+	}
+	d.mu.Lock()
+	d.applied[txnID] = true
+	d.stats.AppliedRemote++
+	d.stats.Commits++
+	d.mu.Unlock()
+	return true, nil
+}
+
+// RecordAbort records that a transaction was certified-aborted so that a
+// replayed delivery does not try to apply it again.
+func (d *DB) RecordAbort(txnID uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.applied[txnID] {
+		return nil
+	}
+	if _, err := d.log.Append(wal.Record{Kind: wal.KindAbort, TxnID: txnID}); err != nil {
+		return fmt.Errorf("db: log abort: %w", err)
+	}
+	d.stats.Aborts++
+	return nil
+}
+
+// Txn is a locally executed transaction under strict two-phase locking.
+type Txn struct {
+	db       *DB
+	id       uint64
+	writes   storage.WriteSet
+	readVers map[int]uint64
+	done     bool
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Read returns the value of item as seen by the transaction (its own writes
+// first, then the committed state), acquiring a shared lock.
+func (t *Txn) Read(item int) (int64, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	if v, ok := t.writes[item]; ok {
+		return v, nil
+	}
+	if err := t.db.locks.Acquire(t.id, item, lock.Shared); err != nil {
+		return 0, err
+	}
+	v, ver, err := t.db.store.Read(item)
+	if err != nil {
+		return 0, err
+	}
+	if _, seen := t.readVers[item]; !seen {
+		t.readVers[item] = ver
+	}
+	return v, nil
+}
+
+// Write buffers a new value for item, acquiring an exclusive lock.
+func (t *Txn) Write(item int, value int64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.db.locks.Acquire(t.id, item, lock.Exclusive); err != nil {
+		return err
+	}
+	if _, _, err := t.db.store.Read(item); err != nil {
+		return err
+	}
+	t.writes[item] = value
+	return nil
+}
+
+// ReadVersions returns the versions observed by the transaction's reads,
+// used by the replication layer to build the certification read set.
+func (t *Txn) ReadVersions() map[int]uint64 {
+	out := make(map[int]uint64, len(t.readVers))
+	for k, v := range t.readVers {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteSet returns a copy of the transaction's buffered writes.
+func (t *Txn) WriteSet() storage.WriteSet {
+	out := make(storage.WriteSet, len(t.writes))
+	for k, v := range t.writes {
+		out[k] = v
+	}
+	return out
+}
+
+// Commit makes the transaction durable according to the database sync policy
+// and installs its writes.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	defer t.db.locks.ReleaseAll(t.id)
+
+	var lastLSN wal.LSN
+	for item, value := range t.writes {
+		lsn, err := t.db.log.Append(wal.Record{Kind: wal.KindUpdate, TxnID: t.id, Item: int64(item), Value: value})
+		if err != nil {
+			return fmt.Errorf("db: log update: %w", err)
+		}
+		lastLSN = lsn
+	}
+	lsn, err := t.db.log.Append(wal.Record{Kind: wal.KindCommit, TxnID: t.id})
+	if err != nil {
+		return fmt.Errorf("db: log commit: %w", err)
+	}
+	lastLSN = lsn
+	if t.db.Policy() == SyncOnCommit {
+		if err := t.db.gc.WaitDurable(lastLSN); err != nil {
+			return fmt.Errorf("db: force log: %w", err)
+		}
+	}
+	if len(t.writes) > 0 {
+		if err := t.db.store.ApplyWriteSet(t.writes); err != nil {
+			return fmt.Errorf("db: install writes: %w", err)
+		}
+	}
+	t.db.mu.Lock()
+	t.db.applied[t.id] = true
+	t.db.stats.Commits++
+	t.db.mu.Unlock()
+	return nil
+}
+
+// Abort drops the transaction's buffered writes and releases its locks.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	t.db.locks.ReleaseAll(t.id)
+	t.db.mu.Lock()
+	t.db.stats.Aborts++
+	t.db.mu.Unlock()
+	if _, err := t.db.log.Append(wal.Record{Kind: wal.KindAbort, TxnID: t.id}); err != nil {
+		return fmt.Errorf("db: log abort: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"groupsafe/internal/core"
+	"groupsafe/internal/gcs"
+	"groupsafe/internal/gcs/abcast"
+	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/stats"
+	"groupsafe/internal/wal"
+	"groupsafe/internal/workload"
+)
+
+// TraceResult is the Fig. 2 versus Fig. 8 comparison: the measured response
+// time of one update transaction under group-1-safe (the commit is forced to
+// disk before the reply) and group-safe (the disk force leaves the response
+// path).  The gap is roughly the disk-force latency, the paper's explanation
+// for the performance gain of group-safety.
+type TraceResult struct {
+	DiskSyncDelay       time.Duration
+	NetworkLatency      time.Duration
+	Group1SafeResponse  time.Duration
+	GroupSafeResponse   time.Duration
+	ResponseTimeSavings time.Duration
+}
+
+// RunFig2VsFig8Trace measures the single-transaction response time of the
+// Fig. 2 (group-1-safe) and Fig. 8 (group-safe) protocol variants with the
+// given emulated disk-force latency and network latency.
+func RunFig2VsFig8Trace(diskSync, netLatency time.Duration, txns int) (TraceResult, error) {
+	if txns <= 0 {
+		txns = 5
+	}
+	result := TraceResult{DiskSyncDelay: diskSync, NetworkLatency: netLatency}
+	measure := func(level core.SafetyLevel) (time.Duration, error) {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			Replicas:       3,
+			Items:          128,
+			Level:          level,
+			DiskSyncDelay:  diskSync,
+			NetworkLatency: netLatency,
+			ExecTimeout:    10 * time.Second,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer cluster.Close()
+		sample := stats.NewSample()
+		for i := 0; i < txns; i++ {
+			req := core.Request{Ops: []workload.Op{
+				{Item: i % 64, Write: false},
+				{Item: (i + 1) % 64, Write: true, Value: int64(i)},
+			}}
+			start := time.Now()
+			res, err := cluster.Execute(0, req)
+			if err != nil {
+				return 0, err
+			}
+			if !res.Committed() {
+				return 0, fmt.Errorf("trace transaction aborted under %v", level)
+			}
+			sample.AddDuration(time.Since(start))
+		}
+		return time.Duration(sample.Median() * float64(time.Millisecond)), nil
+	}
+
+	g1, err := measure(core.Group1Safe)
+	if err != nil {
+		return result, fmt.Errorf("group-1-safe trace: %w", err)
+	}
+	gs, err := measure(core.GroupSafe)
+	if err != nil {
+		return result, fmt.Errorf("group-safe trace: %w", err)
+	}
+	result.Group1SafeResponse = g1
+	result.GroupSafeResponse = gs
+	result.ResponseTimeSavings = g1 - gs
+	return result, nil
+}
+
+// DiskVsBroadcastResult quantifies the Sect. 6 claim that, on a LAN, an
+// atomic broadcast (~1 ms in the paper) is far cheaper than forcing a log to
+// disk (~8 ms in the paper).
+type DiskVsBroadcastResult struct {
+	DiskForce        time.Duration
+	AtomicBroadcast  time.Duration
+	BroadcastCheaper bool
+	Ratio            float64
+}
+
+// RunDiskVsBroadcast measures the latency of a forced log write (with the
+// given emulated disk latency) against the latency of a full uniform atomic
+// broadcast round over an n-member group on a network with the given one-way
+// message latency.
+func RunDiskVsBroadcast(diskSync, netLatency time.Duration, n int) (DiskVsBroadcastResult, error) {
+	if n < 3 {
+		n = 3
+	}
+	var result DiskVsBroadcastResult
+
+	// Disk force.
+	log := wal.NewMemLogWithDelay(diskSync)
+	if _, err := log.Append(wal.Record{Kind: wal.KindCommit, TxnID: 1}); err != nil {
+		return result, err
+	}
+	start := time.Now()
+	if err := log.Sync(); err != nil {
+		return result, err
+	}
+	result.DiskForce = time.Since(start)
+
+	// Atomic broadcast round: time from Broadcast to delivery at the sender.
+	network := transport.NewMemNetwork(transport.WithLatency(netLatency), transport.WithSeed(1))
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("b%d", i+1)
+	}
+	type node struct {
+		router *gcs.Router
+		bc     *abcast.Broadcaster
+	}
+	nodes := make([]*node, n)
+	for i, m := range members {
+		router := gcs.NewRouter(network.Endpoint(m))
+		bc, err := abcast.New(abcast.Config{Self: m, Members: members}, router)
+		if err != nil {
+			return result, err
+		}
+		router.Start()
+		nodes[i] = &node{router: router, bc: bc}
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.bc.Close()
+			nd.router.Stop()
+		}
+	}()
+
+	const rounds = 5
+	sample := stats.NewSample()
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := nodes[0].bc.Broadcast([]byte("probe")); err != nil {
+			return result, err
+		}
+		select {
+		case <-nodes[0].bc.Deliveries():
+			sample.AddDuration(time.Since(start))
+		case <-time.After(5 * time.Second):
+			return result, fmt.Errorf("atomic broadcast round %d timed out", i)
+		}
+		// Drain the other nodes so buffers stay small.
+		for _, nd := range nodes[1:] {
+			select {
+			case <-nd.bc.Deliveries():
+			case <-time.After(time.Second):
+			}
+		}
+	}
+	result.AtomicBroadcast = time.Duration(sample.Median() * float64(time.Millisecond))
+	result.BroadcastCheaper = result.AtomicBroadcast < result.DiskForce
+	if result.AtomicBroadcast > 0 {
+		result.Ratio = float64(result.DiskForce) / float64(result.AtomicBroadcast)
+	}
+	return result, nil
+}
+
+// ScalingPoint is one point of the Sect. 7 scaling comparison: the
+// probability that the ACID properties are violated as a function of the
+// number of servers, for lazy replication (grows with n) and group-safe
+// replication (shrinks with n).
+type ScalingPoint struct {
+	Servers              int
+	LazyViolationProb    float64
+	GroupSafeViolateProb float64
+}
+
+// ScalingConfig parameterises the Sect. 7 model.
+type ScalingConfig struct {
+	// MinServers and MaxServers bound the sweep (default 3..15).
+	MinServers int
+	MaxServers int
+	// PairConflictProb is the probability that two concurrently-submitted
+	// transactions at two different sites conflict during one observation
+	// window (lazy replication accepts both and violates one-copy
+	// serialisability).
+	PairConflictProb float64
+	// ServerCrashProb is the probability that a given server crashes during
+	// the observation window (group-safety is violated only when a majority
+	// crashes).
+	ServerCrashProb float64
+	// Trials is the number of Monte-Carlo trials per point.
+	Trials int
+	// Seed seeds the Monte-Carlo sampling.
+	Seed int64
+}
+
+func (c *ScalingConfig) applyDefaults() {
+	if c.MinServers <= 0 {
+		c.MinServers = 3
+	}
+	if c.MaxServers < c.MinServers {
+		c.MaxServers = 15
+	}
+	if c.PairConflictProb <= 0 {
+		c.PairConflictProb = 0.002
+	}
+	if c.ServerCrashProb <= 0 {
+		c.ServerCrashProb = 0.05
+	}
+	if c.Trials <= 0 {
+		c.Trials = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunSection7Scaling evaluates the Sect. 7 argument: with lazy replication,
+// the chance of an ACID violation grows with the number of servers (more
+// sites submitting conflicting updates without coordination); with group-safe
+// replication it decreases (a violation requires the crash of a majority,
+// which becomes less likely as servers are added).
+func RunSection7Scaling(cfg ScalingConfig) []ScalingPoint {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	points := make([]ScalingPoint, 0, cfg.MaxServers-cfg.MinServers+1)
+	for n := cfg.MinServers; n <= cfg.MaxServers; n++ {
+		// Lazy replication: a violation happens when any pair of sites
+		// accepts conflicting transactions; with p per pair and n(n-1)/2
+		// pairs the probability is 1 - (1-p)^pairs (closed form, no sampling
+		// noise needed).
+		pairs := float64(n*(n-1)) / 2
+		lazy := 1 - math.Pow(1-cfg.PairConflictProb, pairs)
+
+		// Group-safe replication: a violation requires the group to fail,
+		// i.e. at least a majority of the n servers crash during the window;
+		// estimated by Monte-Carlo over independent crashes.
+		majority := n/2 + 1
+		fails := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			crashed := 0
+			for s := 0; s < n; s++ {
+				if rng.Float64() < cfg.ServerCrashProb {
+					crashed++
+				}
+			}
+			if crashed >= majority {
+				fails++
+			}
+		}
+		points = append(points, ScalingPoint{
+			Servers:              n,
+			LazyViolationProb:    lazy,
+			GroupSafeViolateProb: float64(fails) / float64(cfg.Trials),
+		})
+	}
+	return points
+}

@@ -1,0 +1,577 @@
+// Package abcast implements a uniform atomic broadcast (total order
+// broadcast) in the dynamic crash no-recovery model, the "classical" group
+// communication primitive the paper builds on (Sect. 2.3).
+//
+// The protocol is a fixed-sequencer total order broadcast hardened for
+// uniformity:
+//
+//  1. A-broadcast(m): the sender assigns m a unique message id and sends a
+//     DATA message to every member.
+//  2. The current sequencer assigns consecutive sequence numbers and sends an
+//     ORDER message for each data message.
+//  3. Every member acknowledges an ORDER to every member.  A message is
+//     A-delivered at a member once the member has the payload, the order, a
+//     majority of acknowledgements for that (sequence, message id) pair, and
+//     every lower sequence number has been delivered.  The majority
+//     requirement gives Uniform Agreement: if any process delivers m, a
+//     majority stores its order, so every later sequencer learns it.
+//  4. When the sequencer is suspected, the next member (round-robin by epoch)
+//     takes over: it gathers the known orders and pending payloads from a
+//     majority, adopts the highest-epoch order for every sequence number,
+//     re-announces them under its own epoch and continues numbering.
+//
+// The resulting primitive satisfies Validity, Uniform Agreement, Uniform
+// Integrity and Uniform Total Order (Sect. 2.3 of the paper) as long as a
+// majority of the members stay up — and, as Sect. 3 of the paper shows, that
+// is precisely not enough for 2-safe database replication, because delivery
+// says nothing about processing.  See the e2e package for the paper's fix.
+package abcast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"groupsafe/internal/gcs"
+	"groupsafe/internal/gcs/transport"
+)
+
+// Message type identifiers on the wire.
+const (
+	MsgData     = "ab.data"
+	MsgOrder    = "ab.order"
+	MsgAck      = "ab.ack"
+	MsgNewEpoch = "ab.newepoch"
+	MsgState    = "ab.state"
+)
+
+// Delivery is one totally-ordered message handed to the application.
+type Delivery struct {
+	Seq     uint64
+	MsgID   string
+	Payload []byte
+}
+
+// Config configures a broadcaster.
+type Config struct {
+	// Self is this member's address.
+	Self string
+	// Members is the static list of group members (must include Self).
+	Members []string
+	// DeliveryBuffer is the capacity of the delivery channel (default 65536).
+	DeliveryBuffer int
+}
+
+// Stats are cumulative counters of the broadcaster.
+type Stats struct {
+	Broadcast  uint64
+	Delivered  uint64
+	Ordered    uint64
+	EpochJumps uint64
+}
+
+// ErrClosed is returned by Broadcast after Close.
+var ErrClosed = errors.New("abcast: broadcaster closed")
+
+type orderRec struct {
+	MsgID string
+	Epoch uint64
+}
+
+// wire formats (gob encoded)
+type dataMsg struct {
+	MsgID   string
+	Payload []byte
+}
+
+type orderMsg struct {
+	Epoch uint64
+	Seq   uint64
+	MsgID string
+}
+
+type ackMsg struct {
+	Epoch uint64
+	Seq   uint64
+	MsgID string
+}
+
+type newEpochMsg struct {
+	Epoch uint64
+}
+
+type stateMsg struct {
+	Epoch   uint64
+	Orders  map[uint64]orderRec
+	Pending map[string][]byte
+	MaxSeq  uint64
+}
+
+// Broadcaster implements uniform atomic broadcast for one group member.
+type Broadcaster struct {
+	cfg    Config
+	router *gcs.Router
+
+	mu           sync.Mutex
+	epoch        uint64
+	nextSeq      uint64 // next sequence number this sequencer will assign
+	nextDeliver  uint64 // next sequence number to deliver (1-based)
+	localCounter uint64
+	pendingData  map[string][]byte
+	orders       map[uint64]orderRec
+	orderedMsg   map[string]uint64
+	acks         map[uint64]map[string]map[string]bool
+	suspected    map[string]bool
+	gathering    bool
+	gatherEpoch  uint64
+	gatherFrom   map[string]stateMsg
+	closed       bool
+	stats        Stats
+
+	deliveries chan Delivery
+}
+
+// New creates a broadcaster and registers its message handlers on the router.
+// The router must be started by the caller.
+func New(cfg Config, router *gcs.Router) (*Broadcaster, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("abcast: empty member list")
+	}
+	found := false
+	for _, m := range cfg.Members {
+		if m == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("abcast: self %q not in member list", cfg.Self)
+	}
+	if cfg.DeliveryBuffer <= 0 {
+		cfg.DeliveryBuffer = 65536
+	}
+	b := &Broadcaster{
+		cfg:         cfg,
+		router:      router,
+		nextSeq:     1,
+		nextDeliver: 1,
+		pendingData: make(map[string][]byte),
+		orders:      make(map[uint64]orderRec),
+		orderedMsg:  make(map[string]uint64),
+		acks:        make(map[uint64]map[string]map[string]bool),
+		suspected:   make(map[string]bool),
+		gatherFrom:  make(map[string]stateMsg),
+		deliveries:  make(chan Delivery, cfg.DeliveryBuffer),
+	}
+	router.Handle("ab.", b.onMessage)
+	return b, nil
+}
+
+// Deliveries returns the channel of A-delivered messages in total order.
+func (b *Broadcaster) Deliveries() <-chan Delivery { return b.deliveries }
+
+// Members returns the static member list.
+func (b *Broadcaster) Members() []string {
+	out := make([]string, len(b.cfg.Members))
+	copy(out, b.cfg.Members)
+	return out
+}
+
+// Self returns this member's address.
+func (b *Broadcaster) Self() string { return b.cfg.Self }
+
+// Epoch returns the current sequencer epoch.
+func (b *Broadcaster) Epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch
+}
+
+// Sequencer returns the address of the sequencer for the current epoch.
+func (b *Broadcaster) Sequencer() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sequencerFor(b.epoch)
+}
+
+// SkipTo positions the delivery cursor so that the next delivered message is
+// the one with sequence number seq.  It is used after a checkpoint-based
+// state transfer: the recovering process's database already reflects every
+// message below seq, and the dynamic crash no-recovery model never redelivers
+// them (which is exactly the gap exploited by the scenario of Fig. 5).
+func (b *Broadcaster) SkipTo(seq uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if seq > b.nextDeliver {
+		b.nextDeliver = seq
+	}
+}
+
+// NextDeliver returns the sequence number of the next message to deliver.
+func (b *Broadcaster) NextDeliver() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextDeliver
+}
+
+// Stats returns a snapshot of the broadcaster counters.
+func (b *Broadcaster) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Close shuts the broadcaster down: later broadcasts fail and inbound
+// messages are ignored.  Deliveries already queued remain readable; the
+// delivery channel itself is not closed (consumers select with their own
+// shutdown signal).
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}
+
+func (b *Broadcaster) majority() int { return len(b.cfg.Members)/2 + 1 }
+
+func (b *Broadcaster) sequencerFor(epoch uint64) string {
+	return b.cfg.Members[int(epoch)%len(b.cfg.Members)]
+}
+
+// Broadcast A-broadcasts a payload and returns the assigned message id.
+func (b *Broadcaster) Broadcast(payload []byte) (string, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return "", ErrClosed
+	}
+	b.localCounter++
+	msgID := fmt.Sprintf("%s/%d", b.cfg.Self, b.localCounter)
+	b.stats.Broadcast++
+	b.mu.Unlock()
+
+	buf := encode(dataMsg{MsgID: msgID, Payload: payload})
+	b.sendAll(transport.Message{Type: MsgData, Payload: buf})
+	return msgID, nil
+}
+
+// Suspect informs the broadcaster that peer is believed crashed (typically
+// wired to the failure detector).  If peer is the current sequencer, a new
+// epoch is started.
+func (b *Broadcaster) Suspect(peer string) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.suspected[peer] = true
+	if b.sequencerFor(b.epoch) != peer {
+		b.mu.Unlock()
+		return
+	}
+	// Advance to the next epoch whose sequencer is not suspected.
+	e := b.epoch + 1
+	for i := 0; i < len(b.cfg.Members); i++ {
+		if !b.suspected[b.sequencerFor(e)] {
+			break
+		}
+		e++
+	}
+	b.stats.EpochJumps++
+	b.epoch = e
+	iAmNewSequencer := b.sequencerFor(e) == b.cfg.Self
+	var selfState stateMsg
+	if iAmNewSequencer {
+		b.gathering = true
+		b.gatherEpoch = e
+		b.gatherFrom = map[string]stateMsg{b.cfg.Self: b.snapshotStateLocked(e)}
+		selfState = b.gatherFrom[b.cfg.Self]
+	}
+	b.mu.Unlock()
+
+	if iAmNewSequencer {
+		b.sendAll(transport.Message{Type: MsgNewEpoch, Payload: encode(newEpochMsg{Epoch: e})})
+		// A single-member group gathers only from itself.
+		b.mu.Lock()
+		b.maybeFinishGatherLocked()
+		b.mu.Unlock()
+		_ = selfState
+	}
+}
+
+// Unsuspect clears a suspicion (e.g. a false positive of the failure
+// detector).
+func (b *Broadcaster) Unsuspect(peer string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.suspected, peer)
+}
+
+func (b *Broadcaster) snapshotStateLocked(epoch uint64) stateMsg {
+	orders := make(map[uint64]orderRec, len(b.orders))
+	for s, o := range b.orders {
+		orders[s] = o
+	}
+	pending := make(map[string][]byte, len(b.pendingData))
+	for id, p := range b.pendingData {
+		pending[id] = p
+	}
+	var maxSeq uint64
+	for s := range b.orders {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	return stateMsg{Epoch: epoch, Orders: orders, Pending: pending, MaxSeq: maxSeq}
+}
+
+func (b *Broadcaster) sendAll(m transport.Message) {
+	for _, member := range b.cfg.Members {
+		_ = b.router.Send(member, m)
+	}
+}
+
+// onMessage dispatches inbound protocol messages (registered on the router).
+func (b *Broadcaster) onMessage(m transport.Message) {
+	switch m.Type {
+	case MsgData:
+		var d dataMsg
+		if err := decode(m.Payload, &d); err != nil {
+			return
+		}
+		b.handleData(d)
+	case MsgOrder:
+		var o orderMsg
+		if err := decode(m.Payload, &o); err != nil {
+			return
+		}
+		b.handleOrder(o)
+	case MsgAck:
+		var a ackMsg
+		if err := decode(m.Payload, &a); err != nil {
+			return
+		}
+		b.handleAck(a, m.From)
+	case MsgNewEpoch:
+		var ne newEpochMsg
+		if err := decode(m.Payload, &ne); err != nil {
+			return
+		}
+		b.handleNewEpoch(ne, m.From)
+	case MsgState:
+		var st stateMsg
+		if err := decode(m.Payload, &st); err != nil {
+			return
+		}
+		b.handleState(st, m.From)
+	}
+}
+
+func (b *Broadcaster) handleData(d dataMsg) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if _, seen := b.pendingData[d.MsgID]; !seen {
+		b.pendingData[d.MsgID] = d.Payload
+	}
+	isSequencer := b.sequencerFor(b.epoch) == b.cfg.Self && !b.gathering
+	_, alreadyOrdered := b.orderedMsg[d.MsgID]
+	var order orderMsg
+	if isSequencer && !alreadyOrdered {
+		order = orderMsg{Epoch: b.epoch, Seq: b.nextSeq, MsgID: d.MsgID}
+		b.nextSeq++
+		b.stats.Ordered++
+	}
+	b.mu.Unlock()
+	if isSequencer && !alreadyOrdered {
+		b.sendAll(transport.Message{Type: MsgOrder, Payload: encode(order)})
+	}
+	b.tryDeliver()
+}
+
+func (b *Broadcaster) handleOrder(o orderMsg) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if o.Epoch < b.epoch {
+		b.mu.Unlock()
+		return
+	}
+	if o.Epoch > b.epoch {
+		// A newer sequencer is active; follow it.
+		b.epoch = o.Epoch
+		b.gathering = false
+	}
+	existing, have := b.orders[o.Seq]
+	if !have || o.Epoch >= existing.Epoch {
+		b.orders[o.Seq] = orderRec{MsgID: o.MsgID, Epoch: o.Epoch}
+		b.orderedMsg[o.MsgID] = o.Seq
+	}
+	ack := ackMsg{Epoch: o.Epoch, Seq: o.Seq, MsgID: o.MsgID}
+	b.mu.Unlock()
+	b.sendAll(transport.Message{Type: MsgAck, Payload: encode(ack)})
+	b.tryDeliver()
+}
+
+func (b *Broadcaster) handleAck(a ackMsg, from string) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	bySeq, ok := b.acks[a.Seq]
+	if !ok {
+		bySeq = make(map[string]map[string]bool)
+		b.acks[a.Seq] = bySeq
+	}
+	voters, ok := bySeq[a.MsgID]
+	if !ok {
+		voters = make(map[string]bool)
+		bySeq[a.MsgID] = voters
+	}
+	voters[from] = true
+	b.mu.Unlock()
+	b.tryDeliver()
+}
+
+func (b *Broadcaster) handleNewEpoch(ne newEpochMsg, from string) {
+	if from == b.cfg.Self {
+		// Our own take-over announcement looping back: the local state is
+		// already part of the gather set.
+		return
+	}
+	b.mu.Lock()
+	if b.closed || ne.Epoch < b.epoch {
+		b.mu.Unlock()
+		return
+	}
+	if ne.Epoch > b.epoch {
+		b.stats.EpochJumps++
+	}
+	b.epoch = ne.Epoch
+	b.gathering = false
+	reply := b.snapshotStateLocked(ne.Epoch)
+	b.mu.Unlock()
+	_ = b.router.Send(from, transport.Message{Type: MsgState, Payload: encode(reply)})
+}
+
+func (b *Broadcaster) handleState(st stateMsg, from string) {
+	b.mu.Lock()
+	if b.closed || !b.gathering || st.Epoch != b.gatherEpoch {
+		b.mu.Unlock()
+		return
+	}
+	b.gatherFrom[from] = st
+	b.maybeFinishGatherLocked()
+	b.mu.Unlock()
+}
+
+// maybeFinishGatherLocked completes sequencer takeover once a majority of
+// state replies (including our own) has been collected.
+func (b *Broadcaster) maybeFinishGatherLocked() {
+	if !b.gathering || len(b.gatherFrom) < b.majority() {
+		return
+	}
+	b.gathering = false
+
+	// Adopt, for every sequence number, the order with the highest epoch.
+	adopted := make(map[uint64]orderRec)
+	var maxSeq uint64
+	for _, st := range b.gatherFrom {
+		for seq, rec := range st.Orders {
+			if cur, ok := adopted[seq]; !ok || rec.Epoch > cur.Epoch {
+				adopted[seq] = rec
+			}
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+		for id, payload := range st.Pending {
+			if _, seen := b.pendingData[id]; !seen {
+				b.pendingData[id] = payload
+			}
+		}
+	}
+	for seq, rec := range adopted {
+		b.orders[seq] = orderRec{MsgID: rec.MsgID, Epoch: b.epoch}
+		b.orderedMsg[rec.MsgID] = seq
+	}
+	b.nextSeq = maxSeq + 1
+
+	// Re-announce adopted orders under the new epoch, then order any pending
+	// payloads that still lack a sequence number.
+	reannounce := make([]orderMsg, 0, len(adopted))
+	for seq, rec := range adopted {
+		reannounce = append(reannounce, orderMsg{Epoch: b.epoch, Seq: seq, MsgID: rec.MsgID})
+	}
+	var fresh []orderMsg
+	for id := range b.pendingData {
+		if _, ordered := b.orderedMsg[id]; !ordered {
+			o := orderMsg{Epoch: b.epoch, Seq: b.nextSeq, MsgID: id}
+			b.nextSeq++
+			b.orders[o.Seq] = orderRec{MsgID: id, Epoch: b.epoch}
+			b.orderedMsg[id] = o.Seq
+			fresh = append(fresh, o)
+			b.stats.Ordered++
+		}
+	}
+	epoch := b.epoch
+	b.mu.Unlock()
+	for _, o := range reannounce {
+		b.sendAll(transport.Message{Type: MsgOrder, Payload: encode(o)})
+	}
+	for _, o := range fresh {
+		b.sendAll(transport.Message{Type: MsgOrder, Payload: encode(o)})
+	}
+	b.mu.Lock()
+	_ = epoch
+}
+
+// tryDeliver delivers every message whose order is stable (majority-acked)
+// and whose predecessors have all been delivered.
+func (b *Broadcaster) tryDeliver() {
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		seq := b.nextDeliver
+		rec, ordered := b.orders[seq]
+		if !ordered {
+			b.mu.Unlock()
+			return
+		}
+		payload, haveData := b.pendingData[rec.MsgID]
+		voters := b.acks[seq][rec.MsgID]
+		if !haveData || len(voters) < b.majority() {
+			b.mu.Unlock()
+			return
+		}
+		b.nextDeliver++
+		b.stats.Delivered++
+		d := Delivery{Seq: seq, MsgID: rec.MsgID, Payload: payload}
+		ch := b.deliveries
+		b.mu.Unlock()
+		ch <- d
+	}
+}
+
+func encode(v interface{}) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		// Encoding in-memory structs cannot fail at runtime for the types
+		// above; a failure indicates a programming error.
+		panic(fmt.Sprintf("abcast: encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decode(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,162 @@
+package fd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"groupsafe/internal/gcs"
+	"groupsafe/internal/gcs/transport"
+)
+
+func newDetectorPair(t *testing.T, net *transport.MemNetwork, cfg Config) (*Detector, *Detector, func()) {
+	t.Helper()
+	peers := []string{"a", "b"}
+	ra := gcs.NewRouter(net.Endpoint("a"))
+	rb := gcs.NewRouter(net.Endpoint("b"))
+	da := New("a", peers, ra, cfg)
+	db := New("b", peers, rb, cfg)
+	ra.Handle(MsgHeartbeat, da.OnMessage)
+	rb.Handle(MsgHeartbeat, db.OnMessage)
+	ra.Start()
+	rb.Start()
+	da.Start()
+	db.Start()
+	cleanup := func() {
+		da.Stop()
+		db.Stop()
+		ra.Stop()
+		rb.Stop()
+	}
+	return da, db, cleanup
+}
+
+func TestNoSuspicionWhileAlive(t *testing.T) {
+	net := transport.NewMemNetwork()
+	da, db, cleanup := newDetectorPair(t, net, Config{Interval: 10 * time.Millisecond})
+	defer cleanup()
+	time.Sleep(150 * time.Millisecond)
+	if da.Suspected("b") || db.Suspected("a") {
+		t.Fatal("live peers should not be suspected")
+	}
+	if len(da.Alive()) != 2 {
+		t.Fatalf("Alive = %v", da.Alive())
+	}
+	if len(da.SuspectedPeers()) != 0 {
+		t.Fatalf("SuspectedPeers = %v", da.SuspectedPeers())
+	}
+}
+
+func TestCrashedPeerIsSuspected(t *testing.T) {
+	net := transport.NewMemNetwork()
+	da, _, cleanup := newDetectorPair(t, net, Config{Interval: 10 * time.Millisecond})
+	defer cleanup()
+
+	var mu sync.Mutex
+	var events []Event
+	da.OnEvent(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	time.Sleep(50 * time.Millisecond)
+	net.Crash("b")
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !da.Suspected("b") {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !da.Suspected("b") {
+		t.Fatal("crashed peer not suspected")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 || !events[0].Suspected || events[0].Peer != "b" {
+		t.Fatalf("events = %+v", events)
+	}
+	alive := da.Alive()
+	if len(alive) != 1 || alive[0] != "a" {
+		t.Fatalf("Alive = %v", alive)
+	}
+}
+
+func TestRecoveredPeerIsRehabilitated(t *testing.T) {
+	net := transport.NewMemNetwork()
+	da, _, cleanup := newDetectorPair(t, net, Config{Interval: 10 * time.Millisecond})
+	defer cleanup()
+
+	net.Crash("b")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !da.Suspected("b") {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !da.Suspected("b") {
+		t.Fatal("crashed peer not suspected")
+	}
+
+	rehabilitated := make(chan struct{}, 1)
+	da.OnEvent(func(ev Event) {
+		if !ev.Suspected && ev.Peer == "b" {
+			select {
+			case rehabilitated <- struct{}{}:
+			default:
+			}
+		}
+	})
+	net.Recover("b")
+	select {
+	case <-rehabilitated:
+	case <-time.After(2 * time.Second):
+		t.Fatal("recovered peer not rehabilitated")
+	}
+	if da.Suspected("b") {
+		t.Fatal("peer still suspected after heartbeat resumed")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.applyDefaults()
+	if cfg.Interval != 50*time.Millisecond || cfg.Timeout != 200*time.Millisecond {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	cfg = Config{Interval: 10 * time.Millisecond}
+	cfg.applyDefaults()
+	if cfg.Timeout != 40*time.Millisecond {
+		t.Fatalf("timeout default = %v", cfg.Timeout)
+	}
+}
+
+func TestSelfExcludedFromPeers(t *testing.T) {
+	net := transport.NewMemNetwork()
+	r := gcs.NewRouter(net.Endpoint("a"))
+	d := New("a", []string{"a", "b", "c"}, r, Config{})
+	if len(d.peers) != 2 {
+		t.Fatalf("peers = %v", d.peers)
+	}
+	if got := len(d.Alive()); got != 3 {
+		t.Fatalf("Alive (before any silence) = %d", got)
+	}
+}
+
+func TestOnMessageIgnoresOtherTypes(t *testing.T) {
+	net := transport.NewMemNetwork()
+	r := gcs.NewRouter(net.Endpoint("a"))
+	d := New("a", []string{"a", "b"}, r, Config{})
+	d.OnMessage(transport.Message{Type: "not-a-heartbeat", From: "b"})
+	// No state change, no panic.
+	if d.Suspected("b") {
+		t.Fatal("unexpected suspicion")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	net := transport.NewMemNetwork()
+	r := gcs.NewRouter(net.Endpoint("a"))
+	d := New("a", []string{"a", "b"}, r, Config{Interval: 5 * time.Millisecond})
+	d.Start()
+	d.Start()
+	d.Stop()
+	d.Stop()
+}

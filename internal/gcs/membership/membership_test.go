@@ -1,0 +1,161 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := New("s1", []string{"s3", "s1", "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", nil); err == nil {
+		t.Fatal("empty member list should be rejected")
+	}
+	if _, err := New("x", []string{"a", "b"}); err == nil {
+		t.Fatal("self missing from members should be rejected")
+	}
+	m := newTestManager(t)
+	if m.Self() != "s1" {
+		t.Fatalf("Self = %q", m.Self())
+	}
+	v := m.View()
+	if v.ID != 0 || v.Size() != 3 || v.Quorum() != 2 {
+		t.Fatalf("initial view = %+v", v)
+	}
+	// Members are sorted for determinism.
+	if v.Members[0] != "s1" || v.Members[2] != "s3" {
+		t.Fatalf("members not sorted: %v", v.Members)
+	}
+	if !v.Contains("s2") || v.Contains("ghost") {
+		t.Fatal("Contains wrong")
+	}
+	if v.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestLeaveInstallsNewView(t *testing.T) {
+	m := newTestManager(t)
+	var events []Event
+	m.OnViewChange(func(ev Event) { events = append(events, ev) })
+
+	v, changed := m.Leave("s3")
+	if !changed || v.ID != 1 || v.Size() != 2 || v.Contains("s3") {
+		t.Fatalf("view after leave = %+v changed=%v", v, changed)
+	}
+	if len(events) != 1 || len(events[0].Left) != 1 || events[0].Left[0] != "s3" {
+		t.Fatalf("events = %+v", events)
+	}
+	// Leaving an unknown member is a no-op.
+	v, changed = m.Leave("ghost")
+	if changed || v.ID != 1 {
+		t.Fatalf("no-op leave changed the view: %+v", v)
+	}
+	if len(m.History()) != 2 {
+		t.Fatalf("history = %v", m.History())
+	}
+}
+
+func TestJoinWithStateTransfer(t *testing.T) {
+	m := newTestManager(t)
+	m.Leave("s3")
+	m.SetStateProvider(func() []byte { return []byte("checkpoint-v2") })
+
+	v, checkpoint, err := m.Join("s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != 2 || !v.Contains("s3") {
+		t.Fatalf("view after join = %+v", v)
+	}
+	if string(checkpoint) != "checkpoint-v2" {
+		t.Fatalf("checkpoint = %q", checkpoint)
+	}
+	// Joining an existing member is a no-op.
+	v2, cp, err := m.Join("s3")
+	if err != nil || cp != nil || v2.ID != 2 {
+		t.Fatalf("re-join = %+v %q %v", v2, cp, err)
+	}
+
+	// The joining side installs the checkpoint.
+	joiner, err := New("s3", []string{"s3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.Install([]byte("x")); err == nil {
+		t.Fatal("install without an installer should fail")
+	}
+	var installed []byte
+	joiner.SetStateInstaller(func(b []byte) error { installed = b; return nil })
+	if err := joiner.Install(checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	if string(installed) != "checkpoint-v2" {
+		t.Fatalf("installed = %q", installed)
+	}
+	if err := joiner.Install(nil); err != nil {
+		t.Fatalf("nil checkpoint should be a no-op: %v", err)
+	}
+}
+
+func TestCanTolerateCrash(t *testing.T) {
+	m, err := New("s1", []string{"s1", "s2", "s3", "s4", "s5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanTolerateCrash(5) {
+		t.Fatal("a 5-member view tolerates another crash")
+	}
+	m.Leave("s5")
+	m.Leave("s4")
+	// 3 members left out of 5: losing one more would leave 2 < quorum(5)=3.
+	if m.CanTolerateCrash(5) {
+		t.Fatal("the group would fail after one more crash")
+	}
+}
+
+func TestQuickViewIDsMonotonic(t *testing.T) {
+	// Property: view identifiers strictly increase across any sequence of
+	// joins and leaves, and the view never contains duplicates.
+	f := func(ops []struct {
+		Addr byte
+		Join bool
+	}) bool {
+		m, err := New("s1", []string{"s1", "s2", "s3"})
+		if err != nil {
+			return false
+		}
+		last := m.View().ID
+		for _, op := range ops {
+			addr := string('a' + rune(op.Addr%6))
+			if op.Join {
+				m.Join(addr)
+			} else if addr != "s1" {
+				m.Leave(addr)
+			}
+			v := m.View()
+			if v.ID < last {
+				return false
+			}
+			last = v.ID
+			seen := map[string]bool{}
+			for _, member := range v.Members {
+				if seen[member] {
+					return false
+				}
+				seen[member] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

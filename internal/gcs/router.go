@@ -1,0 +1,126 @@
+// Package gcs contains the group communication component: message routing,
+// failure detection (subpackage fd), group membership (subpackage
+// membership), classical atomic broadcast (subpackage abcast) and the
+// end-to-end atomic broadcast introduced by the paper (subpackage e2e).
+package gcs
+
+import (
+	"strings"
+	"sync"
+
+	"groupsafe/internal/gcs/transport"
+)
+
+// Handler processes one inbound message.
+type Handler func(transport.Message)
+
+// Router demultiplexes the inbound message stream of an endpoint to protocol
+// handlers registered by message-type prefix.  Several protocols (failure
+// detector, atomic broadcast, membership, replication control traffic) share
+// one endpoint per node.
+type Router struct {
+	ep transport.Endpoint
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	fallback Handler
+	stopped  chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// NewRouter creates a router over the endpoint.  Handle registrations must
+// happen before Start (or are picked up dynamically, both are safe).
+func NewRouter(ep transport.Endpoint) *Router {
+	return &Router{
+		ep:       ep,
+		handlers: make(map[string]Handler),
+		stopped:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Endpoint returns the underlying endpoint.
+func (r *Router) Endpoint() transport.Endpoint { return r.ep }
+
+// Handle registers a handler for all messages whose Type starts with prefix.
+// The longest matching prefix wins.
+func (r *Router) Handle(prefix string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[prefix] = h
+}
+
+// HandleFallback registers a handler for messages that match no prefix.
+func (r *Router) HandleFallback(h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallback = h
+}
+
+// Send transmits a message through the underlying endpoint.
+func (r *Router) Send(to string, m transport.Message) error {
+	return r.ep.Send(to, m)
+}
+
+// Start launches the dispatch loop.
+func (r *Router) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go r.loop()
+}
+
+func (r *Router) loop() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case m, ok := <-r.ep.Recv():
+			if !ok {
+				return
+			}
+			r.dispatch(m)
+		}
+	}
+}
+
+func (r *Router) dispatch(m transport.Message) {
+	r.mu.Lock()
+	var best Handler
+	bestLen := -1
+	for prefix, h := range r.handlers {
+		if strings.HasPrefix(m.Type, prefix) && len(prefix) > bestLen {
+			best = h
+			bestLen = len(prefix)
+		}
+	}
+	if best == nil {
+		best = r.fallback
+	}
+	r.mu.Unlock()
+	if best != nil {
+		best(m)
+	}
+}
+
+// Stop terminates the dispatch loop.  It does not close the endpoint.
+func (r *Router) Stop() {
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	select {
+	case <-r.stopped:
+		return
+	default:
+		close(r.stopped)
+	}
+	if started {
+		<-r.done
+	}
+}

@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-memory network connecting endpoints by address.  It
+// supports failure injection: per-message latency, message loss, network
+// partitions, and endpoint crashes (a crashed endpoint loses every message
+// sent to it and cannot send).
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*memEndpoint
+	latency   time.Duration
+	jitter    time.Duration
+	lossProb  float64
+	rng       *rand.Rand
+	// partition maps an address to its partition id; addresses in different
+	// partitions cannot communicate.  An empty map means no partition.
+	partition map[string]int
+
+	sent    uint64
+	dropped uint64
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithLatency sets the one-way message latency (default 0: synchronous,
+// order-preserving delivery).
+func WithLatency(d time.Duration) MemOption {
+	return func(n *MemNetwork) { n.latency = d }
+}
+
+// WithJitter adds a uniform random component in [0, d] to the latency.
+func WithJitter(d time.Duration) MemOption {
+	return func(n *MemNetwork) { n.jitter = d }
+}
+
+// WithLoss sets the probability that any message is silently dropped.
+func WithLoss(p float64) MemOption {
+	return func(n *MemNetwork) { n.lossProb = p }
+}
+
+// WithSeed seeds the network's random source (loss and jitter decisions).
+func WithSeed(seed int64) MemOption {
+	return func(n *MemNetwork) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewMemNetwork creates an in-memory network.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{
+		endpoints: make(map[string]*memEndpoint),
+		partition: make(map[string]int),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// memEndpoint is an endpoint attached to a MemNetwork.
+type memEndpoint struct {
+	net  *MemNetwork
+	addr string
+
+	mu      sync.Mutex
+	inbox   chan Message
+	crashed bool
+	closed  bool
+}
+
+const memInboxSize = 4096
+
+// Endpoint attaches (or re-attaches) an endpoint with the given address.  If
+// an endpoint with this address already exists it is returned.
+func (n *MemNetwork) Endpoint(addr string) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[addr]; ok {
+		return ep
+	}
+	ep := &memEndpoint{net: n, addr: addr, inbox: make(chan Message, memInboxSize)}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Crash simulates the crash of the node at addr: its endpoint stops receiving
+// and sending, and messages already queued for it are discarded.
+func (n *MemNetwork) Crash(addr string) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.crashed {
+		return
+	}
+	ep.crashed = true
+	// Drain anything already queued: a crashed process loses its volatile
+	// state, including undelivered messages.
+	for {
+		select {
+		case <-ep.inbox:
+		default:
+			return
+		}
+	}
+}
+
+// Recover reverses a Crash: the endpoint starts with an empty inbox, like a
+// process that rebooted.
+func (n *MemNetwork) Recover(addr string) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.crashed = false
+}
+
+// Crashed reports whether the endpoint at addr is currently crashed.
+func (n *MemNetwork) Crashed(addr string) bool {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.crashed
+}
+
+// Partition splits the network: each group of addresses can only talk within
+// itself.  Addresses not mentioned keep partition id 0.
+func (n *MemNetwork) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+	for i, group := range groups {
+		for _, addr := range group {
+			n.partition[addr] = i + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *MemNetwork) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+}
+
+// Stats returns the number of messages sent and dropped (loss, partitions and
+// crashed destinations all count as drops).
+func (n *MemNetwork) Stats() (sent, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped
+}
+
+func (n *MemNetwork) reachable(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partition[from] == n.partition[to]
+}
+
+// Addr implements Endpoint.
+func (ep *memEndpoint) Addr() string { return ep.addr }
+
+// Recv implements Endpoint.
+func (ep *memEndpoint) Recv() <-chan Message { return ep.inbox }
+
+// Close implements Endpoint.
+func (ep *memEndpoint) Close() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil
+	}
+	ep.closed = true
+	ep.crashed = true
+	return nil
+}
+
+// Send implements Endpoint.
+func (ep *memEndpoint) Send(to string, m Message) error {
+	ep.mu.Lock()
+	if ep.closed || ep.crashed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	ep.mu.Unlock()
+
+	m.From = ep.addr
+	m.To = to
+
+	n := ep.net
+	n.mu.Lock()
+	n.sent++
+	dst, ok := n.endpoints[to]
+	loss := n.lossProb > 0 && n.rng.Float64() < n.lossProb
+	delay := n.latency
+	if n.jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.jitter) + 1))
+	}
+	if !ok || loss {
+		n.dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	if !n.reachable(ep.addr, to) {
+		n.mu.Lock()
+		n.dropped++
+		n.mu.Unlock()
+		return nil
+	}
+
+	deliver := func() {
+		dst.mu.Lock()
+		defer dst.mu.Unlock()
+		if dst.crashed || dst.closed {
+			n.mu.Lock()
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		select {
+		case dst.inbox <- m:
+		default:
+			// Inbox overflow models an overloaded receiver dropping traffic.
+			n.mu.Lock()
+			n.dropped++
+			n.mu.Unlock()
+		}
+	}
+	if delay <= 0 {
+		deliver()
+		return nil
+	}
+	time.AfterFunc(delay, deliver)
+	return nil
+}

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint is an Endpoint backed by real TCP connections.  Messages are
+// gob-encoded on persistent, lazily-established connections.  It is used by
+// the cmd/gsdb-cluster binary; the in-memory network is preferred for tests.
+type TCPEndpoint struct {
+	addr     string
+	listener net.Listener
+	inbox    chan Message
+
+	mu      sync.Mutex
+	conns   map[string]*outConn
+	inConns map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type outConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+const tcpInboxSize = 4096
+
+// ListenTCP creates an endpoint listening on addr (e.g. "127.0.0.1:7001").
+// The endpoint's address is the listener's actual address, which allows
+// addr to use port 0 for tests.
+func ListenTCP(addr string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &TCPEndpoint{
+		addr:     l.Addr().String(),
+		listener: l,
+		inbox:    make(chan Message, tcpInboxSize),
+		conns:    make(map[string]*outConn),
+		inConns:  make(map[net.Conn]struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+func (ep *TCPEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.listener.Accept()
+		if err != nil {
+			return
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			conn.Close()
+			return
+		}
+		ep.inConns[conn] = struct{}{}
+		ep.mu.Unlock()
+		ep.wg.Add(1)
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *TCPEndpoint) readLoop(conn net.Conn) {
+	defer ep.wg.Done()
+	defer func() {
+		conn.Close()
+		ep.mu.Lock()
+		delete(ep.inConns, conn)
+		ep.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		ep.mu.Lock()
+		closed := ep.closed
+		ep.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case ep.inbox <- m:
+		default:
+			// Receiver overloaded; drop, as a lossy network would.
+		}
+	}
+}
+
+// Addr implements Endpoint.
+func (ep *TCPEndpoint) Addr() string { return ep.addr }
+
+// Recv implements Endpoint.
+func (ep *TCPEndpoint) Recv() <-chan Message { return ep.inbox }
+
+// Send implements Endpoint.  Connection failures are reported but also leave
+// the cached connection cleared, so a later retry re-dials.
+func (ep *TCPEndpoint) Send(to string, m Message) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	m.From = ep.addr
+	m.To = to
+	oc, ok := ep.conns[to]
+	ep.mu.Unlock()
+
+	if !ok {
+		conn, err := net.Dial("tcp", to)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, err)
+		}
+		oc = &outConn{conn: conn, enc: gob.NewEncoder(conn)}
+		ep.mu.Lock()
+		if existing, raced := ep.conns[to]; raced {
+			conn.Close()
+			oc = existing
+		} else {
+			ep.conns[to] = oc
+		}
+		ep.mu.Unlock()
+	}
+
+	ep.mu.Lock()
+	err := oc.enc.Encode(m)
+	if err != nil {
+		oc.conn.Close()
+		delete(ep.conns, to)
+	}
+	ep.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (ep *TCPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	for _, oc := range ep.conns {
+		oc.conn.Close()
+	}
+	ep.conns = make(map[string]*outConn)
+	for conn := range ep.inConns {
+		conn.Close()
+	}
+	ep.mu.Unlock()
+	err := ep.listener.Close()
+	ep.wg.Wait()
+	close(ep.inbox)
+	return err
+}

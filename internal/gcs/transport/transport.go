@@ -1,0 +1,35 @@
+// Package transport provides the message transports used by the group
+// communication component: an in-memory network with failure injection
+// (latency, loss, partitions, crashes) for tests and simulated clusters, and
+// a TCP transport for real deployments.
+package transport
+
+import "errors"
+
+// Message is a point-to-point message between group communication endpoints.
+// Type is used by the router to dispatch messages to protocol handlers;
+// Payload is an opaque, protocol-defined encoding.
+type Message struct {
+	From    string
+	To      string
+	Type    string
+	Payload []byte
+}
+
+// Endpoint is one node's attachment to a network.
+type Endpoint interface {
+	// Addr returns the endpoint's stable address.
+	Addr() string
+	// Send transmits a message to the endpoint with address to.  Sending is
+	// best-effort: a dropped, partitioned or crashed destination is not an
+	// error (the failure detector and protocol time-outs handle it).
+	Send(to string, m Message) error
+	// Recv returns the channel of inbound messages.  The channel is closed
+	// when the endpoint is closed or crashes.
+	Recv() <-chan Message
+	// Close detaches the endpoint from the network.
+	Close() error
+}
+
+// ErrClosed is returned when sending through a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")

@@ -1,0 +1,242 @@
+// Package lock implements the item-level lock manager used by the local
+// database component: strict two-phase locking with shared and exclusive
+// modes, lock upgrades, and deadlock detection on the wait-for graph (the
+// requester that would close a cycle is chosen as the victim).
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared allows concurrent readers.
+	Shared Mode = iota
+	// Exclusive allows a single writer.
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ErrDeadlock is returned to the transaction chosen as the deadlock victim.
+var ErrDeadlock = errors.New("lock: deadlock detected, transaction chosen as victim")
+
+// ErrAborted is returned to waiters whose transaction was externally aborted
+// while waiting for a lock.
+var ErrAborted = errors.New("lock: transaction aborted while waiting")
+
+// Manager is a lock manager over integer-identified items.
+type Manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items map[int]*itemLock
+	// waitFor maps a waiting transaction to the set of transactions it is
+	// currently waiting for (the wait-for graph used for deadlock detection).
+	waitFor map[uint64]map[uint64]bool
+	// aborted marks transactions that were externally aborted; their waiters
+	// wake up with ErrAborted.
+	aborted map[uint64]bool
+	// held maps a transaction to the items it holds locks on.
+	held map[uint64]map[int]Mode
+
+	deadlocks uint64
+}
+
+type itemLock struct {
+	holders map[uint64]Mode
+}
+
+// NewManager creates an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		items:   make(map[int]*itemLock),
+		waitFor: make(map[uint64]map[uint64]bool),
+		aborted: make(map[uint64]bool),
+		held:    make(map[uint64]map[int]Mode),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Acquire obtains a lock on item in the given mode on behalf of txn,
+// blocking until the lock is granted.  It returns ErrDeadlock if granting the
+// wait would create a cycle in the wait-for graph, and ErrAborted if the
+// transaction is aborted (via Abort) while waiting.
+func (m *Manager) Acquire(txn uint64, item int, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted[txn] {
+			delete(m.waitFor, txn)
+			return ErrAborted
+		}
+		blockers := m.conflicts(txn, item, mode)
+		if len(blockers) == 0 {
+			delete(m.waitFor, txn)
+			m.grant(txn, item, mode)
+			return nil
+		}
+		// Record the wait edges and check for a cycle.
+		edges := make(map[uint64]bool, len(blockers))
+		for _, b := range blockers {
+			edges[b] = true
+		}
+		m.waitFor[txn] = edges
+		if m.wouldDeadlock(txn) {
+			delete(m.waitFor, txn)
+			m.deadlocks++
+			return ErrDeadlock
+		}
+		m.cond.Wait()
+	}
+}
+
+// conflicts returns the transactions that prevent txn from acquiring item in
+// mode (empty when the lock can be granted).
+func (m *Manager) conflicts(txn uint64, item int, mode Mode) []uint64 {
+	il, ok := m.items[item]
+	if !ok || len(il.holders) == 0 {
+		return nil
+	}
+	var blockers []uint64
+	for holder, hmode := range il.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			blockers = append(blockers, holder)
+		}
+	}
+	return blockers
+}
+
+func (m *Manager) grant(txn uint64, item int, mode Mode) {
+	il, ok := m.items[item]
+	if !ok {
+		il = &itemLock{holders: make(map[uint64]Mode)}
+		m.items[item] = il
+	}
+	// Upgrades keep the strongest mode.
+	if cur, ok := il.holders[txn]; !ok || mode > cur {
+		il.holders[txn] = mode
+	}
+	hm, ok := m.held[txn]
+	if !ok {
+		hm = make(map[int]Mode)
+		m.held[txn] = hm
+	}
+	if cur, ok := hm[item]; !ok || mode > cur {
+		hm[item] = mode
+	}
+}
+
+// wouldDeadlock reports whether txn is part of a cycle in the wait-for graph.
+func (m *Manager) wouldDeadlock(start uint64) bool {
+	visited := make(map[uint64]bool)
+	var dfs func(node uint64) bool
+	dfs = func(node uint64) bool {
+		for next := range m.waitFor[node] {
+			if next == start {
+				return true
+			}
+			if !visited[next] {
+				visited[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// ReleaseAll drops every lock held by txn and wakes all waiters (strict 2PL:
+// locks are only released at commit/abort time).
+func (m *Manager) ReleaseAll(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn)
+	delete(m.aborted, txn)
+	m.cond.Broadcast()
+}
+
+func (m *Manager) releaseLocked(txn uint64) {
+	for item := range m.held[txn] {
+		if il, ok := m.items[item]; ok {
+			delete(il.holders, txn)
+			if len(il.holders) == 0 {
+				delete(m.items, item)
+			}
+		}
+	}
+	delete(m.held, txn)
+	delete(m.waitFor, txn)
+}
+
+// Abort marks txn aborted so that any Acquire it is blocked in returns
+// ErrAborted, and releases the locks it already holds.  The aborted mark is
+// kept until Forget or ReleaseAll is called for the transaction.
+func (m *Manager) Abort(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.aborted[txn] = true
+	m.releaseLocked(txn)
+	m.cond.Broadcast()
+}
+
+// Forget clears any residual bookkeeping for txn (used after an aborted
+// transaction has fully terminated).
+func (m *Manager) Forget(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.aborted, txn)
+	delete(m.waitFor, txn)
+	delete(m.held, txn)
+}
+
+// Holds reports whether txn currently holds a lock on item of at least the
+// given mode.
+func (m *Manager) Holds(txn uint64, item int, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.held[txn][item]
+	return ok && cur >= mode
+}
+
+// HeldItems returns the number of items locked by txn.
+func (m *Manager) HeldItems(txn uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}
+
+// Deadlocks returns the number of deadlocks detected so far.
+func (m *Manager) Deadlocks() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deadlocks
+}
+
+// ActiveLocks returns the number of items that currently have at least one
+// holder.
+func (m *Manager) ActiveLocks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}

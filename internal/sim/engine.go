@@ -1,0 +1,176 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is used by the performance simulator (internal/simrep) that
+// reproduces the evaluation of the Group-Safety paper (Sect. 6, Fig. 9).
+// It offers a virtual clock, an event queue, goroutine-backed simulated
+// processes, FIFO multi-server resources (CPUs, disks, network links) and
+// mailboxes for inter-process messages.
+//
+// Determinism: events are ordered by (time, insertion sequence).  Processes
+// are resumed one at a time; the engine never advances while a process is
+// runnable.  Given the same seed and the same program, a simulation run is
+// fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a single entry in the engine's event queue.  Either fn is called
+// inline (callback events) or proc is resumed (process wake-up events).
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	proc *Process
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine with a virtual clock.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	blocked chan struct{}
+	procs   int
+	stopped bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:     rand.New(rand.NewSource(seed)),
+		blocked: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule registers fn to run after delay of virtual time.  The callback is
+// executed on the engine goroutine and must not block; it may schedule
+// further events or spawn processes.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.push(&event{at: e.now + delay, fn: fn})
+}
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+func (e *Engine) scheduleWake(p *Process, delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.push(&event{at: e.now + delay, proc: p})
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue is empty, the optional horizon is
+// reached, or Stop is called.  A zero horizon means "no limit".
+func (e *Engine) Run(horizon time.Duration) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if horizon > 0 && ev.at > horizon {
+			e.now = horizon
+			return
+		}
+		e.now = ev.at
+		switch {
+		case ev.proc != nil:
+			if ev.proc.finished {
+				continue
+			}
+			ev.proc.wake <- struct{}{}
+			<-e.blocked
+		case ev.fn != nil:
+			ev.fn()
+		}
+	}
+}
+
+// Process is a simulated thread of control backed by a goroutine.  All of its
+// blocking methods (Hold, resource acquisition, mailbox reads) must only be
+// called from within the process's own function.
+type Process struct {
+	eng      *Engine
+	name     string
+	wake     chan struct{}
+	finished bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine that owns the process.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Process) Now() time.Duration { return p.eng.now }
+
+// Spawn creates a new simulated process running fn.  The process starts at
+// the current virtual time plus delay.
+func (e *Engine) Spawn(name string, delay time.Duration, fn func(p *Process)) *Process {
+	p := &Process{eng: e, name: name, wake: make(chan struct{})}
+	e.procs++
+	go func() {
+		<-p.wake
+		fn(p)
+		p.finished = true
+		e.procs--
+		e.blocked <- struct{}{}
+	}()
+	e.scheduleWake(p, delay)
+	return p
+}
+
+// Hold advances the process's local time by d (the process sleeps for d of
+// virtual time).
+func (p *Process) Hold(d time.Duration) {
+	p.eng.scheduleWake(p, d)
+	p.block()
+}
+
+// block parks the process and hands control back to the engine.  The process
+// resumes when the engine delivers a wake-up.
+func (p *Process) block() {
+	p.eng.blocked <- struct{}{}
+	<-p.wake
+}
+
+// String implements fmt.Stringer.
+func (p *Process) String() string { return fmt.Sprintf("proc(%s)", p.name) }

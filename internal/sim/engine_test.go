@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestScheduleSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestScheduleNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	e.Run(0)
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	for i := 1; i <= 10; i++ {
+		d := time.Duration(i) * time.Second
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.Run(5 * time.Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events before horizon, want 5", len(fired))
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 10 {
+		t.Fatalf("processed %d events after Stop, want 10", count)
+	}
+}
+
+func TestProcessHold(t *testing.T) {
+	e := NewEngine(1)
+	var wake time.Duration
+	e.Spawn("sleeper", 0, func(p *Process) {
+		p.Hold(42 * time.Millisecond)
+		wake = p.Now()
+	})
+	e.Run(0)
+	if wake != 42*time.Millisecond {
+		t.Fatalf("process woke at %v, want 42ms", wake)
+	}
+}
+
+func TestProcessSpawnDelay(t *testing.T) {
+	e := NewEngine(1)
+	var started time.Duration
+	e.Spawn("late", 100*time.Millisecond, func(p *Process) { started = p.Now() })
+	e.Run(0)
+	if started != 100*time.Millisecond {
+		t.Fatalf("process started at %v, want 100ms", started)
+	}
+}
+
+func TestProcessInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	var trace []string
+	e.Spawn("a", 0, func(p *Process) {
+		trace = append(trace, "a0")
+		p.Hold(10 * time.Millisecond)
+		trace = append(trace, "a10")
+		p.Hold(20 * time.Millisecond)
+		trace = append(trace, "a30")
+	})
+	e.Spawn("b", 5*time.Millisecond, func(p *Process) {
+		trace = append(trace, "b5")
+		p.Hold(10 * time.Millisecond)
+		trace = append(trace, "b15")
+	})
+	e.Run(0)
+	want := []string{"a0", "b5", "a10", "b15", "a30"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := NewEngine(7)
+		r := NewResource(e, "disk", 2)
+		var completions []time.Duration
+		for i := 0; i < 20; i++ {
+			e.Spawn("w", time.Duration(e.Rand().Intn(50))*time.Millisecond, func(p *Process) {
+				r.Use(p, UniformDuration(e.Rand(), 4*time.Millisecond, 12*time.Millisecond))
+				completions = append(completions, p.Now())
+			})
+		}
+		e.Run(0)
+		return completions
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineNestedSchedule(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var last time.Duration
+	var rec func()
+	rec = func() {
+		depth++
+		last = e.Now()
+		if depth < 5 {
+			e.Schedule(time.Millisecond, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Run(0)
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if last != 4*time.Millisecond {
+		t.Fatalf("last = %v, want 4ms", last)
+	}
+}
+
+func TestQuickEventOrderMonotonic(t *testing.T) {
+	// Property: regardless of the order in which events are scheduled, they
+	// execute in non-decreasing virtual time.
+	f := func(delays []uint16) bool {
+		e := NewEngine(3)
+		var times []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				times = append(times, e.Now())
+			})
+		}
+		e.Run(0)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDurationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := 4*time.Millisecond, 12*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := UniformDuration(rng, lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("UniformDuration out of range: %v", d)
+		}
+	}
+	if got := UniformDuration(rng, hi, lo); got != hi {
+		t.Fatalf("inverted bounds should return lo bound, got %v", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mean := 50 * time.Millisecond
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, mean)
+	}
+	got := sum / n
+	if got < 45*time.Millisecond || got > 55*time.Millisecond {
+		t.Fatalf("empirical mean %v too far from %v", got, mean)
+	}
+	if Exponential(rng, 0) != 0 {
+		t.Fatal("zero mean should yield zero duration")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 0.2) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Fatalf("Bernoulli(0.2) frequency %v out of tolerance", frac)
+	}
+}
+
+func TestUniformIntBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := UniformInt(rng, 10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("expected all 11 values to appear, got %d", len(seen))
+	}
+	if UniformInt(rng, 7, 7) != 7 {
+		t.Fatal("degenerate range should return lo")
+	}
+}

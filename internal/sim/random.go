@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// UniformDuration returns a duration drawn uniformly from [lo, hi].
+func UniformDuration(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+}
+
+// Exponential returns an exponentially distributed duration with the given
+// mean, used for Poisson arrival processes.
+func Exponential(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return time.Duration(-math.Log(u) * float64(mean))
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// UniformInt returns an integer drawn uniformly from [lo, hi].
+func UniformInt(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}

@@ -1,0 +1,112 @@
+package sim
+
+import "time"
+
+// Resource is a FIFO multi-server queueing resource (e.g. a pair of disks, a
+// pair of CPUs, or a shared network link).  A process acquires one of the
+// resource's servers, holds it for a service time, and releases it.  Waiting
+// processes are served in arrival order.
+type Resource struct {
+	eng     *Engine
+	name    string
+	servers int
+	busy    int
+	waiters []*waiter
+
+	// statistics
+	totalBusy   time.Duration
+	totalWait   time.Duration
+	completions uint64
+	maxQueue    int
+}
+
+type waiter struct {
+	proc    *Process
+	arrived time.Duration
+}
+
+// NewResource creates a resource with the given number of identical servers.
+func NewResource(eng *Engine, name string, servers int) *Resource {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Resource{eng: eng, name: name, servers: servers}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of servers in the resource.
+func (r *Resource) Servers() int { return r.servers }
+
+// QueueLen returns the number of processes currently waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// InUse returns the number of busy servers.
+func (r *Resource) InUse() int { return r.busy }
+
+// Acquire grabs one server of the resource, waiting in FIFO order if all
+// servers are busy.  It must be called from within a simulated process.
+func (r *Resource) Acquire(p *Process) {
+	arrived := r.eng.now
+	if r.busy < r.servers && len(r.waiters) == 0 {
+		r.busy++
+		return
+	}
+	r.waiters = append(r.waiters, &waiter{proc: p, arrived: arrived})
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+	p.block()
+	r.totalWait += r.eng.now - arrived
+}
+
+// Release frees one server of the resource and hands it to the oldest waiter,
+// if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// The server slot is transferred to the waiter; busy count is
+		// unchanged.
+		r.eng.scheduleWake(w.proc, 0)
+		return
+	}
+	if r.busy > 0 {
+		r.busy--
+	}
+}
+
+// Use acquires the resource, holds it for the service time d and releases it.
+func (r *Resource) Use(p *Process, d time.Duration) {
+	r.Acquire(p)
+	p.Hold(d)
+	r.totalBusy += d
+	r.completions++
+	r.Release()
+}
+
+// Utilization returns the fraction of server-time spent busy since the start
+// of the simulation (0 if no time has elapsed).
+func (r *Resource) Utilization() float64 {
+	elapsed := r.eng.now
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.totalBusy) / (float64(elapsed) * float64(r.servers))
+}
+
+// AvgWait returns the average time spent waiting in the queue per completed
+// service.
+func (r *Resource) AvgWait() time.Duration {
+	if r.completions == 0 {
+		return 0
+	}
+	return r.totalWait / time.Duration(r.completions)
+}
+
+// Completions returns the number of completed services.
+func (r *Resource) Completions() uint64 { return r.completions }
+
+// MaxQueue returns the largest observed queue length.
+func (r *Resource) MaxQueue() int { return r.maxQueue }

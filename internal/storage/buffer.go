@@ -1,0 +1,101 @@
+package storage
+
+import "container/list"
+
+// DefaultItemsPerPage is the default clustering factor of items into pages.
+const DefaultItemsPerPage = 10
+
+// PageMap maps item identifiers to page identifiers.  The paper's simulator
+// charges a disk access for operations that miss the buffer; pages are the
+// unit of buffering.
+type PageMap struct {
+	itemsPerPage int
+}
+
+// NewPageMap returns a page map with the given clustering factor.
+func NewPageMap(itemsPerPage int) PageMap {
+	if itemsPerPage < 1 {
+		itemsPerPage = 1
+	}
+	return PageMap{itemsPerPage: itemsPerPage}
+}
+
+// PageOf returns the page holding item i.
+func (m PageMap) PageOf(item int) int { return item / m.itemsPerPage }
+
+// ItemsPerPage returns the clustering factor.
+func (m PageMap) ItemsPerPage() int { return m.itemsPerPage }
+
+// NumPages returns the number of pages needed for n items.
+func (m PageMap) NumPages(items int) int {
+	return (items + m.itemsPerPage - 1) / m.itemsPerPage
+}
+
+// BufferPool is an LRU cache of pages.  Access returns whether the page was
+// already resident (hit) and makes it resident, evicting the least recently
+// used page when the pool is full.
+type BufferPool struct {
+	capacity int
+	lru      *list.List
+	pages    map[int]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// NewBufferPool creates a pool holding up to capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[int]*list.Element),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Len returns the number of resident pages.
+func (b *BufferPool) Len() int { return b.lru.Len() }
+
+// Access touches the page: it returns true if the page was resident, false if
+// it had to be faulted in.  In both cases the page becomes the most recently
+// used one.
+func (b *BufferPool) Access(page int) bool {
+	if el, ok := b.pages[page]; ok {
+		b.lru.MoveToFront(el)
+		b.hits++
+		return true
+	}
+	b.misses++
+	if b.lru.Len() >= b.capacity {
+		oldest := b.lru.Back()
+		if oldest != nil {
+			b.lru.Remove(oldest)
+			delete(b.pages, oldest.Value.(int))
+		}
+	}
+	b.pages[page] = b.lru.PushFront(page)
+	return false
+}
+
+// Contains reports whether the page is resident without touching it.
+func (b *BufferPool) Contains(page int) bool {
+	_, ok := b.pages[page]
+	return ok
+}
+
+// HitRatio returns the observed hit ratio.
+func (b *BufferPool) HitRatio() float64 {
+	total := b.hits + b.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}
+
+// Stats returns the raw hit and miss counters.
+func (b *BufferPool) Stats() (hits, misses uint64) { return b.hits, b.misses }

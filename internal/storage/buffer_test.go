@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPageMap(t *testing.T) {
+	m := NewPageMap(10)
+	if m.PageOf(0) != 0 || m.PageOf(9) != 0 || m.PageOf(10) != 1 || m.PageOf(105) != 10 {
+		t.Fatal("page mapping wrong")
+	}
+	if m.ItemsPerPage() != 10 {
+		t.Fatalf("ItemsPerPage = %d", m.ItemsPerPage())
+	}
+	if m.NumPages(10000) != 1000 {
+		t.Fatalf("NumPages(10000) = %d", m.NumPages(10000))
+	}
+	if m.NumPages(101) != 11 {
+		t.Fatalf("NumPages(101) = %d", m.NumPages(101))
+	}
+	if NewPageMap(0).ItemsPerPage() != 1 {
+		t.Fatal("clustering factor should clamp to 1")
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	b := NewBufferPool(2)
+	if b.Access(1) {
+		t.Fatal("first access should miss")
+	}
+	if !b.Access(1) {
+		t.Fatal("second access should hit")
+	}
+	if b.Access(2) {
+		t.Fatal("new page should miss")
+	}
+	if b.Access(3) {
+		t.Fatal("new page should miss")
+	}
+	// Page 1 is now the LRU victim (order of recency: 3, 2).
+	if b.Contains(1) {
+		t.Fatal("page 1 should have been evicted")
+	}
+	if !b.Contains(2) || !b.Contains(3) {
+		t.Fatal("pages 2 and 3 should be resident")
+	}
+	if b.Len() != 2 || b.Capacity() != 2 {
+		t.Fatalf("len=%d cap=%d", b.Len(), b.Capacity())
+	}
+	hits, misses := b.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if b.HitRatio() != 0.25 {
+		t.Fatalf("hit ratio = %v", b.HitRatio())
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	b := NewBufferPool(3)
+	b.Access(1)
+	b.Access(2)
+	b.Access(3)
+	b.Access(1) // 1 becomes MRU; 2 is LRU
+	b.Access(4) // evicts 2
+	if b.Contains(2) {
+		t.Fatal("LRU page 2 should have been evicted")
+	}
+	if !b.Contains(1) || !b.Contains(3) || !b.Contains(4) {
+		t.Fatal("wrong eviction victim")
+	}
+}
+
+func TestBufferPoolMinCapacity(t *testing.T) {
+	b := NewBufferPool(0)
+	if b.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want clamp to 1", b.Capacity())
+	}
+	if b.HitRatio() != 0 {
+		t.Fatal("hit ratio of untouched pool should be 0")
+	}
+}
+
+func TestBufferPoolSteadyStateHitRatio(t *testing.T) {
+	// With a pool covering 20% of pages and uniform access, the steady-state
+	// hit ratio approaches 20% — the Table 4 buffer-hit-ratio setting.
+	const pages = 1000
+	b := NewBufferPool(pages / 5)
+	rng := rand.New(rand.NewSource(1))
+	// Warm up.
+	for i := 0; i < 5000; i++ {
+		b.Access(rng.Intn(pages))
+	}
+	warmHits, warmMisses := b.Stats()
+	for i := 0; i < 20000; i++ {
+		b.Access(rng.Intn(pages))
+	}
+	hits, misses := b.Stats()
+	ratio := float64(hits-warmHits) / float64((hits-warmHits)+(misses-warmMisses))
+	if ratio < 0.17 || ratio > 0.23 {
+		t.Fatalf("steady-state hit ratio %v, want ~0.20", ratio)
+	}
+}

@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreReadWrite(t *testing.T) {
+	s := NewStore(10)
+	if s.NumItems() != 10 {
+		t.Fatalf("NumItems = %d", s.NumItems())
+	}
+	v, ver, err := s.Read(3)
+	if err != nil || v != 0 || ver != 0 {
+		t.Fatalf("initial read = %d,%d,%v", v, ver, err)
+	}
+	newVer, err := s.Write(3, 42)
+	if err != nil || newVer != 1 {
+		t.Fatalf("write returned %d,%v", newVer, err)
+	}
+	v, ver, err = s.Read(3)
+	if err != nil || v != 42 || ver != 1 {
+		t.Fatalf("read after write = %d,%d,%v", v, ver, err)
+	}
+	if s.Version(3) != 1 || s.Version(99) != 0 {
+		t.Fatal("Version accessor wrong")
+	}
+}
+
+func TestStoreOutOfRange(t *testing.T) {
+	s := NewStore(5)
+	if _, _, err := s.Read(5); !errors.Is(err, ErrItemOutOfRange) {
+		t.Fatalf("Read(5) error = %v", err)
+	}
+	if _, _, err := s.Read(-1); !errors.Is(err, ErrItemOutOfRange) {
+		t.Fatalf("Read(-1) error = %v", err)
+	}
+	if _, err := s.Write(7, 1); !errors.Is(err, ErrItemOutOfRange) {
+		t.Fatalf("Write(7) error = %v", err)
+	}
+	if err := s.ApplyWriteSet(WriteSet{0: 1, 9: 2}); !errors.Is(err, ErrItemOutOfRange) {
+		t.Fatalf("ApplyWriteSet with bad item error = %v", err)
+	}
+	// A failed write-set application must not partially apply.
+	if s.Version(0) != 0 {
+		t.Fatal("failed ApplyWriteSet partially applied")
+	}
+}
+
+func TestStoreMinimumSize(t *testing.T) {
+	s := NewStore(0)
+	if s.NumItems() != 1 {
+		t.Fatalf("NumItems = %d, want clamp to 1", s.NumItems())
+	}
+}
+
+func TestApplyWriteSet(t *testing.T) {
+	s := NewStore(10)
+	ws := WriteSet{1: 11, 2: 22, 3: 33}
+	if err := s.ApplyWriteSet(ws); err != nil {
+		t.Fatal(err)
+	}
+	for item, want := range ws {
+		v, ver, _ := s.Read(item)
+		if v != want || ver != 1 {
+			t.Fatalf("item %d = %d (v%d), want %d (v1)", item, v, ver, want)
+		}
+	}
+	if err := s.ApplyWriteSet(WriteSet{1: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version(1) != 2 {
+		t.Fatalf("version after second write = %d, want 2", s.Version(1))
+	}
+}
+
+func TestSnapshotRestoreEqual(t *testing.T) {
+	a := NewStore(20)
+	b := NewStore(20)
+	if !a.Equal(b) || !a.Equal(a) {
+		t.Fatal("fresh stores should be equal")
+	}
+	_ = a.ApplyWriteSet(WriteSet{5: 50, 7: 70})
+	if a.Equal(b) {
+		t.Fatal("diverged stores reported equal")
+	}
+	b.Restore(a.Snapshot())
+	if !a.Equal(b) {
+		t.Fatal("restore from snapshot should make stores equal")
+	}
+	// Snapshot must be a deep copy.
+	snap := a.Snapshot()
+	snap[5].Value = 999
+	if v, _, _ := a.Read(5); v != 50 {
+		t.Fatal("mutating a snapshot affected the store")
+	}
+	a.Reset()
+	if v, ver, _ := a.Read(5); v != 0 || ver != 0 {
+		t.Fatal("Reset did not clear the store")
+	}
+	c := NewStore(5)
+	if a.Equal(c) {
+		t.Fatal("stores of different sizes reported equal")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				item := (w*31 + i) % 100
+				if _, err := s.Write(item, int64(i)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, _, err := s.Read(item); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < 100; i++ {
+		total += s.Version(i)
+	}
+	if total != 8*200 {
+		t.Fatalf("total versions = %d, want %d (every write counted exactly once)", total, 8*200)
+	}
+}
+
+func TestQuickVersionsMonotonic(t *testing.T) {
+	// Property: versions never decrease, and each write bumps the version by
+	// exactly one.
+	f := func(writes []uint8) bool {
+		s := NewStore(16)
+		prev := make([]uint64, 16)
+		for _, w := range writes {
+			item := int(w) % 16
+			ver, err := s.Write(item, int64(w))
+			if err != nil {
+				return false
+			}
+			if ver != prev[item]+1 {
+				return false
+			}
+			prev[item] = ver
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

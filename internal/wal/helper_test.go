@@ -1,0 +1,9 @@
+package wal
+
+import "os"
+
+// osOpenAppend opens path in append mode; kept in a separate file so the main
+// test file stays free of direct os plumbing.
+func osOpenAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,165 @@
+// Package workload generates the transactional workload used throughout the
+// reproduction.  The default configuration matches Table 4 of the paper:
+// 10'000 items, transactions of 10–20 operations, each operation being a
+// write with probability 50% and a query with probability 50%, items chosen
+// uniformly at random.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Op is a single read or write of one database item.
+type Op struct {
+	Item  int
+	Write bool
+	// Value is the value written for write operations (ignored for reads).
+	Value int64
+}
+
+// Transaction is a client transaction: an ordered list of operations executed
+// on behalf of one client at one delegate server.
+type Transaction struct {
+	ID       uint64
+	Client   int
+	Delegate int
+	Ops      []Op
+}
+
+// ReadItems returns the distinct items read by the transaction, sorted.
+func (t Transaction) ReadItems() []int { return t.distinct(false) }
+
+// WriteItems returns the distinct items written by the transaction, sorted.
+func (t Transaction) WriteItems() []int { return t.distinct(true) }
+
+func (t Transaction) distinct(write bool) []int {
+	seen := make(map[int]bool)
+	for _, op := range t.Ops {
+		if op.Write == write {
+			seen[op.Item] = true
+		}
+	}
+	items := make([]int, 0, len(seen))
+	for it := range seen {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	return items
+}
+
+// NumWrites returns the number of write operations.
+func (t Transaction) NumWrites() int {
+	n := 0
+	for _, op := range t.Ops {
+		if op.Write {
+			n++
+		}
+	}
+	return n
+}
+
+// NumReads returns the number of read operations.
+func (t Transaction) NumReads() int { return len(t.Ops) - t.NumWrites() }
+
+// ReadOnly reports whether the transaction contains no writes.
+func (t Transaction) ReadOnly() bool { return t.NumWrites() == 0 }
+
+// String implements fmt.Stringer.
+func (t Transaction) String() string {
+	return fmt.Sprintf("txn(%d, delegate=%d, ops=%d, writes=%d)", t.ID, t.Delegate, len(t.Ops), t.NumWrites())
+}
+
+// Config describes the workload mix.
+type Config struct {
+	// Items is the number of items in the database (Table 4: 10'000).
+	Items int
+	// MinOps and MaxOps bound the transaction length (Table 4: 10–20).
+	MinOps int
+	MaxOps int
+	// WriteProb is the probability that an operation is a write (Table 4: 0.5).
+	WriteProb float64
+	// HotSpotFraction, if non-zero, directs HotSpotProb of the accesses to the
+	// first HotSpotFraction of the items (an extension beyond the paper used
+	// for contention experiments).
+	HotSpotFraction float64
+	HotSpotProb     float64
+}
+
+// DefaultConfig returns the Table 4 workload parameters.
+func DefaultConfig() Config {
+	return Config{
+		Items:     10000,
+		MinOps:    10,
+		MaxOps:    20,
+		WriteProb: 0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Items <= 0 {
+		return fmt.Errorf("workload: Items must be positive, got %d", c.Items)
+	}
+	if c.MinOps <= 0 || c.MaxOps < c.MinOps {
+		return fmt.Errorf("workload: invalid op bounds [%d,%d]", c.MinOps, c.MaxOps)
+	}
+	if c.WriteProb < 0 || c.WriteProb > 1 {
+		return fmt.Errorf("workload: WriteProb must be in [0,1], got %v", c.WriteProb)
+	}
+	if c.HotSpotFraction < 0 || c.HotSpotFraction > 1 || c.HotSpotProb < 0 || c.HotSpotProb > 1 {
+		return fmt.Errorf("workload: hot-spot parameters out of range")
+	}
+	return nil
+}
+
+// Generator produces a deterministic stream of transactions.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	nextID uint64
+}
+
+// NewGenerator creates a generator; it panics if the config is invalid (the
+// config is programmer input, not user input).
+func NewGenerator(cfg Config, seed int64) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed)), nextID: 1}
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Next produces the next transaction for the given client and delegate
+// server.
+func (g *Generator) Next(client, delegate int) Transaction {
+	n := g.cfg.MinOps
+	if g.cfg.MaxOps > g.cfg.MinOps {
+		n += g.rng.Intn(g.cfg.MaxOps - g.cfg.MinOps + 1)
+	}
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{
+			Item:  g.pickItem(),
+			Write: g.rng.Float64() < g.cfg.WriteProb,
+			Value: g.rng.Int63(),
+		}
+	}
+	t := Transaction{ID: g.nextID, Client: client, Delegate: delegate, Ops: ops}
+	g.nextID++
+	return t
+}
+
+func (g *Generator) pickItem() int {
+	if g.cfg.HotSpotFraction > 0 && g.rng.Float64() < g.cfg.HotSpotProb {
+		hot := int(float64(g.cfg.Items) * g.cfg.HotSpotFraction)
+		if hot < 1 {
+			hot = 1
+		}
+		return g.rng.Intn(hot)
+	}
+	return g.rng.Intn(g.cfg.Items)
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesTable4(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Items != 10000 {
+		t.Fatalf("Items = %d, want 10000 (Table 4)", cfg.Items)
+	}
+	if cfg.MinOps != 10 || cfg.MaxOps != 20 {
+		t.Fatalf("op bounds = [%d,%d], want [10,20] (Table 4)", cfg.MinOps, cfg.MaxOps)
+	}
+	if cfg.WriteProb != 0.5 {
+		t.Fatalf("WriteProb = %v, want 0.5 (Table 4)", cfg.WriteProb)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero items", func(c *Config) { c.Items = 0 }},
+		{"zero min ops", func(c *Config) { c.MinOps = 0 }},
+		{"max < min", func(c *Config) { c.MaxOps = c.MinOps - 1 }},
+		{"negative write prob", func(c *Config) { c.WriteProb = -0.1 }},
+		{"write prob > 1", func(c *Config) { c.WriteProb = 1.1 }},
+		{"bad hotspot", func(c *Config) { c.HotSpotFraction = 2 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestGeneratorBounds(t *testing.T) {
+	g := NewGenerator(DefaultConfig(), 1)
+	for i := 0; i < 500; i++ {
+		txn := g.Next(i%4, i%9)
+		if len(txn.Ops) < 10 || len(txn.Ops) > 20 {
+			t.Fatalf("transaction length %d out of [10,20]", len(txn.Ops))
+		}
+		for _, op := range txn.Ops {
+			if op.Item < 0 || op.Item >= 10000 {
+				t.Fatalf("item %d out of range", op.Item)
+			}
+		}
+		if txn.Client != i%4 || txn.Delegate != i%9 {
+			t.Fatalf("client/delegate not propagated")
+		}
+	}
+}
+
+func TestGeneratorIDsUniqueAndIncreasing(t *testing.T) {
+	g := NewGenerator(DefaultConfig(), 2)
+	var last uint64
+	for i := 0; i < 100; i++ {
+		txn := g.Next(0, 0)
+		if txn.ID <= last {
+			t.Fatalf("IDs not strictly increasing: %d after %d", txn.ID, last)
+		}
+		last = txn.ID
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(DefaultConfig(), 42)
+	b := NewGenerator(DefaultConfig(), 42)
+	for i := 0; i < 50; i++ {
+		ta, tb := a.Next(0, 0), b.Next(0, 0)
+		if len(ta.Ops) != len(tb.Ops) {
+			t.Fatal("same seed produced different transactions")
+		}
+		for j := range ta.Ops {
+			if ta.Ops[j] != tb.Ops[j] {
+				t.Fatal("same seed produced different operations")
+			}
+		}
+	}
+}
+
+func TestWriteMix(t *testing.T) {
+	g := NewGenerator(DefaultConfig(), 3)
+	writes, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		txn := g.Next(0, 0)
+		writes += txn.NumWrites()
+		total += len(txn.Ops)
+	}
+	frac := float64(writes) / float64(total)
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("write fraction %v too far from 0.5", frac)
+	}
+}
+
+func TestReadWriteSets(t *testing.T) {
+	txn := Transaction{Ops: []Op{
+		{Item: 5, Write: true},
+		{Item: 3, Write: false},
+		{Item: 5, Write: true},
+		{Item: 1, Write: false},
+		{Item: 3, Write: true},
+	}}
+	r := txn.ReadItems()
+	w := txn.WriteItems()
+	if len(r) != 2 || r[0] != 1 || r[1] != 3 {
+		t.Fatalf("ReadItems = %v", r)
+	}
+	if len(w) != 2 || w[0] != 3 || w[1] != 5 {
+		t.Fatalf("WriteItems = %v", w)
+	}
+	if txn.NumWrites() != 3 || txn.NumReads() != 2 {
+		t.Fatalf("counts: %d writes, %d reads", txn.NumWrites(), txn.NumReads())
+	}
+	if txn.ReadOnly() {
+		t.Fatal("transaction with writes reported as read-only")
+	}
+	if txn.String() == "" {
+		t.Fatal("String should not be empty")
+	}
+	ro := Transaction{Ops: []Op{{Item: 1}}}
+	if !ro.ReadOnly() {
+		t.Fatal("read-only transaction not detected")
+	}
+}
+
+func TestHotSpotSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotSpotFraction = 0.01
+	cfg.HotSpotProb = 0.8
+	g := NewGenerator(cfg, 7)
+	hot := 0
+	total := 0
+	for i := 0; i < 500; i++ {
+		txn := g.Next(0, 0)
+		for _, op := range txn.Ops {
+			total++
+			if op.Item < 100 {
+				hot++
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.7 {
+		t.Fatalf("hot-spot fraction %v, want >= 0.7", frac)
+	}
+}
+
+func TestQuickGeneratorAlwaysValid(t *testing.T) {
+	f := func(seed int64, client, delegate uint8) bool {
+		g := NewGenerator(DefaultConfig(), seed)
+		txn := g.Next(int(client), int(delegate))
+		if len(txn.Ops) < 10 || len(txn.Ops) > 20 {
+			return false
+		}
+		for _, op := range txn.Ops {
+			if op.Item < 0 || op.Item >= 10000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
