@@ -28,6 +28,8 @@ func main() {
 	netLatency := flag.Duration("net-latency", 70*time.Microsecond, "emulated one-way network latency")
 	crash := flag.Bool("crash", true, "crash and recover one replica mid-run")
 	seed := flag.Int64("seed", 1, "workload seed")
+	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables sender batching)")
+	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
 	flag.Parse()
 
 	var level core.SafetyLevel
@@ -51,6 +53,8 @@ func main() {
 		NetworkLatency: *netLatency,
 		ExecTimeout:    15 * time.Second,
 		Seed:           *seed,
+		BatchSize:      *batch,
+		BatchDelay:     *batchDelay,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -28,11 +28,15 @@ func main() {
 	levelsFlag := flag.String("levels", "", "comma-separated levels: group-safe,1-safe-lazy,group-1-safe,2-safe,very-safe,0-safe")
 	printConfig := flag.Bool("print-config", false, "print the Table 4 simulator parameters and exit")
 	seed := flag.Int64("seed", 1, "random seed")
+	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables batching)")
+	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
 	flag.Parse()
 
 	cfg := simrep.DefaultConfig()
 	cfg.Duration = *duration
 	cfg.Seed = *seed
+	cfg.BatchSize = *batch
+	cfg.BatchDelay = *batchDelay
 
 	if *printConfig {
 		printTable4(cfg)

@@ -1,0 +1,3 @@
+module groupsafe
+
+go 1.22

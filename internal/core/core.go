@@ -37,6 +37,13 @@ type ClusterConfig struct {
 	Detector fd.Config
 	// Seed seeds the network randomness.
 	Seed int64
+	// BatchSize is the maximum number of concurrent A-broadcast payloads each
+	// replica's atomic broadcast coalesces into one DATA message (<= 1 keeps
+	// the unbatched one-round-per-transaction protocol).
+	BatchSize int
+	// BatchDelay bounds how long a payload waits for co-travellers before a
+	// partial batch is flushed (defaults to 1ms when BatchSize > 1).
+	BatchDelay time.Duration
 }
 
 func (c *ClusterConfig) applyDefaults() {
@@ -87,6 +94,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			LazyPropagationDelay: cfg.LazyPropagationDelay,
 			StartDetector:        cfg.StartDetectors,
 			Detector:             cfg.Detector,
+			BatchSize:            cfg.BatchSize,
+			BatchDelay:           cfg.BatchDelay,
 		})
 		if err != nil {
 			c.Close()

@@ -1,0 +1,21 @@
+// Package core implements the replicated database component of the paper:
+// update-everywhere, non-voting, certification-based replication (the
+// database state machine approach) built on group communication, with the
+// client response point parameterised by the safety criterion — 0-safe,
+// 1-safe (lazy), group-safe, group-1-safe, 2-safe and very-safe (Sects. 2, 4
+// and 5 of the paper).
+//
+// A Cluster wires one Replica per server onto a shared in-memory network
+// with failure injection.  Each replica combines a local database component
+// (internal/db) with a group communication component (internal/gcs): update
+// transactions execute optimistically at their delegate, are atomically
+// broadcast with their read versions and write set, and every replica
+// certifies and applies them in delivery order (first-updater-wins).
+//
+// The replication pipeline is batched end to end: the atomic broadcast
+// coalesces concurrent payloads into multi-payload DATA messages
+// (ClusterConfig.BatchSize / BatchDelay), and the apply loop drains delivered
+// bursts, installing every write set of a batch with a single group-committed
+// log force before any delegate is notified.  See docs/ARCHITECTURE.md for
+// the dataflow and BENCH.md for the measured effect.
+package core

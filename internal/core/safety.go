@@ -1,9 +1,3 @@
-// Package core implements the replicated database component of the paper:
-// update-everywhere, non-voting, certification-based replication (the
-// database state machine approach) built on group communication, with the
-// client response point parameterised by the safety criterion — 0-safe,
-// 1-safe (lazy), group-safe, group-1-safe, 2-safe and very-safe (Sects. 2, 4
-// and 5 of the paper).
 package core
 
 import "fmt"

@@ -236,19 +236,44 @@ func (d *DB) Begin(id uint64) (*Txn, error) {
 // ApplyWriteSet installs the write set of a remotely-certified transaction
 // exactly once.  The first return value reports whether the write set was
 // applied (false when the transaction had already been applied, e.g. a
-// replayed end-to-end atomic broadcast message).
+// replayed end-to-end atomic broadcast message).  Under SyncOnCommit the
+// commit record is forced before the writes become visible in the store.
 func (d *DB) ApplyWriteSet(txnID uint64, ws storage.WriteSet) (bool, error) {
+	sync := d.Policy() == SyncOnCommit
+	applied, _, err := d.applyWriteSet(txnID, ws, sync)
+	return applied, err
+}
+
+// ForceTo blocks until every log record with an LSN <= lsn is durable,
+// sharing forces with concurrent callers through the group committer.  The
+// batched replica apply loop uses it to force a whole batch of deferred
+// write-set installations with a single Sync.
+func (d *DB) ForceTo(lsn wal.LSN) error { return d.gc.WaitDurable(lsn) }
+
+// ApplyWriteSetDeferred is ApplyWriteSet without the commit force: the
+// write set is logged and installed, but durability is the caller's business
+// (typically one ForceTo covering a whole batch of transactions).  It returns
+// the LSN of the commit record so the caller knows how far to force.  Unlike
+// ApplyWriteSet, the writes are visible in the store before they are durable
+// — required so later transactions of the same batch certify against them;
+// the caller must not externalise outcomes before its batch force.
+func (d *DB) ApplyWriteSetDeferred(txnID uint64, ws storage.WriteSet) (bool, wal.LSN, error) {
+	return d.applyWriteSet(txnID, ws, false)
+}
+
+// applyWriteSet logs and installs one write set, forcing the commit record
+// before the store install when forceBeforeInstall is set.
+func (d *DB) applyWriteSet(txnID uint64, ws storage.WriteSet, forceBeforeInstall bool) (bool, wal.LSN, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return false, ErrClosed
+		return false, 0, ErrClosed
 	}
 	if d.applied[txnID] {
 		d.stats.SkippedDup++
 		d.mu.Unlock()
-		return false, nil
+		return false, 0, nil
 	}
-	policy := d.policy
 	d.mu.Unlock()
 
 	// Lock the written items (sorted to avoid deadlocks between appliers).
@@ -260,7 +285,7 @@ func (d *DB) ApplyWriteSet(txnID uint64, ws storage.WriteSet) (bool, error) {
 	for _, it := range items {
 		if err := d.locks.Acquire(txnID, it, lock.Exclusive); err != nil {
 			d.locks.ReleaseAll(txnID)
-			return false, fmt.Errorf("db: apply writeset of txn %d: %w", txnID, err)
+			return false, 0, fmt.Errorf("db: apply writeset of txn %d: %w", txnID, err)
 		}
 	}
 	defer d.locks.ReleaseAll(txnID)
@@ -269,29 +294,29 @@ func (d *DB) ApplyWriteSet(txnID uint64, ws storage.WriteSet) (bool, error) {
 	for _, it := range items {
 		lsn, err := d.log.Append(wal.Record{Kind: wal.KindUpdate, TxnID: txnID, Item: int64(it), Value: ws[it]})
 		if err != nil {
-			return false, fmt.Errorf("db: log update: %w", err)
+			return false, 0, fmt.Errorf("db: log update: %w", err)
 		}
 		lastLSN = lsn
 	}
 	lsn, err := d.log.Append(wal.Record{Kind: wal.KindCommit, TxnID: txnID})
 	if err != nil {
-		return false, fmt.Errorf("db: log commit: %w", err)
+		return false, 0, fmt.Errorf("db: log commit: %w", err)
 	}
 	lastLSN = lsn
-	if policy == SyncOnCommit {
+	if forceBeforeInstall {
 		if err := d.gc.WaitDurable(lastLSN); err != nil {
-			return false, fmt.Errorf("db: force log: %w", err)
+			return false, 0, fmt.Errorf("db: force log: %w", err)
 		}
 	}
 	if err := d.store.ApplyWriteSet(ws); err != nil {
-		return false, fmt.Errorf("db: install writeset: %w", err)
+		return false, 0, fmt.Errorf("db: install writeset: %w", err)
 	}
 	d.mu.Lock()
 	d.applied[txnID] = true
 	d.stats.AppliedRemote++
 	d.stats.Commits++
 	d.mu.Unlock()
-	return true, nil
+	return true, lastLSN, nil
 }
 
 // RecordAbort records that a transaction was certified-aborted so that a

@@ -1,6 +1,10 @@
 // Package stats provides the small statistics toolkit used by the benchmark
 // harness and the performance simulator: response-time collectors,
 // percentiles, histograms and throughput counters.
+//
+// Sample stores every observation so percentiles are exact rather than
+// approximated — the data sets here (one simulated run, one benchmark
+// iteration) are small enough that exactness beats a sketch.
 package stats
 
 import (

@@ -2,13 +2,19 @@
 // reproduction.  The default configuration matches Table 4 of the paper:
 // 10'000 items, transactions of 10–20 operations, each operation being a
 // write with probability 50% and a query with probability 50%, items chosen
-// uniformly at random.
+// uniformly at random (optionally skewed onto a hot spot for contention
+// experiments).
+//
+// A Generator is deterministic for a given seed and safe for concurrent use,
+// so one generator can feed many client goroutines of a cluster or
+// benchmark.
 package workload
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Op is a single read or write of one database item.
@@ -114,9 +120,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Generator produces a deterministic stream of transactions.
+// Generator produces a deterministic stream of transactions.  It is safe for
+// concurrent use: several clients may share one generator (the interleaving,
+// not the stream, is then scheduling-dependent).
 type Generator struct {
-	cfg    Config
+	cfg Config
+
+	mu     sync.Mutex
 	rng    *rand.Rand
 	nextID uint64
 }
@@ -136,6 +146,8 @@ func (g *Generator) Config() Config { return g.cfg }
 // Next produces the next transaction for the given client and delegate
 // server.
 func (g *Generator) Next(client, delegate int) Transaction {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	n := g.cfg.MinOps
 	if g.cfg.MaxOps > g.cfg.MinOps {
 		n += g.rng.Intn(g.cfg.MaxOps - g.cfg.MinOps + 1)
