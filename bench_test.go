@@ -12,11 +12,14 @@
 package groupsafe
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"groupsafe/internal/apply"
 	"groupsafe/internal/core"
 	"groupsafe/internal/db"
 	"groupsafe/internal/experiments"
@@ -313,6 +316,7 @@ func benchmarkAbcastBatching(b *testing.B, batch int) {
 		}()
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	var next int64
 	const producers = 32
@@ -371,8 +375,9 @@ func BenchmarkAbcastBatching(b *testing.B) {
 
 // benchmarkBatchedReplication measures full-stack replicated transaction
 // throughput (optimistic execution, batched atomic broadcast, certification,
-// batched apply with one force per batch) with concurrent clients.
-func benchmarkBatchedReplication(b *testing.B, level core.SafetyLevel, batch int) {
+// batched apply with one force per batch, conflict-scheduled parallel
+// install when applyWorkers > 1) with concurrent clients.
+func benchmarkBatchedReplication(b *testing.B, level core.SafetyLevel, batch, applyWorkers int) {
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		Replicas:      3,
 		Items:         8192,
@@ -380,6 +385,7 @@ func benchmarkBatchedReplication(b *testing.B, level core.SafetyLevel, batch int
 		DiskSyncDelay: 100 * time.Microsecond,
 		BatchSize:     batch,
 		BatchDelay:    200 * time.Microsecond,
+		ApplyWorkers:  applyWorkers,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -411,14 +417,80 @@ func benchmarkBatchedReplication(b *testing.B, level core.SafetyLevel, batch int
 
 // BenchmarkBatchedReplication compares batched and unbatched pipelines at
 // every group-communication safety level; for the forcing levels the batched
-// apply loop additionally amortises the commit force.
+// apply loop additionally amortises the commit force.  The batch-8 point is
+// additionally run with a 4-worker parallel apply stage (the workers-4
+// variants need >= 4 cores to show their speed-up; on fewer cores they bound
+// the scheduler overhead instead).
 func BenchmarkBatchedReplication(b *testing.B) {
 	for _, level := range []core.SafetyLevel{core.GroupSafe, core.Group1Safe, core.Safety2} {
 		for _, batch := range []int{1, 8} {
 			b.Run(level.String()+"/batch-"+itoa(batch), func(b *testing.B) {
-				benchmarkBatchedReplication(b, level, batch)
+				benchmarkBatchedReplication(b, level, batch, 1)
 			})
 		}
+		b.Run(level.String()+"/batch-8/workers-4", func(b *testing.B) {
+			benchmarkBatchedReplication(b, level, 8, 4)
+		})
+	}
+}
+
+// benchmarkParallelApply measures the apply stage in isolation: batches of
+// pre-staged, low-conflict write sets installed through the conflict-graph
+// scheduler at a given worker count.  It reports allocations to pin the
+// zero-allocation claim of the install path (the scheduler reuses its graph
+// buffers; the only steady-state allocations are the per-batch worker
+// goroutines).
+func benchmarkParallelApply(b *testing.B, workers int) {
+	const (
+		items     = 10000 // Table 4 database size
+		batchTxns = 256   // maxApplyBatch
+		writesPer = 16
+	)
+	store := storage.NewStore(items)
+	sched := apply.New(workers)
+	// Pre-generate a handful of low-conflict batches (distinct pseudo-random
+	// items per write set), reused round-robin.
+	rng := rand.New(rand.NewSource(1))
+	batches := make([][][]storage.Write, 8)
+	for bi := range batches {
+		tasks := make([][]storage.Write, batchTxns)
+		for ti := range tasks {
+			ws := make([]storage.Write, 0, writesPer)
+			used := make(map[int]bool, writesPer)
+			for len(ws) < writesPer {
+				item := rng.Intn(items)
+				if used[item] {
+					continue
+				}
+				used[item] = true
+				ws = append(ws, storage.Write{Item: item, Value: int64(ti)})
+			}
+			sort.Slice(ws, func(i, j int) bool { return ws[i].Item < ws[j].Item })
+			tasks[ti] = ws
+		}
+		batches[bi] = tasks
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tasks := batches[i%len(batches)]
+		if err := sched.Run(tasks, func(t int) error {
+			return store.ApplyWrites(tasks[t])
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batchTxns), "txns/batch")
+}
+
+// BenchmarkParallelApply compares the conflict-scheduled apply stage at
+// worker counts 1, 4 and 16 on one drained batch of low-conflict write sets
+// (the intra-batch parallelism the total order permits).
+func BenchmarkParallelApply(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			benchmarkParallelApply(b, workers)
+		})
 	}
 }
 

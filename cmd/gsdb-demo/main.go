@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables sender batching)")
 	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
+	applyWorkers := flag.Int("apply-workers", 1, "concurrent write-set installs per replica (<=1: serial apply)")
 	flag.Parse()
 
 	var level core.SafetyLevel
@@ -55,6 +56,7 @@ func main() {
 		Seed:           *seed,
 		BatchSize:      *batch,
 		BatchDelay:     *batchDelay,
+		ApplyWorkers:   *applyWorkers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -22,6 +23,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main body and returns the process exit code, so the
+// CPU-profile teardown in its defer also runs on error exits (a bare
+// os.Exit would skip it and leave a truncated profile).
+func run() int {
 	experiment := flag.String("experiment", "fig9", "experiment to run: fig9 | scaling")
 	duration := flag.Duration("duration", 60*time.Second, "simulated duration per data point")
 	loadsFlag := flag.String("loads", "", "comma-separated load points in tps (default 20..40)")
@@ -30,27 +38,48 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables batching)")
 	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
+	applyWorkers := flag.Int("apply-workers", 0, "concurrent write-set installs per server (0: one per disk)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create cpu profile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	cfg := simrep.DefaultConfig()
 	cfg.Duration = *duration
 	cfg.Seed = *seed
 	cfg.BatchSize = *batch
 	cfg.BatchDelay = *batchDelay
+	cfg.ApplyWorkers = *applyWorkers
 
 	if *printConfig {
 		printTable4(cfg)
-		return
+		return 0
 	}
 
 	switch *experiment {
 	case "fig9":
-		runFig9(cfg, *loadsFlag, *levelsFlag)
+		return runFig9(cfg, *loadsFlag, *levelsFlag)
 	case "scaling":
 		runScaling()
+		return 0
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		return 2
 	}
 }
 
@@ -71,7 +100,7 @@ func printTable4(cfg simrep.Config) {
 	fmt.Printf("  Simulated duration per data point    %v\n", cfg.Duration)
 }
 
-func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) {
+func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) int {
 	loads := simrep.Figure9Loads()
 	if loadsFlag != "" {
 		loads = nil
@@ -79,7 +108,7 @@ func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) {
 			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "bad load %q: %v\n", tok, err)
-				os.Exit(2)
+				return 2
 			}
 			loads = append(loads, v)
 		}
@@ -91,7 +120,7 @@ func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) {
 			level, err := parseLevel(strings.TrimSpace(tok))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			levels = append(levels, level)
 		}
@@ -101,7 +130,7 @@ func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) {
 	results, err := simrep.RunFigure9(cfg, levels, loads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println(simrep.FormatFigure9(results))
 	if cross := simrep.CrossoverLoad(results, core.GroupSafe, core.Safety1Lazy); cross > 0 {
@@ -109,6 +138,7 @@ func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) {
 	} else {
 		fmt.Println("group-safe stayed faster than lazy replication over the whole sweep")
 	}
+	return 0
 }
 
 func runScaling() {

@@ -44,6 +44,10 @@ type ClusterConfig struct {
 	// BatchDelay bounds how long a payload waits for co-travellers before a
 	// partial batch is flushed (defaults to 1ms when BatchSize > 1).
 	BatchDelay time.Duration
+	// ApplyWorkers bounds how many certified write sets of one drained batch
+	// each replica installs concurrently (<= 1 keeps the serial apply loop;
+	// see ReplicaConfig.ApplyWorkers).
+	ApplyWorkers int
 }
 
 func (c *ClusterConfig) applyDefaults() {
@@ -96,6 +100,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Detector:             cfg.Detector,
 			BatchSize:            cfg.BatchSize,
 			BatchDelay:           cfg.BatchDelay,
+			ApplyWorkers:         cfg.ApplyWorkers,
 		})
 		if err != nil {
 			c.Close()

@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"groupsafe/internal/storage"
 	"groupsafe/internal/workload"
@@ -63,14 +67,23 @@ type Result struct {
 // Committed reports whether the transaction committed.
 func (r Result) Committed() bool { return r.Outcome == OutcomeCommitted }
 
-// txnPayload is the message broadcast to the group for one update
-// transaction: the versions observed by the delegate's reads (for
-// certification) and the write set to install.
-type txnPayload struct {
+// readVer is one (item, observed version) pair of a certification read set.
+type readVer struct {
+	Item int
+	Ver  uint64
+}
+
+// txnRecord is the decoded form of the message broadcast to the group for
+// one update transaction: the versions observed by the delegate's reads (for
+// certification) and the write set to install.  Reads and Writes are sorted
+// by item; the slices are reused across deliveries by the apply loop's
+// decode arena, so they must not be retained past the batch that decoded
+// them.
+type txnRecord struct {
 	TxnID    uint64
 	Delegate string
-	ReadVers map[int]uint64
-	Writes   map[int]int64
+	Reads    []readVer
+	Writes   []storage.Write
 }
 
 // lazyPayload is the write set propagated asynchronously by the lazy (1-safe)
@@ -106,4 +119,129 @@ func writeSetOf(writes map[int]int64) storage.WriteSet {
 		ws[k] = v
 	}
 	return ws
+}
+
+// --- binary transaction payload codec (replicated hot path) ---
+//
+// The lazy and very-safe control payloads above stay gob-encoded (they are
+// off the hot path), but the transaction payload travels once per update
+// transaction through the atomic broadcast, so it uses a compact varint
+// encoding with pooled scratch buffers: exactly one allocation per encode
+// (the wire slice itself) instead of gob's encoder, type descriptors and map
+// churn.
+
+// txnMagic versions the binary transaction payload format.
+const txnMagic = 0xA7
+
+// payloadScratch is the pooled encode scratch: a sort buffer for the map keys
+// and an append buffer for the varint stream.
+type payloadScratch struct {
+	items []int
+	buf   []byte
+}
+
+var payloadPool = sync.Pool{New: func() interface{} { return new(payloadScratch) }}
+
+// encodeTxnPayload encodes one update transaction for broadcast.  Reads and
+// writes are emitted sorted by item, so the apply side decodes directly into
+// the sorted-slice form the scheduler and the WAL staging path need.
+func encodeTxnPayload(txnID uint64, delegate string, readVers map[int]uint64, writes map[int]int64) []byte {
+	s := payloadPool.Get().(*payloadScratch)
+	buf := append(s.buf[:0], txnMagic)
+	buf = binary.AppendUvarint(buf, txnID)
+	buf = binary.AppendUvarint(buf, uint64(len(delegate)))
+	buf = append(buf, delegate...)
+
+	items := s.items[:0]
+	for it := range readVers {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(it))
+		buf = binary.AppendUvarint(buf, readVers[it])
+	}
+
+	items = items[:0]
+	for it := range writes {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(it))
+		buf = binary.AppendVarint(buf, writes[it])
+	}
+
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	s.buf = buf
+	s.items = items
+	payloadPool.Put(s)
+	return out
+}
+
+var errBadTxnPayload = errors.New("core: malformed transaction payload")
+
+// decodeTxnRecord decodes a binary transaction payload into rec, reusing
+// rec's slices (the apply loop's decode arena).
+func decodeTxnRecord(data []byte, rec *txnRecord) error {
+	if len(data) == 0 || data[0] != txnMagic {
+		return errBadTxnPayload
+	}
+	pos := 1
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	id, ok := next()
+	if !ok {
+		return errBadTxnPayload
+	}
+	rec.TxnID = id
+	dlen, ok := next()
+	if !ok || dlen > uint64(len(data)-pos) {
+		return errBadTxnPayload
+	}
+	rec.Delegate = string(data[pos : pos+int(dlen)])
+	pos += int(dlen)
+
+	nReads, ok := next()
+	if !ok || nReads > uint64(len(data)-pos) {
+		return errBadTxnPayload
+	}
+	rec.Reads = rec.Reads[:0]
+	for i := uint64(0); i < nReads; i++ {
+		item, ok1 := next()
+		ver, ok2 := next()
+		if !ok1 || !ok2 {
+			return errBadTxnPayload
+		}
+		rec.Reads = append(rec.Reads, readVer{Item: int(item), Ver: ver})
+	}
+
+	nWrites, ok := next()
+	if !ok || nWrites > uint64(len(data)-pos) {
+		return errBadTxnPayload
+	}
+	rec.Writes = rec.Writes[:0]
+	for i := uint64(0); i < nWrites; i++ {
+		item, ok1 := next()
+		val, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			ok1 = false
+		} else {
+			pos += n
+		}
+		if !ok1 {
+			return errBadTxnPayload
+		}
+		rec.Writes = append(rec.Writes, storage.Write{Item: int(item), Value: val})
+	}
+	return nil
 }

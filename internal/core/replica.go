@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"groupsafe/internal/apply"
 	"groupsafe/internal/db"
 	"groupsafe/internal/gcs"
 	"groupsafe/internal/gcs/abcast"
@@ -63,6 +64,14 @@ type ReplicaConfig struct {
 	// BatchDelay bounds how long a payload waits for co-travellers before a
 	// partial batch is flushed.
 	BatchDelay time.Duration
+	// ApplyWorkers bounds how many certified write sets of one drained batch
+	// are installed concurrently.  Certification always stays serial in
+	// delivery order; with ApplyWorkers > 1 the committed write sets are
+	// partitioned by their item-conflict graph and independent write sets
+	// install in parallel, conflicting ones chained in delivery order —
+	// observationally identical to serial apply.  <= 1 keeps the serial
+	// apply loop.
+	ApplyWorkers int
 }
 
 func (c *ReplicaConfig) applyDefaults() error {
@@ -100,6 +109,11 @@ type Replica struct {
 	cfg   ReplicaConfig
 	index int
 
+	// lifeMu serialises incarnation transitions (the teardown of Crash/Close
+	// and the rebuild of Recover): a crash triggered from inside the apply
+	// loop's deliver hook must not interleave with a concurrent Recover.
+	lifeMu sync.Mutex
+
 	mu             sync.Mutex
 	dbase          *db.DB
 	dbLog          *wal.MemLog
@@ -119,6 +133,34 @@ type Replica struct {
 	nextTxn        uint64
 	deliverHook    func(txnID uint64)
 	stats          ReplicaStats
+}
+
+// applyState is the apply-pipeline state of ONE incarnation's apply
+// goroutine: the conflict-graph scheduler and the reusable batch arenas that
+// make the steady-state apply path allocation-free.  It is owned by that
+// goroutine alone — a recovered replica gets a fresh applyState, so a
+// straggling pre-crash apply loop can never share arenas with its successor.
+type applyState struct {
+	sched     *apply.Scheduler
+	batchRecs []txnRecord       // decode arena, one slot per batch position
+	batchOK   []bool            // per-slot decode success
+	staged    []stagedTxn       // certified outcomes of the current batch
+	tasks     [][]storage.Write // committed write sets handed to the scheduler
+	certBumps map[int]uint64    // per-item version bumps staged by this batch
+}
+
+func newApplyState(workers int) *applyState {
+	return &applyState{
+		sched:     apply.New(workers),
+		certBumps: make(map[int]uint64),
+	}
+}
+
+// stagedTxn is one certified-and-staged delivery of the current batch.
+type stagedTxn struct {
+	item    applyItem
+	rec     *txnRecord
+	outcome Outcome
 }
 
 // NewReplica creates and starts a replica.
@@ -163,7 +205,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 }
 
 // startGroupCommunication builds (or rebuilds, after recovery) the router,
-// the broadcaster and the applier for the current incarnation.
+// the broadcaster and the applier for the current incarnation.  Callers
+// serialise it against stopGroupCommunication with lifeMu (NewReplica runs
+// before any concurrency exists).
 func (r *Replica) startGroupCommunication() error {
 	ep := r.cfg.Network.Endpoint(r.cfg.ID)
 	router := gcs.NewRouter(ep)
@@ -172,9 +216,15 @@ func (r *Replica) startGroupCommunication() error {
 
 	r.incarnation++
 	stop := make(chan struct{})
+	var (
+		ab   *abcast.Broadcaster
+		e2eb *e2e.Broadcaster
+		det  *fd.Detector
+	)
 
 	if r.cfg.Level.UsesGroupCommunication() {
-		ab, err := abcast.New(abcast.Config{
+		var err error
+		ab, err = abcast.New(abcast.Config{
 			Self:        r.cfg.ID,
 			Members:     r.cfg.Members,
 			BatchSize:   r.cfg.BatchSize,
@@ -184,21 +234,17 @@ func (r *Replica) startGroupCommunication() error {
 		if err != nil {
 			return err
 		}
-		r.ab = ab
 		if r.cfg.Level.RequiresEndToEnd() {
 			if r.msgLog == nil {
 				r.msgLog = wal.NewMemLogWithDelay(r.cfg.DiskSyncDelay)
 			}
-			wrapped, err := e2e.Wrap(ab, e2e.Config{Log: r.msgLog})
+			e2eb, err = e2e.Wrap(ab, e2e.Config{Log: r.msgLog})
 			if err != nil {
 				return err
 			}
-			r.e2eb = wrapped
-		} else {
-			r.e2eb = nil
 		}
 		if r.cfg.StartDetector {
-			det := fd.New(r.cfg.ID, r.cfg.Members, router, r.cfg.Detector)
+			det = fd.New(r.cfg.ID, r.cfg.Members, router, r.cfg.Detector)
 			router.Handle(fd.MsgHeartbeat, det.OnMessage)
 			det.OnEvent(func(ev fd.Event) {
 				if ev.Suspected {
@@ -207,44 +253,59 @@ func (r *Replica) startGroupCommunication() error {
 					ab.Unsuspect(ev.Peer)
 				}
 			})
-			r.detector = det
 		}
 	}
 
+	// Publish the new incarnation's stack under mu: concurrent readers
+	// (broadcast, Suspect, BroadcastStats, the apply gate) see either the
+	// old stack or the new one, never a half-built mix.
+	r.mu.Lock()
 	r.router = router
+	r.ab = ab
+	r.e2eb = e2eb
+	r.detector = det
 	r.applierStop = stop
+	r.mu.Unlock()
+
 	router.Start()
-	if r.detector != nil {
-		r.detector.Start()
+	if det != nil {
+		det.Start()
 	}
-	if r.e2eb != nil {
-		r.e2eb.Start()
-		go r.applyLoopE2E(r.e2eb, stop)
-	} else if r.ab != nil {
-		go r.applyLoopClassical(r.ab, stop)
+	st := newApplyState(r.cfg.ApplyWorkers)
+	if e2eb != nil {
+		e2eb.Start()
+		go r.applyLoopE2E(st, e2eb, stop)
+	} else if ab != nil {
+		go r.applyLoopClassical(st, ab, stop)
 	}
 	return nil
 }
 
 // stopGroupCommunication tears down the current incarnation's group
-// communication stack (used by Crash and Close).
+// communication stack (used by Crash and Close, under lifeMu).
 func (r *Replica) stopGroupCommunication() {
-	if r.applierStop != nil {
-		close(r.applierStop)
-		r.applierStop = nil
+	r.mu.Lock()
+	stop := r.applierStop
+	r.applierStop = nil
+	det := r.detector
+	r.detector = nil
+	e2eb, ab, router := r.e2eb, r.ab, r.router
+	r.mu.Unlock()
+
+	if stop != nil {
+		close(stop)
 	}
-	if r.detector != nil {
-		r.detector.Stop()
-		r.detector = nil
+	if det != nil {
+		det.Stop()
 	}
-	if r.e2eb != nil {
-		r.e2eb.Close()
+	if e2eb != nil {
+		e2eb.Close()
 	}
-	if r.ab != nil {
-		r.ab.Close()
+	if ab != nil {
+		ab.Close()
 	}
-	if r.router != nil {
-		r.router.Stop()
+	if router != nil {
+		router.Stop()
 	}
 }
 
@@ -472,12 +533,7 @@ func (r *Replica) executeReplicated(req Request, crashCh chan struct{}) (Result,
 		r.mu.Unlock()
 	}()
 
-	payload := encodePayload(txnPayload{
-		TxnID:    req.ID,
-		Delegate: r.cfg.ID,
-		ReadVers: readVers,
-		Writes:   writes,
-	})
+	payload := encodeTxnPayload(req.ID, r.cfg.ID, readVers, writes)
 	if err := r.broadcast(payload); err != nil {
 		return Result{}, fmt.Errorf("core: broadcast: %w", err)
 	}
@@ -561,7 +617,17 @@ func drainUpTo[T any](ch <-chan T, first T, max int) []T {
 // applyLoopClassical consumes deliveries from the classical atomic broadcast,
 // draining every delivery already queued so the whole batch is applied with a
 // single log force and one bookkeeping lock round.
-func (r *Replica) applyLoopClassical(ab *abcast.Broadcaster, stop chan struct{}) {
+//
+// When the stop signal races a pending delivery, the queued suffix is
+// deliberately DISCARDED, never applied (one-by-one or otherwise): stop is
+// only ever closed by a crash-model teardown (Crash/Close mark the replica
+// crashed first), and a crashed process losing its delivered-but-unprocessed
+// messages is exactly the paper's Fig. 5 window — classical levels recover
+// them by state transfer, end-to-end levels replay them from the message
+// log.  Applying them here would externalise work a crashed process cannot
+// have done.  A batch already inside applyBatch when the race happens is
+// likewise abandoned at the next applierCurrent gate.
+func (r *Replica) applyLoopClassical(st *applyState, ab *abcast.Broadcaster, stop chan struct{}) {
 	for {
 		select {
 		case <-stop:
@@ -572,7 +638,7 @@ func (r *Replica) applyLoopClassical(ab *abcast.Broadcaster, stop chan struct{})
 			for i, dd := range ds {
 				batch[i] = applyItem{seq: dd.Seq, payload: dd.Payload}
 			}
-			r.applyBatch(batch)
+			r.applyBatch(st, stop, batch)
 		}
 	}
 }
@@ -581,8 +647,10 @@ func (r *Replica) applyLoopClassical(ab *abcast.Broadcaster, stop chan struct{})
 // acknowledges each one after the database has processed it (successful
 // delivery, Sect. 4.2).  Like the classical loop it applies drained batches;
 // acknowledgements are issued only after the batch force, so a crash mid-batch
-// replays the whole unacknowledged suffix (apply is idempotent).
-func (r *Replica) applyLoopE2E(b *e2e.Broadcaster, stop chan struct{}) {
+// replays the whole unacknowledged suffix (apply is idempotent).  Like the
+// classical loop, deliveries that race the stop signal are discarded, not
+// applied — they are logged and unacknowledged, so recovery replays them.
+func (r *Replica) applyLoopE2E(st *applyState, b *e2e.Broadcaster, stop chan struct{}) {
 	for {
 		select {
 		case <-stop:
@@ -593,7 +661,7 @@ func (r *Replica) applyLoopE2E(b *e2e.Broadcaster, stop chan struct{}) {
 			for i, dd := range ds {
 				batch[i] = r.e2eItem(b, dd)
 			}
-			r.applyBatch(batch)
+			r.applyBatch(st, stop, batch)
 		}
 	}
 }
@@ -619,77 +687,162 @@ func (r *Replica) e2eItem(b *e2e.Broadcaster, d e2e.Delivery) applyItem {
 // was never reported committed; end-to-end levels replay the whole
 // unacknowledged suffix from the message log, and classical levels recover
 // missed messages by state transfer, exactly as for a single lost delivery.
-func (r *Replica) applyBatch(batch []applyItem) {
-	type appliedTxn struct {
-		item    applyItem
-		p       txnPayload
-		outcome Outcome
+// applyBatch runs the apply pipeline on one drained batch of totally-ordered
+// deliveries:
+//
+//  1. decode every payload (concurrently when ApplyWorkers > 1 — payloads are
+//     independent);
+//  2. certify and stage serially in strict delivery order: certification uses
+//     a version overlay (store versions plus the bumps staged earlier in this
+//     batch), the write sets and commit records are appended to the log in
+//     delivery order but not yet forced or installed;
+//  3. one group-committed force covers every commit record of the batch,
+//     overlapped with step 4 (neither depends on the other);
+//  4. the committed write sets are installed by the conflict-graph scheduler:
+//     disjoint write sets in parallel on the worker pool, conflicting ones
+//     chained in delivery order — byte-identical to a serial install;
+//  5. only then are delegates notified and end-to-end deliveries
+//     acknowledged.
+//
+// For a batch of B transactions the levels that force on commit pay one disk
+// force instead of B, and the installs use up to ApplyWorkers cores.
+//
+// Crash semantics are unchanged from the serial loop: a crash mid-batch (the
+// Fig. 5 window) abandons the whole batch — no outcome has been externalised,
+// because delegates are notified and e2e messages acknowledged strictly after
+// the batch force, so an unforced transaction was never reported committed;
+// end-to-end levels replay the whole unacknowledged suffix from the message
+// log, and classical levels recover missed messages by state transfer.
+func (r *Replica) applyBatch(st *applyState, stop chan struct{}, batch []applyItem) {
+	if !r.applierCurrent(stop) {
+		return
 	}
-	done := make([]appliedTxn, 0, len(batch))
-	var maxLSN wal.LSN
-	for _, item := range batch {
-		r.mu.Lock()
-		if r.crashed {
-			r.mu.Unlock()
-			return
+
+	// Phase 1: decode into the reusable arena, in parallel for large batches.
+	n := len(batch)
+	if cap(st.batchRecs) < n {
+		st.batchRecs = make([]txnRecord, n)
+		st.batchOK = make([]bool, n)
+	}
+	recs := st.batchRecs[:n]
+	oks := st.batchOK[:n]
+	decodeOne := func(i int) {
+		oks[i] = decodeTxnRecord(batch[i].payload, &recs[i]) == nil
+	}
+	if workers := st.sched.EffectiveWorkers(); workers > 1 && n >= 4 {
+		if workers > n {
+			workers = n
 		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					decodeOne(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			decodeOne(i)
+		}
+	}
+
+	// Phase 2: serial certification and staging in delivery order.
+	staged := st.staged[:0]
+	tasks := st.tasks[:0]
+	clear(st.certBumps)
+	numItems := r.dbase.Store().NumItems()
+	var maxLSN wal.LSN
+	for i := range batch {
+		r.mu.Lock()
+		current := !r.crashed && r.applierStop == stop
 		hook := r.deliverHook
 		r.mu.Unlock()
+		if !current {
+			return
+		}
 
-		var p txnPayload
-		if err := decodePayload(item.payload, &p); err != nil {
+		if !oks[i] {
 			continue
 		}
+		rec := &recs[i]
 
 		// The crash window of Fig. 5: the group communication component has
 		// delivered the message, the database has not yet processed it.
 		if hook != nil {
-			hook(p.TxnID)
-			r.mu.Lock()
-			crashed := r.crashed
-			r.mu.Unlock()
-			if crashed {
+			hook(rec.TxnID)
+			if !r.applierCurrent(stop) {
 				return
 			}
 		}
 
-		outcome := r.certify(p)
+		outcome := r.certify(st, rec)
 		if outcome == OutcomeCommitted {
-			applied, lsn, err := r.dbase.ApplyWriteSetDeferred(p.TxnID, writeSetOf(p.Writes))
+			if !writesInRange(rec.Writes, numItems) {
+				continue
+			}
+			fresh, lsn, err := r.dbase.StageWrites(rec.TxnID, rec.Writes)
 			if err != nil {
 				continue
 			}
-			if applied && lsn > maxLSN {
-				maxLSN = lsn
+			if fresh {
+				if lsn > maxLSN {
+					maxLSN = lsn
+				}
+				for _, w := range rec.Writes {
+					st.certBumps[w.Item]++
+				}
+				tasks = append(tasks, rec.Writes)
 			}
 		} else {
-			_ = r.dbase.RecordAbort(p.TxnID)
+			_ = r.dbase.RecordAbort(rec.TxnID)
 		}
-		done = append(done, appliedTxn{item: item, p: p, outcome: outcome})
+		staged = append(staged, stagedTxn{item: batch[i], rec: rec, outcome: outcome})
 	}
+	st.staged, st.tasks = staged, tasks
 
-	// One group-committed force covers every commit record of the batch.
+	// Phases 3+4: the batch force and the conflict-scheduled installs run
+	// concurrently; both must finish before any outcome is externalised.
+	forceErr := make(chan error, 1)
 	if maxLSN > 0 && r.cfg.Level.SyncOnCommit() {
-		if err := r.dbase.ForceTo(maxLSN); err != nil {
-			return
-		}
+		go func() { forceErr <- r.dbase.ForceTo(maxLSN) }()
+	} else {
+		forceErr <- nil
+	}
+	// InstallWrites cannot fail for staged write sets (ranges are validated
+	// by writesInRange before staging and the store size is fixed); if it
+	// ever does, the batch is abandoned before anything is externalised and
+	// the WAL stays the source of truth — crash recovery reinstalls the
+	// logged commits.
+	installErr := st.sched.Run(tasks, func(t int) error {
+		return r.dbase.InstallWrites(tasks[t])
+	})
+	if <-forceErr != nil || installErr != nil {
+		return
 	}
 
-	// Bookkeeping for the whole batch under a single lock acquisition.
+	// Phase 5: bookkeeping for the whole batch under a single lock
+	// acquisition, then notifications and acknowledgements.  The router is
+	// snapshotted under the same lock: incarnation swaps publish a new
+	// router under mu, so an unlocked read would race a concurrent Recover.
 	r.mu.Lock()
-	notifyCh := make([]chan Outcome, len(done))
-	for i, a := range done {
+	router := r.router
+	notifyCh := make([]chan Outcome, len(staged))
+	for i, a := range staged {
 		r.stats.Delivered++
 		if a.item.seq > r.lastAppliedSeq {
 			r.lastAppliedSeq = a.item.seq
 		}
-		if ch, ok := r.pending[a.p.TxnID]; ok {
+		if ch, ok := r.pending[a.rec.TxnID]; ok {
 			notifyCh[i] = ch
 		}
 	}
 	r.mu.Unlock()
 
-	for i, a := range done {
+	for i, a := range staged {
 		if ch := notifyCh[i]; ch != nil {
 			select {
 			case ch <- a.outcome:
@@ -697,13 +850,13 @@ func (r *Replica) applyBatch(batch []applyItem) {
 			}
 			r.countOutcome(a.outcome)
 			if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
-				r.recordVerySafeAck(a.p.TxnID, r.cfg.ID)
+				r.recordVerySafeAck(a.rec.TxnID, r.cfg.ID)
 			}
 		} else if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
 			// Very-safe: every replica confirms to the delegate that the
 			// transaction is logged locally (and, batched, durably forced).
-			ackBytes := encodePayload(ackPayload{TxnID: a.p.TxnID, Replica: r.cfg.ID})
-			_ = r.router.Send(a.p.Delegate, transport.Message{Type: msgAck, Payload: ackBytes})
+			ackBytes := encodePayload(ackPayload{TxnID: a.rec.TxnID, Replica: r.cfg.ID})
+			_ = router.Send(a.rec.Delegate, transport.Message{Type: msgAck, Payload: ackBytes})
 		}
 		if a.item.ack != nil {
 			a.item.ack()
@@ -711,16 +864,41 @@ func (r *Replica) applyBatch(batch []applyItem) {
 	}
 }
 
+// writesInRange reports whether every written item exists, so staging never
+// logs a write set the store would refuse to install.
+func writesInRange(writes []storage.Write, numItems int) bool {
+	for _, w := range writes {
+		if w.Item < 0 || w.Item >= numItems {
+			return false
+		}
+	}
+	return true
+}
+
 // certify runs the deterministic certification test (first-updater-wins): the
 // transaction aborts if any item it read has been overwritten by a
-// transaction delivered before it.
-func (r *Replica) certify(p txnPayload) Outcome {
-	for item, ver := range p.ReadVers {
-		if r.dbase.Version(item) > ver {
+// transaction delivered before it.  Writes staged earlier in the current
+// batch are not yet installed in the store, so their version bumps are
+// overlaid from certBumps — the outcome is exactly the one the serial loop
+// computed by installing before certifying the next transaction.
+func (r *Replica) certify(st *applyState, rec *txnRecord) Outcome {
+	for _, rv := range rec.Reads {
+		if r.dbase.Version(rv.Item)+st.certBumps[rv.Item] > rv.Ver {
 			return OutcomeAborted
 		}
 	}
 	return OutcomeCommitted
+}
+
+// applierCurrent reports whether the apply loop identified by stop still
+// belongs to the live incarnation: the replica is not crashed and no newer
+// incarnation has been started.  A straggling pre-crash loop (e.g. one whose
+// deliver hook crashed the replica mid-batch) fails this gate and abandons
+// its work instead of racing the recovered incarnation.
+func (r *Replica) applierCurrent(stop chan struct{}) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.crashed && r.applierStop == stop
 }
 
 // onLazy applies a lazily-propagated write set (1-safe replication): no
@@ -787,6 +965,8 @@ func (r *Replica) Crash() {
 	close(r.crashCh)
 	r.mu.Unlock()
 
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
 	r.cfg.Network.Crash(r.cfg.ID)
 	r.stopGroupCommunication()
 }
@@ -819,6 +999,11 @@ func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
 		return 0, fmt.Errorf("core: replica %s is not crashed", r.cfg.ID)
 	}
 	r.mu.Unlock()
+
+	// Serialise against a Crash/Close teardown still in flight (e.g. one
+	// triggered from inside the old incarnation's deliver hook).
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
 
 	// Volatile state of the database component is lost; rebuild from the
 	// durable prefix of its write-ahead log.
@@ -879,7 +1064,9 @@ func (r *Replica) Close() error {
 		close(r.crashCh)
 	}
 	r.mu.Unlock()
+	r.lifeMu.Lock()
 	r.stopGroupCommunication()
+	r.lifeMu.Unlock()
 	return r.dbase.Close()
 }
 

@@ -319,6 +319,71 @@ func (d *DB) applyWriteSet(txnID uint64, ws storage.WriteSet, forceBeforeInstall
 	return true, lastLSN, nil
 }
 
+// StageWrites is the serial half of the parallel apply pipeline: it performs
+// the exactly-once check, appends the update and commit records of a
+// certified remote transaction to the log in delivery order, and marks the
+// transaction applied — without forcing the log and without installing the
+// writes into the store.  It returns false when the transaction had already
+// been applied (a replayed delivery), and otherwise the LSN of the commit
+// record so the caller knows how far a batch force must reach.  writes must
+// be sorted by item and duplicate-free.
+//
+// The caller is responsible for (a) eventually installing the staged writes
+// with InstallWrites, before processing any later delivery of the same
+// transaction's items outside the current batch, and (b) not externalising
+// the outcome before its batch force.
+func (d *DB) StageWrites(txnID uint64, writes []storage.Write) (bool, wal.LSN, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false, 0, ErrClosed
+	}
+	if d.applied[txnID] {
+		d.stats.SkippedDup++
+		d.mu.Unlock()
+		return false, 0, nil
+	}
+	d.mu.Unlock()
+
+	var lastLSN wal.LSN
+	for _, w := range writes {
+		lsn, err := d.log.Append(wal.Record{Kind: wal.KindUpdate, TxnID: txnID, Item: int64(w.Item), Value: w.Value})
+		if err != nil {
+			return false, 0, fmt.Errorf("db: log update: %w", err)
+		}
+		lastLSN = lsn
+	}
+	lsn, err := d.log.Append(wal.Record{Kind: wal.KindCommit, TxnID: txnID})
+	if err != nil {
+		return false, 0, fmt.Errorf("db: log commit: %w", err)
+	}
+	lastLSN = lsn
+
+	// Mark applied only after the commit record is in the log: a failed
+	// append must leave the transaction re-deliverable, not silently skipped
+	// by the dup check forever.  (Staging is serial per replica, so the
+	// check-then-mark pair cannot race another stage of the same txn.)
+	d.mu.Lock()
+	d.applied[txnID] = true
+	d.stats.AppliedRemote++
+	d.stats.Commits++
+	d.mu.Unlock()
+	return true, lastLSN, nil
+}
+
+// InstallWrites is the parallel half of the apply pipeline: it makes a staged
+// write set visible in the store.  Unlike ApplyWriteSet it does not go
+// through the lock manager — the caller must guarantee that no conflicting
+// write set (one sharing an item) is installed concurrently; the apply
+// scheduler's conflict graph provides exactly that guarantee, and the store's
+// lock stripes serialise installs against concurrent readers.
+func (d *DB) InstallWrites(writes []storage.Write) error {
+	if err := d.store.ApplyWrites(writes); err != nil {
+		return fmt.Errorf("db: install writeset: %w", err)
+	}
+	return nil
+}
+
 // RecordAbort records that a transaction was certified-aborted so that a
 // replayed delivery does not try to apply it again.
 func (d *DB) RecordAbort(txnID uint64) error {

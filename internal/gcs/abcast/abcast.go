@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -172,6 +173,8 @@ type Broadcaster struct {
 	flushTimer   *time.Timer
 	closed       bool
 	stats        Stats
+	idPrefix     string // "self/incarnation/", precomputed for message ids
+	idBuf        []byte // scratch for message-id formatting (under mu)
 
 	// Send-path counters are atomic so sendAll does not need to re-acquire
 	// mu just to count (it is called on every protocol message).
@@ -215,6 +218,7 @@ func New(cfg Config, router *gcs.Router) (*Broadcaster, error) {
 		suspected:   make(map[string]bool),
 		gatherFrom:  make(map[string]stateMsg),
 		deliveries:  make(chan Delivery, cfg.DeliveryBuffer),
+		idPrefix:    cfg.Self + "/" + strconv.FormatUint(cfg.Incarnation, 10) + "/",
 	}
 	router.Handle("ab.", b.onMessage)
 	return b, nil
@@ -288,7 +292,7 @@ func (b *Broadcaster) Close() {
 	b.closed = true
 	b.mu.Unlock()
 	if len(batch) > 0 {
-		b.sendAll(transport.Message{Type: MsgData, Payload: encode(dataMsg{Entries: batch})})
+		b.sendAll(transport.Message{Type: MsgData, Payload: encodeData(dataMsg{Entries: batch})})
 	}
 }
 
@@ -309,12 +313,14 @@ func (b *Broadcaster) Broadcast(payload []byte) (string, error) {
 		return "", ErrClosed
 	}
 	b.localCounter++
-	msgID := fmt.Sprintf("%s/%d/%d", b.cfg.Self, b.cfg.Incarnation, b.localCounter)
+	// One allocation (the string itself) instead of fmt.Sprintf's boxing.
+	b.idBuf = strconv.AppendUint(append(b.idBuf[:0], b.idPrefix...), b.localCounter, 10)
+	msgID := string(b.idBuf)
 	b.stats.Broadcast++
 
 	if b.cfg.BatchSize <= 1 {
 		b.mu.Unlock()
-		buf := encode(dataMsg{Entries: []dataEntry{{MsgID: msgID, Payload: payload}}})
+		buf := encodeData(dataMsg{Entries: []dataEntry{{MsgID: msgID, Payload: payload}}})
 		b.sendAll(transport.Message{Type: MsgData, Payload: buf})
 		return msgID, nil
 	}
@@ -323,7 +329,7 @@ func (b *Broadcaster) Broadcast(payload []byte) (string, error) {
 	if len(b.sendBuf) >= b.cfg.BatchSize {
 		batch := b.takeBatchLocked()
 		b.mu.Unlock()
-		b.sendAll(transport.Message{Type: MsgData, Payload: encode(dataMsg{Entries: batch})})
+		b.sendAll(transport.Message{Type: MsgData, Payload: encodeData(dataMsg{Entries: batch})})
 		return msgID, nil
 	}
 	if b.flushTimer == nil {
@@ -354,7 +360,7 @@ func (b *Broadcaster) flushBatch() {
 	batch := b.takeBatchLocked()
 	b.mu.Unlock()
 	if len(batch) > 0 {
-		b.sendAll(transport.Message{Type: MsgData, Payload: encode(dataMsg{Entries: batch})})
+		b.sendAll(transport.Message{Type: MsgData, Payload: encodeData(dataMsg{Entries: batch})})
 	}
 }
 
@@ -443,19 +449,19 @@ func (b *Broadcaster) onMessage(m transport.Message) {
 	switch m.Type {
 	case MsgData:
 		var d dataMsg
-		if err := decode(m.Payload, &d); err != nil {
+		if err := decodeData(m.Payload, &d); err != nil {
 			return
 		}
 		b.handleData(d)
 	case MsgOrder:
 		var o orderMsg
-		if err := decode(m.Payload, &o); err != nil {
+		if err := decodeOrder(m.Payload, &o); err != nil {
 			return
 		}
 		b.handleOrder(o)
 	case MsgAck:
 		var a ackMsg
-		if err := decode(m.Payload, &a); err != nil {
+		if err := decodeAck(m.Payload, &a); err != nil {
 			return
 		}
 		b.handleAck(a, m.From)
@@ -505,7 +511,7 @@ func (b *Broadcaster) handleData(d dataMsg) {
 	}
 	b.mu.Unlock()
 	if len(order.MsgIDs) > 0 {
-		b.sendAll(transport.Message{Type: MsgOrder, Payload: encode(order)})
+		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(order)})
 	}
 	b.tryDeliver()
 }
@@ -536,7 +542,7 @@ func (b *Broadcaster) handleOrder(o orderMsg) {
 	// One ACK acknowledges the whole range.
 	ack := ackMsg{Epoch: o.Epoch, BaseSeq: o.BaseSeq, MsgIDs: o.MsgIDs}
 	b.mu.Unlock()
-	b.sendAll(transport.Message{Type: MsgAck, Payload: encode(ack)})
+	b.sendAll(transport.Message{Type: MsgAck, Payload: encodeAck(ack)})
 	b.tryDeliver()
 }
 
@@ -661,10 +667,10 @@ func (b *Broadcaster) maybeFinishGatherLocked() {
 	}
 	b.mu.Unlock()
 	for _, o := range reannounce {
-		b.sendAll(transport.Message{Type: MsgOrder, Payload: encode(o)})
+		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(o)})
 	}
 	if len(fresh.MsgIDs) > 0 {
-		b.sendAll(transport.Message{Type: MsgOrder, Payload: encode(fresh)})
+		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(fresh)})
 	}
 	b.mu.Lock()
 }

@@ -1,0 +1,155 @@
+package abcast
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Binary wire codec for the hot-path protocol messages (DATA, ORDER, ACK).
+//
+// Every broadcast crosses the wire three times per member (dissemination,
+// ordering, acknowledgement), so these three message types dominate the send
+// path.  They are encoded with a compact varint format into a single
+// exact-size allocation — replacing gob, whose per-message encoder, type
+// descriptors and reflection used to dominate the allocation profile.  The
+// cold takeover messages (NEWEPOCH, STATE) keep the gob encoding: they are
+// exchanged a handful of times per sequencer failure.
+//
+// Decoding aliases payload bytes into the wire buffer instead of copying:
+// wire buffers are never mutated after receipt (the in-memory transport hands
+// the same read-only slice to every member, exactly like the sender-side
+// sharing that already existed), and the delivery path treats payloads as
+// immutable.
+
+var errBadWire = errors.New("abcast: malformed wire message")
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// encodeData encodes a batched DATA message.
+func encodeData(d dataMsg) []byte {
+	size := uvarintLen(uint64(len(d.Entries)))
+	for _, e := range d.Entries {
+		size += uvarintLen(uint64(len(e.MsgID))) + len(e.MsgID)
+		size += uvarintLen(uint64(len(e.Payload))) + len(e.Payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(d.Entries)))
+	for _, e := range d.Entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.MsgID)))
+		buf = append(buf, e.MsgID...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
+		buf = append(buf, e.Payload...)
+	}
+	return buf
+}
+
+// decodeData decodes a DATA message, aliasing entry payloads into data.
+func decodeData(data []byte, d *dataMsg) error {
+	pos := 0
+	n, w := binary.Uvarint(data)
+	if w <= 0 || n > uint64(len(data)) {
+		return errBadWire
+	}
+	pos += w
+	d.Entries = make([]dataEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, adv, err := readBytes(data, pos)
+		if err != nil {
+			return err
+		}
+		pos = adv
+		payload, adv, err := readBytes(data, pos)
+		if err != nil {
+			return err
+		}
+		pos = adv
+		d.Entries = append(d.Entries, dataEntry{MsgID: string(id), Payload: payload})
+	}
+	return nil
+}
+
+// encodeSeqRange encodes the shared shape of ORDER and ACK messages: an
+// epoch, a base sequence number and the message ids of the covered range.
+func encodeSeqRange(epoch, baseSeq uint64, ids []string) []byte {
+	size := uvarintLen(epoch) + uvarintLen(baseSeq) + uvarintLen(uint64(len(ids)))
+	for _, id := range ids {
+		size += uvarintLen(uint64(len(id))) + len(id)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, baseSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(len(id)))
+		buf = append(buf, id...)
+	}
+	return buf
+}
+
+// decodeSeqRange decodes the shared ORDER/ACK shape.
+func decodeSeqRange(data []byte) (epoch, baseSeq uint64, ids []string, err error) {
+	pos := 0
+	epoch, w := binary.Uvarint(data)
+	if w <= 0 {
+		return 0, 0, nil, errBadWire
+	}
+	pos += w
+	baseSeq, w = binary.Uvarint(data[pos:])
+	if w <= 0 {
+		return 0, 0, nil, errBadWire
+	}
+	pos += w
+	n, w := binary.Uvarint(data[pos:])
+	if w <= 0 || n > uint64(len(data)) {
+		return 0, 0, nil, errBadWire
+	}
+	pos += w
+	ids = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, adv, err := readBytes(data, pos)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		pos = adv
+		ids = append(ids, string(id))
+	}
+	return epoch, baseSeq, ids, nil
+}
+
+func encodeOrder(o orderMsg) []byte { return encodeSeqRange(o.Epoch, o.BaseSeq, o.MsgIDs) }
+
+func decodeOrder(data []byte, o *orderMsg) error {
+	var err error
+	o.Epoch, o.BaseSeq, o.MsgIDs, err = decodeSeqRange(data)
+	return err
+}
+
+func encodeAck(a ackMsg) []byte { return encodeSeqRange(a.Epoch, a.BaseSeq, a.MsgIDs) }
+
+func decodeAck(data []byte, a *ackMsg) error {
+	var err error
+	a.Epoch, a.BaseSeq, a.MsgIDs, err = decodeSeqRange(data)
+	return err
+}
+
+// readBytes reads a uvarint length followed by that many bytes, returning the
+// (aliased) bytes and the position after them.
+func readBytes(data []byte, pos int) ([]byte, int, error) {
+	n, w := binary.Uvarint(data[pos:])
+	if w <= 0 {
+		return nil, 0, errBadWire
+	}
+	pos += w
+	if n > uint64(len(data)-pos) {
+		return nil, 0, errBadWire
+	}
+	return data[pos : pos+int(n)], pos + int(n), nil
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,18 +12,27 @@ import (
 // partitions, and endpoint crashes (a crashed endpoint loses every message
 // sent to it and cannot send).
 type MemNetwork struct {
-	mu        sync.Mutex
+	// mu guards the endpoint table and the partition map.  The hot send path
+	// only takes it in read mode; latency/jitter/loss are set at construction
+	// and read without locking.
+	mu        sync.RWMutex
 	endpoints map[string]*memEndpoint
 	latency   time.Duration
 	jitter    time.Duration
 	lossProb  float64
-	rng       *rand.Rand
+	// rngMu guards rng; it is only touched when loss or jitter is configured,
+	// so a plain send on a perfect network takes no random-source lock.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 	// partition maps an address to its partition id; addresses in different
 	// partitions cannot communicate.  An empty map means no partition.
-	partition map[string]int
+	partition   map[string]int
+	partitioned atomic.Bool
 
-	sent    uint64
-	dropped uint64
+	// Hot counters: every Send touches these, so they are atomics rather
+	// than fields under the network mutex.
+	sent    atomic.Uint64
+	dropped atomic.Uint64
 }
 
 // MemOption configures a MemNetwork.
@@ -152,6 +162,7 @@ func (n *MemNetwork) Partition(groups ...[]string) {
 			n.partition[addr] = i + 1
 		}
 	}
+	n.partitioned.Store(len(n.partition) > 0)
 }
 
 // Heal removes any partition.
@@ -159,19 +170,22 @@ func (n *MemNetwork) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partition = make(map[string]int)
+	n.partitioned.Store(false)
 }
 
 // Stats returns the number of messages sent and dropped (loss, partitions and
-// crashed destinations all count as drops).
+// crashed destinations all count as drops).  The counters are atomics, so a
+// concurrent Stats never stalls senders.
 func (n *MemNetwork) Stats() (sent, dropped uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.sent, n.dropped
+	return n.sent.Load(), n.dropped.Load()
 }
 
 func (n *MemNetwork) reachable(from, to string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	if !n.partitioned.Load() {
+		return true
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.partition[from] == n.partition[to]
 }
 
@@ -206,25 +220,27 @@ func (ep *memEndpoint) Send(to string, m Message) error {
 	m.To = to
 
 	n := ep.net
-	n.mu.Lock()
-	n.sent++
+	n.sent.Add(1)
+	n.mu.RLock()
 	dst, ok := n.endpoints[to]
-	loss := n.lossProb > 0 && n.rng.Float64() < n.lossProb
+	n.mu.RUnlock()
 	delay := n.latency
-	if n.jitter > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(n.jitter) + 1))
+	var loss bool
+	if n.lossProb > 0 || n.jitter > 0 {
+		n.rngMu.Lock()
+		loss = n.lossProb > 0 && n.rng.Float64() < n.lossProb
+		if n.jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(n.jitter) + 1))
+		}
+		n.rngMu.Unlock()
 	}
 	if !ok || loss {
-		n.dropped++
-		n.mu.Unlock()
+		n.dropped.Add(1)
 		return nil
 	}
-	n.mu.Unlock()
 
 	if !n.reachable(ep.addr, to) {
-		n.mu.Lock()
-		n.dropped++
-		n.mu.Unlock()
+		n.dropped.Add(1)
 		return nil
 	}
 
@@ -232,18 +248,14 @@ func (ep *memEndpoint) Send(to string, m Message) error {
 		dst.mu.Lock()
 		defer dst.mu.Unlock()
 		if dst.crashed || dst.closed {
-			n.mu.Lock()
-			n.dropped++
-			n.mu.Unlock()
+			n.dropped.Add(1)
 			return
 		}
 		select {
 		case dst.inbox <- m:
 		default:
 			// Inbox overflow models an overloaded receiver dropping traffic.
-			n.mu.Lock()
-			n.dropped++
-			n.mu.Unlock()
+			n.dropped.Add(1)
 		}
 	}
 	if delay <= 0 {

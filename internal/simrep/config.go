@@ -48,6 +48,11 @@ type Config struct {
 	// BatchDelay is the time a transaction waits for co-travellers before a
 	// partial batch is broadcast (default 1ms when BatchSize > 1).
 	BatchDelay time.Duration
+	// ApplyWorkers bounds how many delivered write sets one server installs
+	// concurrently (the apply stage's worker pool, mirroring
+	// core.ReplicaConfig.ApplyWorkers).  0 keeps the historical default of
+	// one install slot per disk.
+	ApplyWorkers int
 	// Duration is the simulated time during which transactions are generated.
 	Duration time.Duration
 	// WarmupFraction of Duration is discarded from the statistics.
@@ -106,6 +111,9 @@ func (c Config) Validate() error {
 	}
 	if c.BatchDelay < 0 {
 		return fmt.Errorf("simrep: batch delay must be non-negative")
+	}
+	if c.ApplyWorkers < 0 {
+		return fmt.Errorf("simrep: apply workers must be non-negative")
 	}
 	return nil
 }

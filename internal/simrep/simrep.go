@@ -105,6 +105,10 @@ func newSimulation(cfg Config, level core.SafetyLevel, loadTPS float64) *simulat
 	if s.batchSize > 1 && s.batchDelay <= 0 {
 		s.batchDelay = time.Millisecond
 	}
+	applyWorkers := cfg.ApplyWorkers
+	if applyWorkers <= 0 {
+		applyWorkers = cfg.DisksPerServer
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		srv := &server{
 			idx:        i,
@@ -113,7 +117,7 @@ func newSimulation(cfg Config, level core.SafetyLevel, loadTPS float64) *simulat
 			clients:    sim.NewResource(eng, fmt.Sprintf("clients-%d", i), cfg.ClientsPerServer),
 			bcastQueue: sim.NewMailbox[*simTxn](eng, fmt.Sprintf("bcast-%d", i)),
 			applyQueue: sim.NewMailbox[*simTxn](eng, fmt.Sprintf("apply-%d", i)),
-			applySlots: sim.NewResource(eng, fmt.Sprintf("applyslots-%d", i), cfg.DisksPerServer),
+			applySlots: sim.NewResource(eng, fmt.Sprintf("applyslots-%d", i), applyWorkers),
 		}
 		s.servers = append(s.servers, srv)
 	}

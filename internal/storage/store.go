@@ -4,6 +4,13 @@
 // used by the certification step of the replicated database (first-updater
 // wins), a page mapping (items are clustered into pages), and an LRU buffer
 // pool that models which pages are memory-resident.
+//
+// The store is striped: items are partitioned over a fixed set of RWMutexes
+// so that write sets touching disjoint stripes install concurrently.  The
+// parallel apply scheduler guarantees that conflicting write sets are never
+// installed at the same time; the stripes only have to serialise installs
+// against concurrent readers and against installs that happen to share a
+// stripe.
 package storage
 
 import (
@@ -20,10 +27,21 @@ type Item struct {
 	Version uint64
 }
 
+// Write is one item update of a write set, in the slice representation used
+// by the apply hot path (sorted by Item, no map allocation or iteration-order
+// nondeterminism).
+type Write struct {
+	Item  int
+	Value int64
+}
+
+// numStripes is the number of lock stripes (power of two).
+const numStripes = 64
+
 // Store is a concurrency-safe, versioned, in-memory item store.
 type Store struct {
-	mu    sync.RWMutex
-	items []Item
+	stripes [numStripes]sync.RWMutex
+	items   []Item
 }
 
 // NewStore creates a store with n items, all initialised to value 0,
@@ -35,64 +53,143 @@ func NewStore(n int) *Store {
 	return &Store{items: make([]Item, n)}
 }
 
-// NumItems returns the number of items in the store.
-func (s *Store) NumItems() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.items)
+func (s *Store) stripe(i int) *sync.RWMutex {
+	return &s.stripes[i&(numStripes-1)]
 }
 
-// Read returns the current value and version of item i.
+// lockAll acquires every stripe (whole-store operations: snapshot, restore,
+// reset).
+func (s *Store) lockAll() {
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].Unlock()
+	}
+}
+
+// NumItems returns the number of items in the store.
+func (s *Store) NumItems() int {
+	mu := &s.stripes[0]
+	mu.RLock()
+	n := len(s.items)
+	mu.RUnlock()
+	return n
+}
+
+// Read returns the current value and version of item i.  The bounds check
+// happens under the stripe lock: Restore (which holds every stripe) may
+// replace the items slice, so the slice header must not be read lock-free.
 func (s *Store) Read(i int) (value int64, version uint64, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if i < 0 || i >= len(s.items) {
+	if i < 0 {
+		return 0, 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
+	}
+	mu := s.stripe(i)
+	mu.RLock()
+	if i >= len(s.items) {
+		mu.RUnlock()
 		return 0, 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 	}
 	it := s.items[i]
+	mu.RUnlock()
 	return it.Value, it.Version, nil
 }
 
 // Version returns the current version of item i (0 if out of range).
 func (s *Store) Version(i int) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if i < 0 || i >= len(s.items) {
+	if i < 0 {
 		return 0
 	}
-	return s.items[i].Version
+	mu := s.stripe(i)
+	mu.RLock()
+	var v uint64
+	if i < len(s.items) {
+		v = s.items[i].Version
+	}
+	mu.RUnlock()
+	return v
 }
 
 // Write installs a new value for item i and bumps its version, returning the
 // new version.
 func (s *Store) Write(i int, value int64) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if i < 0 || i >= len(s.items) {
+	if i < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
+	}
+	mu := s.stripe(i)
+	mu.Lock()
+	if i >= len(s.items) {
+		mu.Unlock()
 		return 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 	}
 	s.items[i].Value = value
 	s.items[i].Version++
-	return s.items[i].Version, nil
+	v := s.items[i].Version
+	mu.Unlock()
+	return v, nil
 }
 
 // WriteSet is the set of item updates installed by one transaction.
 type WriteSet map[int]int64
 
-// ApplyWriteSet installs all updates of ws atomically (with respect to other
-// store operations) and bumps the version of each written item.
+// ApplyWriteSet installs all updates of ws and bumps the version of each
+// written item.  Updates to the same item by different write sets are
+// serialised by the item's stripe lock.  The write set is validated before
+// anything is installed, so a write set with an out-of-range item is
+// rejected without partial application.
 func (s *Store) ApplyWriteSet(ws WriteSet) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	n := s.NumItems()
 	for i := range ws {
-		if i < 0 || i >= len(s.items) {
+		if i < 0 || i >= n {
 			return fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 		}
 	}
 	for i, v := range ws {
-		s.items[i].Value = v
-		s.items[i].Version++
+		if err := s.writeOne(i, v); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// ApplyWrites installs one transaction's write set in the slice
+// representation, bumping the version of each written item.  It is the
+// allocation-free install path used by the parallel apply scheduler; writes
+// must not contain duplicate items.  Validation-before-install matches
+// ApplyWriteSet.
+func (s *Store) ApplyWrites(writes []Write) error {
+	n := s.NumItems()
+	for _, w := range writes {
+		if w.Item < 0 || w.Item >= n {
+			return fmt.Errorf("%w: %d", ErrItemOutOfRange, w.Item)
+		}
+	}
+	for _, w := range writes {
+		if err := s.writeOne(w.Item, w.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOne installs a single update under its stripe lock, bounds-checking
+// inside the lock so a concurrent Restore cannot race the slice header.
+func (s *Store) writeOne(i int, v int64) error {
+	if i < 0 {
+		return fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
+	}
+	mu := s.stripe(i)
+	mu.Lock()
+	if i >= len(s.items) {
+		mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
+	}
+	s.items[i].Value = v
+	s.items[i].Version++
+	mu.Unlock()
 	return nil
 }
 
@@ -100,25 +197,34 @@ func (s *Store) ApplyWriteSet(ws WriteSet) error {
 // when a recovering replica rejoins the group (checkpoint-based recovery in
 // the dynamic crash no-recovery model).
 func (s *Store) Snapshot() []Item {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.lockAll()
+	defer s.unlockAll()
 	cp := make([]Item, len(s.items))
 	copy(cp, s.items)
 	return cp
 }
 
-// Restore replaces the store contents with the given snapshot.
+// Restore replaces the store contents with the given snapshot.  When the
+// snapshot has the store's own size (the only case arising from state
+// transfer between equally-sized replicas) the copy happens in place; a
+// size-changing restore swaps the slice header, which is safe because every
+// reader performs its bounds check under a stripe lock and Restore holds all
+// stripes.
 func (s *Store) Restore(snapshot []Item) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	if len(snapshot) == len(s.items) {
+		copy(s.items, snapshot)
+		return
+	}
 	s.items = make([]Item, len(snapshot))
 	copy(s.items, snapshot)
 }
 
 // Reset sets every item back to value 0, version 0.
 func (s *Store) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	for i := range s.items {
 		s.items[i] = Item{}
 	}

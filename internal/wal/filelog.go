@@ -26,6 +26,10 @@ type FileLog struct {
 	w       *bufio.Writer
 	nextLSN LSN
 	closed  bool
+	// encBuf is the reusable append-path encode buffer (guarded by mu):
+	// header plus record are staged here so an Append performs no
+	// per-record allocation.
+	encBuf []byte
 }
 
 const fileLogHeaderSize = 8
@@ -61,7 +65,12 @@ func OpenFileLog(path string) (*FileLog, error) {
 func (l *FileLog) Path() string { return l.path }
 
 func encodeRecord(r Record) []byte {
-	buf := make([]byte, 0, 41+len(r.Data))
+	return appendRecord(make([]byte, 0, 41+len(r.Data)), r)
+}
+
+// appendRecord appends the binary encoding of r to buf and returns the
+// extended slice; it is the allocation-free core of encodeRecord.
+func appendRecord(buf []byte, r Record) []byte {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint64(tmp[:], uint64(r.LSN))
 	buf = append(buf, tmp[:]...)
@@ -107,15 +116,18 @@ func (l *FileLog) Append(r Record) (LSN, error) {
 		return 0, ErrClosed
 	}
 	r.LSN = l.nextLSN
-	payload := encodeRecord(r)
-	var hdr [fileLogHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: append header: %w", err)
-	}
-	if _, err := l.w.Write(payload); err != nil {
-		return 0, fmt.Errorf("wal: append payload: %w", err)
+	// Stage header + payload in the reusable buffer: zero per-record
+	// allocations on the append path (the header is patched in after the
+	// payload is encoded, when its length and checksum are known).
+	var zeroHdr [fileLogHeaderSize]byte
+	buf := append(l.encBuf[:0], zeroHdr[:]...)
+	buf = appendRecord(buf, r)
+	payload := buf[fileLogHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	l.encBuf = buf
+	if _, err := l.w.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: append record: %w", err)
 	}
 	l.nextLSN++
 	return r.LSN, nil
