@@ -28,6 +28,7 @@ import (
 	"groupsafe/internal/gcs/transport"
 	"groupsafe/internal/simrep"
 	"groupsafe/internal/storage"
+	"groupsafe/internal/tuning"
 	"groupsafe/internal/wal"
 	"groupsafe/internal/workload"
 )
@@ -267,10 +268,9 @@ func benchmarkAbcastBatching(b *testing.B, batch int) {
 	for i, m := range members {
 		router := gcs.NewRouter(network.Endpoint(m))
 		bc, err := abcast.New(abcast.Config{
-			Self:       m,
-			Members:    members,
-			BatchSize:  batch,
-			BatchDelay: 200 * time.Microsecond,
+			Self:     m,
+			Members:  members,
+			Batching: tuning.Batching{BatchSize: batch, BatchDelay: 200 * time.Microsecond},
 		}, router)
 		if err != nil {
 			b.Fatal(err)
@@ -383,9 +383,7 @@ func benchmarkBatchedReplication(b *testing.B, level core.SafetyLevel, batch, ap
 		Items:         8192,
 		Level:         level,
 		DiskSyncDelay: 100 * time.Microsecond,
-		BatchSize:     batch,
-		BatchDelay:    200 * time.Microsecond,
-		ApplyWorkers:  applyWorkers,
+		Pipeline:      tuning.Pipe(batch, 200*time.Microsecond, applyWorkers),
 	})
 	if err != nil {
 		b.Fatal(err)

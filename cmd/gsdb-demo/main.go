@@ -7,6 +7,8 @@
 // Usage:
 //
 //	gsdb-demo -level group-safe -replicas 3 -txns 200 -disk-sync 2ms
+//	gsdb-demo -technique active -txns 200
+//	gsdb-demo -compare-techniques
 package main
 
 import (
@@ -16,12 +18,15 @@ import (
 	"time"
 
 	"groupsafe/internal/core"
+	"groupsafe/internal/experiments"
 	"groupsafe/internal/stats"
+	"groupsafe/internal/tuning"
 	"groupsafe/internal/workload"
 )
 
 func main() {
 	levelFlag := flag.String("level", "group-safe", "safety level: 0-safe | 1-safe-lazy | group-safe | group-1-safe | 2-safe | very-safe")
+	techniqueFlag := flag.String("technique", "certification", "replication technique: certification | active | lazy-primary")
 	replicas := flag.Int("replicas", 3, "number of replica servers")
 	txns := flag.Int("txns", 200, "number of transactions to run")
 	diskSync := flag.Duration("disk-sync", 2*time.Millisecond, "emulated log-force latency")
@@ -31,7 +36,32 @@ func main() {
 	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables sender batching)")
 	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
 	applyWorkers := flag.Int("apply-workers", 1, "concurrent write-set installs per replica (<=1: serial apply)")
+	compare := flag.Bool("compare-techniques", false, "run the same workload over all three replication techniques and print the comparison")
 	flag.Parse()
+
+	if *compare {
+		const compareClients = 4
+		perClient := *txns / compareClients
+		if perClient < 1 {
+			perClient = 1
+		}
+		results, err := experiments.RunTechniqueComparison(experiments.TechniqueComparisonConfig{
+			Replicas:       *replicas,
+			Items:          10000,
+			Clients:        compareClients,
+			TxnsPerClient:  perClient,
+			DiskSyncDelay:  *diskSync,
+			NetworkLatency: *netLatency,
+			Pipeline:       tuning.Pipe(*batch, *batchDelay, *applyWorkers),
+			Seed:           *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatTechniqueComparison(results))
+		return
+	}
 
 	var level core.SafetyLevel
 	found := false
@@ -45,18 +75,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown safety level %q\n", *levelFlag)
 		os.Exit(2)
 	}
+	technique, err := core.ParseTechnique(*techniqueFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// The lazy primary-copy technique is inherently 1-safe: accept the
+	// default -level rather than rejecting the flag combination.
+	if technique == core.TechLazyPrimary && level.UsesGroupCommunication() {
+		level = core.Safety1Lazy
+	}
 
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		Replicas:       *replicas,
 		Items:          10000,
 		Level:          level,
+		Technique:      technique,
 		DiskSyncDelay:  *diskSync,
 		NetworkLatency: *netLatency,
 		ExecTimeout:    15 * time.Second,
 		Seed:           *seed,
-		BatchSize:      *batch,
-		BatchDelay:     *batchDelay,
-		ApplyWorkers:   *applyWorkers,
+		Pipeline:       tuning.Pipe(*batch, *batchDelay, *applyWorkers),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -64,7 +103,7 @@ func main() {
 	}
 	defer cluster.Close()
 
-	fmt.Printf("started %d-replica cluster at safety level %s\n", *replicas, level)
+	fmt.Printf("started %d-replica cluster: technique %s, safety level %s\n", *replicas, technique, cluster.Level())
 	gen := workload.NewGenerator(workload.DefaultConfig(), *seed)
 	sample := stats.NewSample()
 	commits, aborts := 0, 0

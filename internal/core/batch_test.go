@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"groupsafe/internal/tuning"
 	"groupsafe/internal/workload"
 )
 
@@ -45,11 +46,10 @@ func runConcurrent(t *testing.T, c *Cluster, delegate, clients, txns, items int)
 // state — batching must not reorder or drop write sets.
 func TestClusterBatchedConvergence(t *testing.T) {
 	c, err := NewCluster(ClusterConfig{
-		Replicas:   3,
-		Items:      512,
-		Level:      GroupSafe,
-		BatchSize:  8,
-		BatchDelay: 500 * time.Microsecond,
+		Replicas: 3,
+		Items:    512,
+		Level:    GroupSafe,
+		Pipeline: tuning.Pipe(8, 500*time.Microsecond, 0),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -81,11 +81,10 @@ func TestClusterBatchedConvergence(t *testing.T) {
 // batches, and the cluster must stay consistent.
 func TestClusterBatched2Safe(t *testing.T) {
 	c, err := NewCluster(ClusterConfig{
-		Replicas:   3,
-		Items:      256,
-		Level:      Safety2,
-		BatchSize:  4,
-		BatchDelay: 500 * time.Microsecond,
+		Replicas: 3,
+		Items:    256,
+		Level:    Safety2,
+		Pipeline: tuning.Pipe(4, 500*time.Microsecond, 0),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -149,11 +148,10 @@ func TestRecoveredDelegateCanCommit(t *testing.T) {
 // the pipe).
 func TestClusterBatchedFailover(t *testing.T) {
 	c, err := NewCluster(ClusterConfig{
-		Replicas:   5,
-		Items:      512,
-		Level:      Group1Safe,
-		BatchSize:  8,
-		BatchDelay: 500 * time.Microsecond,
+		Replicas: 5,
+		Items:    512,
+		Level:    Group1Safe,
+		Pipeline: tuning.Pipe(8, 500*time.Microsecond, 0),
 	})
 	if err != nil {
 		t.Fatal(err)

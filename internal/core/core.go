@@ -7,6 +7,7 @@ import (
 
 	"groupsafe/internal/gcs/fd"
 	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/tuning"
 	"groupsafe/internal/workload"
 )
 
@@ -21,6 +22,9 @@ type ClusterConfig struct {
 	Items int
 	// Level is the safety criterion of every replica.
 	Level SafetyLevel
+	// Technique is the replication technique every replica runs
+	// (certification-based by default; see TechniqueID).
+	Technique TechniqueID
 	// DiskSyncDelay emulates the cost of forcing a log to disk.
 	DiskSyncDelay time.Duration
 	// NetworkLatency and NetworkJitter emulate the LAN.
@@ -37,17 +41,9 @@ type ClusterConfig struct {
 	Detector fd.Config
 	// Seed seeds the network randomness.
 	Seed int64
-	// BatchSize is the maximum number of concurrent A-broadcast payloads each
-	// replica's atomic broadcast coalesces into one DATA message (<= 1 keeps
-	// the unbatched one-round-per-transaction protocol).
-	BatchSize int
-	// BatchDelay bounds how long a payload waits for co-travellers before a
-	// partial batch is flushed (defaults to 1ms when BatchSize > 1).
-	BatchDelay time.Duration
-	// ApplyWorkers bounds how many certified write sets of one drained batch
-	// each replica installs concurrently (<= 1 keeps the serial apply loop;
-	// see ReplicaConfig.ApplyWorkers).
-	ApplyWorkers int
+	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay,
+	// ApplyWorkers) applied to every replica; see the tuning package.
+	tuning.Pipeline
 }
 
 func (c *ClusterConfig) applyDefaults() {
@@ -92,15 +88,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Members:              members,
 			Items:                cfg.Items,
 			Level:                cfg.Level,
+			Technique:            cfg.Technique,
 			Network:              network,
 			DiskSyncDelay:        cfg.DiskSyncDelay,
 			ExecTimeout:          cfg.ExecTimeout,
 			LazyPropagationDelay: cfg.LazyPropagationDelay,
 			StartDetector:        cfg.StartDetectors,
 			Detector:             cfg.Detector,
-			BatchSize:            cfg.BatchSize,
-			BatchDelay:           cfg.BatchDelay,
-			ApplyWorkers:         cfg.ApplyWorkers,
+			Pipeline:             cfg.Pipeline,
 		})
 		if err != nil {
 			c.Close()
@@ -108,6 +103,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.replicas = append(c.replicas, r)
 	}
+	// Reflect the technique's level canonicalisation (e.g. active promoting
+	// the zero level to group-safe) so Cluster.Level agrees with what the
+	// replicas actually run.
+	c.cfg.Level = c.replicas[0].Level()
 	return c, nil
 }
 
@@ -119,6 +118,9 @@ func (c *Cluster) Size() int { return len(c.replicas) }
 
 // Level returns the cluster's safety level.
 func (c *Cluster) Level() SafetyLevel { return c.cfg.Level }
+
+// Technique returns the cluster's replication technique.
+func (c *Cluster) Technique() TechniqueID { return c.cfg.Technique }
 
 // Replica returns the i-th replica (0-based).
 func (c *Cluster) Replica(i int) *Replica {
@@ -135,11 +137,17 @@ func (c *Cluster) Replicas() []*Replica {
 	return out
 }
 
-// Execute runs a request with replica i as the delegate.
+// Execute runs a request with replica i as the delegate.  Under the lazy
+// primary-copy technique, update transactions are transparently routed to
+// the primary (replica 0) — the cluster plays the role of the client-side
+// driver that knows where the primary copy lives.
 func (c *Cluster) Execute(i int, req Request) (Result, error) {
 	r := c.Replica(i)
 	if r == nil {
 		return Result{}, fmt.Errorf("%w: index %d", ErrNotFound, i)
+	}
+	if c.cfg.Technique == TechLazyPrimary && !r.IsPrimary() && requestMayWrite(req) {
+		r = c.Replica(0)
 	}
 	return r.Execute(req)
 }

@@ -1,21 +1,35 @@
-// Package core implements the replicated database component of the paper:
-// update-everywhere, non-voting, certification-based replication (the
-// database state machine approach) built on group communication, with the
-// client response point parameterised by the safety criterion — 0-safe,
-// 1-safe (lazy), group-safe, group-1-safe, 2-safe and very-safe (Sects. 2, 4
-// and 5 of the paper).
+// Package core implements the replicated database layer of the paper as a
+// technique-independent engine plus a pluggable replication Technique
+// (Sects. 2, 4 and 5; the companion comparison papers for the alternative
+// techniques).
+//
+// The engine owns the client session (Execute), the group communication
+// stack and its lifecycle (crash, state transfer, recovery), the ordered
+// delivery drain loops, durability forcing and client notification.  The
+// Technique decides what is broadcast, how a delivered message commits, and
+// where the client is notified.  Three techniques ship:
+//
+//   - certification (TechCertification): the paper's own protocol — the
+//     database state machine.  Update transactions execute optimistically at
+//     their delegate, are atomically broadcast with their read versions and
+//     write set, and every replica certifies them in delivery order
+//     (first-updater-wins).  SafetyLevel parameterises the client response
+//     point: 0-safe, 1-safe (lazy), group-safe, group-1-safe, 2-safe,
+//     very-safe.
+//   - active (TechActive): active replication — the full deterministic
+//     operation list is broadcast and executed by every replica in total
+//     order.  No certification, zero aborts, higher CPU.
+//   - lazy-primary (TechLazyPrimary): lazy primary-copy, the 1-safe
+//     baseline — updates execute only at the primary, which replies after
+//     its forced local commit and ships write sets asynchronously (FIFO in
+//     commit order) to the secondaries.
 //
 // A Cluster wires one Replica per server onto a shared in-memory network
-// with failure injection.  Each replica combines a local database component
-// (internal/db) with a group communication component (internal/gcs): update
-// transactions execute optimistically at their delegate, are atomically
-// broadcast with their read versions and write set, and every replica
-// certifies and applies them in delivery order (first-updater-wins).
-//
-// The replication pipeline is batched end to end: the atomic broadcast
-// coalesces concurrent payloads into multi-payload DATA messages
-// (ClusterConfig.BatchSize / BatchDelay), and the apply loop drains delivered
-// bursts, installing every write set of a batch with a single group-committed
-// log force before any delegate is notified.  See docs/ARCHITECTURE.md for
-// the dataflow and BENCH.md for the measured effect.
+// with failure injection.  The replication pipeline is batched end to end:
+// the atomic broadcast coalesces concurrent payloads into multi-payload DATA
+// messages, and the apply loops drain delivered bursts, installing every
+// write set of a batch with a single group-committed log force before any
+// delegate is notified (knobs shared via the tuning package).  See
+// docs/ARCHITECTURE.md for the layering diagram and BENCH.md for measured
+// effects.
 package core

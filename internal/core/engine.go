@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"groupsafe/internal/apply"
+	"groupsafe/internal/gcs/abcast"
+	"groupsafe/internal/gcs/e2e"
+	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/storage"
+	"groupsafe/internal/workload"
+)
+
+// This file is the technique-independent half of the replica: the ordered
+// delivery drain loops, the submit/notify plumbing between a delegate's
+// Execute call and the apply goroutine, and the externalisation step that
+// reports outcomes to clients and issues end-to-end acknowledgements.  The
+// technique-specific half (what is broadcast, how a delivery commits) lives
+// behind the Technique interface (technique.go).
+
+// applyItem is one totally-ordered delivery handed to the batched apply loop.
+// ack is non-nil for end-to-end deliveries and signals successful delivery.
+type applyItem struct {
+	seq     uint64
+	payload []byte
+	ack     func()
+}
+
+// maxApplyBatch bounds how many deliveries are applied under one force.
+const maxApplyBatch = 256
+
+// drainUpTo collects first plus every value already queued on ch, up to max
+// elements, without blocking.
+func drainUpTo[T any](ch <-chan T, first T, max int) []T {
+	batch := []T{first}
+	for len(batch) < max {
+		select {
+		case v := <-ch:
+			batch = append(batch, v)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// applyState is the apply-pipeline state of ONE incarnation's apply
+// goroutine: the conflict-graph scheduler and the reusable batch arenas that
+// make the steady-state apply path allocation-free.  It is owned by that
+// goroutine alone — a recovered replica gets a fresh applyState, so a
+// straggling pre-crash apply loop can never share arenas with its successor.
+// The certification and active techniques use disjoint subsets of the
+// fields; both go through staged and the scheduler.
+type applyState struct {
+	sched  *apply.Scheduler
+	staged []stagedTxn // outcomes of the current batch, delivery order
+
+	// Certification-technique arenas (technique_cert.go).
+	batchRecs []txnRecord       // decode arena, one slot per batch position
+	batchOK   []bool            // per-slot decode success
+	tasks     [][]storage.Write // committed write sets handed to the scheduler
+	certBumps map[int]uint64    // per-item version bumps staged by this batch
+
+	// Active-technique arenas (technique_active.go).
+	opsRec    opsRecord       // decode arena (one delivery at a time, serial)
+	writeVals map[int]int64   // last-write-wins write buffer of one execution
+	writeBuf  []storage.Write // sorted write set handed to stage+install
+}
+
+func newApplyState(workers int) *applyState {
+	return &applyState{
+		sched:     apply.New(workers),
+		certBumps: make(map[int]uint64),
+		writeVals: make(map[int]int64),
+	}
+}
+
+// stagedTxn is one processed delivery of the current batch, ready to be
+// externalised once the batch force and installs complete.
+type stagedTxn struct {
+	item     applyItem
+	txnID    uint64
+	delegate string
+	outcome  Outcome
+	reads    map[int]int64 // delegate read results (active technique only)
+}
+
+// txnOutcome is what the apply goroutine hands back to a waiting Execute
+// call: the certified outcome and, for techniques that execute reads at
+// delivery time (active replication), the values read.
+type txnOutcome struct {
+	outcome Outcome
+	reads   map[int]int64
+}
+
+// applyLoopClassical consumes deliveries from the classical atomic broadcast,
+// draining every delivery already queued so the whole batch is applied with a
+// single log force and one bookkeeping lock round.
+//
+// When the stop signal races a pending delivery, the queued suffix is
+// deliberately DISCARDED, never applied (one-by-one or otherwise): stop is
+// only ever closed by a crash-model teardown (Crash/Close mark the replica
+// crashed first), and a crashed process losing its delivered-but-unprocessed
+// messages is exactly the paper's Fig. 5 window — classical levels recover
+// them by state transfer, end-to-end levels replay them from the message
+// log.  Applying them here would externalise work a crashed process cannot
+// have done.  A batch already inside applyBatch when the race happens is
+// likewise abandoned at the next applierCurrent gate.
+func (r *Replica) applyLoopClassical(st *applyState, ab *abcast.Broadcaster, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case d := <-ab.Deliveries():
+			ds := drainUpTo(ab.Deliveries(), d, maxApplyBatch)
+			batch := make([]applyItem, len(ds))
+			for i, dd := range ds {
+				batch[i] = applyItem{seq: dd.Seq, payload: dd.Payload}
+			}
+			r.tech.applyBatch(r, st, stop, batch)
+		}
+	}
+}
+
+// applyLoopE2E consumes deliveries from the end-to-end atomic broadcast and
+// acknowledges each one after the database has processed it (successful
+// delivery, Sect. 4.2).  Like the classical loop it applies drained batches;
+// acknowledgements are issued only after the batch force, so a crash mid-batch
+// replays the whole unacknowledged suffix (apply is idempotent).  Like the
+// classical loop, deliveries that race the stop signal are discarded, not
+// applied — they are logged and unacknowledged, so recovery replays them.
+func (r *Replica) applyLoopE2E(st *applyState, b *e2e.Broadcaster, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case d := <-b.Deliveries():
+			ds := drainUpTo(b.Deliveries(), d, maxApplyBatch)
+			batch := make([]applyItem, len(ds))
+			for i, dd := range ds {
+				batch[i] = r.e2eItem(b, dd)
+			}
+			r.tech.applyBatch(r, st, stop, batch)
+		}
+	}
+}
+
+func (r *Replica) e2eItem(b *e2e.Broadcaster, d e2e.Delivery) applyItem {
+	seq := d.Seq
+	return applyItem{seq: seq, payload: d.Payload, ack: func() { _ = b.Ack(seq) }}
+}
+
+// applierCurrent reports whether the apply loop identified by stop still
+// belongs to the live incarnation: the replica is not crashed and no newer
+// incarnation has been started.  A straggling pre-crash loop (e.g. one whose
+// deliver hook crashed the replica mid-batch) fails this gate and abandons
+// its work instead of racing the recovered incarnation.
+func (r *Replica) applierCurrent(stop chan struct{}) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.crashed && r.applierStop == stop
+}
+
+// deliveryGate is the per-delivery variant of applierCurrent used inside a
+// batch: it additionally snapshots the test deliver hook under the same lock.
+func (r *Replica) deliveryGate(stop chan struct{}) (hook func(txnID uint64), current bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deliverHook, !r.crashed && r.applierStop == stop
+}
+
+func (r *Replica) broadcast(payload []byte) error {
+	r.mu.Lock()
+	e2eb, ab := r.e2eb, r.ab
+	r.mu.Unlock()
+	if e2eb != nil {
+		_, err := e2eb.Broadcast(payload)
+		return err
+	}
+	if ab != nil {
+		_, err := ab.Broadcast(payload)
+		return err
+	}
+	return fmt.Errorf("core: technique %v at level %v does not use group communication", r.tech.ID(), r.cfg.Level)
+}
+
+func (r *Replica) countOutcome(o Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o == OutcomeCommitted {
+		r.stats.Committed++
+	} else if o == OutcomeAborted {
+		r.stats.Aborted++
+	}
+}
+
+// submitAndWait registers the transaction's notification channel, broadcasts
+// the payload through the group communication stack, and blocks until the
+// apply goroutine reports the outcome — plus, under very-safe, until every
+// server (available or not) has acknowledged the transaction.  It is the
+// shared submit path of every broadcast-based technique.
+func (r *Replica) submitAndWait(txnID uint64, payload []byte, crashCh chan struct{}) (txnOutcome, error) {
+	outcomeCh := make(chan txnOutcome, 1)
+	var veryDone chan struct{}
+	r.mu.Lock()
+	r.pending[txnID] = outcomeCh
+	if r.cfg.Level == VerySafe {
+		veryDone = make(chan struct{})
+		r.veryDone[txnID] = veryDone
+		r.veryAcks[txnID] = make(map[string]bool)
+	}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, txnID)
+		delete(r.veryDone, txnID)
+		delete(r.veryAcks, txnID)
+		r.mu.Unlock()
+	}()
+
+	if err := r.broadcast(payload); err != nil {
+		return txnOutcome{}, fmt.Errorf("core: broadcast: %w", err)
+	}
+
+	timeout := time.NewTimer(r.cfg.ExecTimeout)
+	defer timeout.Stop()
+	var out txnOutcome
+	select {
+	case out = <-outcomeCh:
+	case <-crashCh:
+		return txnOutcome{}, ErrCrashed
+	case <-timeout.C:
+		return txnOutcome{}, fmt.Errorf("%w: txn %d", ErrTimeout, txnID)
+	}
+
+	// Very-safe: additionally wait until every server (not just the available
+	// ones) has acknowledged the transaction.
+	if r.cfg.Level == VerySafe && out.outcome == OutcomeCommitted {
+		select {
+		case <-veryDone:
+		case <-crashCh:
+			return txnOutcome{}, ErrCrashed
+		case <-timeout.C:
+			return txnOutcome{}, fmt.Errorf("%w: txn %d waiting for very-safe acks", ErrTimeout, txnID)
+		}
+	}
+	return out, nil
+}
+
+// externalize is the final phase of every technique's applyBatch: it runs
+// strictly after the batch force and every install, so nothing here can be
+// observed for a transaction that is not durable according to the safety
+// level.  Bookkeeping for the whole batch happens under a single lock
+// acquisition, then delegates are notified, very-safe acknowledgements are
+// recorded or sent, and end-to-end deliveries are acknowledged.  The router
+// is snapshotted under the same lock: incarnation swaps publish a new router
+// under mu, so an unlocked read would race a concurrent Recover.
+func (r *Replica) externalize(staged []stagedTxn) {
+	r.mu.Lock()
+	router := r.router
+	notifyCh := make([]chan txnOutcome, len(staged))
+	for i, a := range staged {
+		r.stats.Delivered++
+		if a.item.seq > r.lastAppliedSeq {
+			r.lastAppliedSeq = a.item.seq
+		}
+		if ch, ok := r.pending[a.txnID]; ok {
+			notifyCh[i] = ch
+		}
+	}
+	r.mu.Unlock()
+
+	for i, a := range staged {
+		if ch := notifyCh[i]; ch != nil {
+			select {
+			case ch <- txnOutcome{outcome: a.outcome, reads: a.reads}:
+			default:
+			}
+			r.countOutcome(a.outcome)
+			if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
+				r.recordVerySafeAck(a.txnID, r.cfg.ID)
+			}
+		} else if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
+			// Very-safe: every replica confirms to the delegate that the
+			// transaction is logged locally (and, batched, durably forced).
+			ackBytes := encodePayload(ackPayload{TxnID: a.txnID, Replica: r.cfg.ID})
+			_ = router.Send(a.delegate, transport.Message{Type: msgAck, Payload: ackBytes})
+		}
+		if a.item.ack != nil {
+			a.item.ack()
+		}
+	}
+}
+
+// writesInRange reports whether every written item exists, so staging never
+// logs a write set the store would refuse to install.
+func writesInRange(writes []storage.Write, numItems int) bool {
+	for _, w := range writes {
+		if w.Item < 0 || w.Item >= numItems {
+			return false
+		}
+	}
+	return true
+}
+
+// requestMayWrite reports whether the request can update the database: it
+// contains a write operation, or a Compute hook that could emit one.
+func requestMayWrite(req Request) bool {
+	if req.Compute != nil {
+		return true
+	}
+	for _, op := range req.Ops {
+		if op.Write {
+			return true
+		}
+	}
+	return false
+}
+
+// onVerySafeAck records a per-replica acknowledgement at the delegate.
+func (r *Replica) onVerySafeAck(m transport.Message) {
+	var p ackPayload
+	if err := decodePayload(m.Payload, &p); err != nil {
+		return
+	}
+	r.recordVerySafeAck(p.TxnID, p.Replica)
+}
+
+func (r *Replica) recordVerySafeAck(txnID uint64, replica string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acks, ok := r.veryAcks[txnID]
+	if !ok {
+		return
+	}
+	acks[replica] = true
+	if len(acks) == len(r.cfg.Members) {
+		if done, ok := r.veryDone[txnID]; ok {
+			select {
+			case <-done:
+			default:
+				close(done)
+			}
+		}
+	}
+}
+
+// Execute a request built from a workload transaction.
+func RequestFromWorkload(t workload.Transaction) Request {
+	return Request{ID: 0, Ops: t.Ops}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"groupsafe/internal/gcs"
+	"groupsafe/internal/gcs/abcast"
+	"groupsafe/internal/gcs/e2e"
+	"groupsafe/internal/gcs/fd"
+	"groupsafe/internal/storage"
+	"groupsafe/internal/wal"
+)
+
+// This file is the replica's incarnation lifecycle: building and tearing
+// down the group communication stack, the crash model (Crash loses volatile
+// state, a recovered process is a new process), checkpoint-based state
+// transfer and end-to-end message replay.  It is technique-independent: the
+// technique only decides whether a broadcaster and apply loop exist at all
+// (Technique.usesGroupComm) and what the apply loop does with deliveries.
+
+// startGroupCommunication builds (or rebuilds, after recovery) the router,
+// the broadcaster and the applier for the current incarnation.  Callers
+// serialise it against stopGroupCommunication with lifeMu (NewReplica runs
+// before any concurrency exists).
+func (r *Replica) startGroupCommunication() error {
+	ep := r.cfg.Network.Endpoint(r.cfg.ID)
+	router := gcs.NewRouter(ep)
+	router.Handle(msgLazy, r.onLazy)
+	router.Handle(msgAck, r.onVerySafeAck)
+
+	r.incarnation++
+	stop := make(chan struct{})
+	var (
+		ab   *abcast.Broadcaster
+		e2eb *e2e.Broadcaster
+		det  *fd.Detector
+	)
+
+	if r.tech.usesGroupComm(r.cfg.Level) {
+		var err error
+		ab, err = abcast.New(abcast.Config{
+			Self:        r.cfg.ID,
+			Members:     r.cfg.Members,
+			Batching:    r.cfg.Batching,
+			Incarnation: uint64(r.incarnation),
+		}, router)
+		if err != nil {
+			return err
+		}
+		if r.cfg.Level.RequiresEndToEnd() {
+			if r.msgLog == nil {
+				r.msgLog = wal.NewMemLogWithDelay(r.cfg.DiskSyncDelay)
+			}
+			e2eb, err = e2e.Wrap(ab, e2e.Config{Log: r.msgLog})
+			if err != nil {
+				return err
+			}
+		}
+		if r.cfg.StartDetector {
+			det = fd.New(r.cfg.ID, r.cfg.Members, router, r.cfg.Detector)
+			router.Handle(fd.MsgHeartbeat, det.OnMessage)
+			det.OnEvent(func(ev fd.Event) {
+				if ev.Suspected {
+					ab.Suspect(ev.Peer)
+				} else {
+					ab.Unsuspect(ev.Peer)
+				}
+			})
+		}
+	}
+
+	// Publish the new incarnation's stack under mu: concurrent readers
+	// (broadcast, Suspect, BroadcastStats, the apply gate) see either the
+	// old stack or the new one, never a half-built mix.
+	r.mu.Lock()
+	r.router = router
+	r.ab = ab
+	r.e2eb = e2eb
+	r.detector = det
+	r.applierStop = stop
+	r.mu.Unlock()
+
+	router.Start()
+	if det != nil {
+		det.Start()
+	}
+	st := newApplyState(r.cfg.ApplyWorkers)
+	if e2eb != nil {
+		e2eb.Start()
+		go r.applyLoopE2E(st, e2eb, stop)
+	} else if ab != nil {
+		go r.applyLoopClassical(st, ab, stop)
+	}
+	return nil
+}
+
+// stopGroupCommunication tears down the current incarnation's group
+// communication stack (used by Crash and Close, under lifeMu).
+func (r *Replica) stopGroupCommunication() {
+	r.mu.Lock()
+	stop := r.applierStop
+	r.applierStop = nil
+	det := r.detector
+	r.detector = nil
+	e2eb, ab, router := r.e2eb, r.ab, r.router
+	r.mu.Unlock()
+
+	if stop != nil {
+		close(stop)
+	}
+	if det != nil {
+		det.Stop()
+	}
+	if e2eb != nil {
+		e2eb.Close()
+	}
+	if ab != nil {
+		ab.Close()
+	}
+	if router != nil {
+		router.Stop()
+	}
+}
+
+// Crash simulates a full server crash: the replica stops processing, its
+// network endpoint goes silent, and every piece of volatile state (database
+// buffers, unsynced logs, the group communication component's in-memory
+// state) is lost.
+func (r *Replica) Crash() {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.crashed = true
+	close(r.crashCh)
+	// The propagation queue is volatile state: acknowledged-but-unshipped
+	// lazy write sets die with the process (the 1-safe loss window).
+	r.lazyQueue = nil
+	r.mu.Unlock()
+
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
+	r.cfg.Network.Crash(r.cfg.ID)
+	r.stopGroupCommunication()
+}
+
+// StateSnapshot is the checkpoint shipped during state transfer.
+type StateSnapshot struct {
+	Items          []storage.Item
+	AppliedTxns    []uint64
+	LastAppliedSeq uint64
+}
+
+// Snapshot produces a state-transfer checkpoint of this replica.
+func (r *Replica) Snapshot() StateSnapshot {
+	return StateSnapshot{
+		Items:          r.dbase.SnapshotState(),
+		AppliedTxns:    r.dbase.AppliedTxns(),
+		LastAppliedSeq: r.LastAppliedSeq(),
+	}
+}
+
+// Recover restarts a crashed replica.  If snapshot is non-nil it is installed
+// first (checkpoint-based state transfer of the dynamic crash no-recovery
+// model); with end-to-end atomic broadcast, logged-but-unacknowledged
+// messages are then replayed (log-based recovery).  It returns the number of
+// replayed messages.
+func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
+	r.mu.Lock()
+	if !r.crashed {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("core: replica %s is not crashed", r.cfg.ID)
+	}
+	r.mu.Unlock()
+
+	// Serialise against a Crash/Close teardown still in flight (e.g. one
+	// triggered from inside the old incarnation's deliver hook).
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
+
+	// Volatile state of the database component is lost; rebuild from the
+	// durable prefix of its write-ahead log.
+	if err := r.dbase.CrashAndRecover(); err != nil {
+		return 0, fmt.Errorf("core: database recovery: %w", err)
+	}
+	// The group communication message log also loses its unsynced tail.
+	if r.msgLog != nil {
+		r.msgLog.Crash()
+	}
+
+	r.cfg.Network.Recover(r.cfg.ID)
+
+	r.mu.Lock()
+	r.pending = make(map[uint64]chan txnOutcome)
+	r.veryAcks = make(map[uint64]map[string]bool)
+	r.veryDone = make(map[uint64]chan struct{})
+	r.crashed = false
+	r.crashCh = make(chan struct{})
+	r.lastAppliedSeq = 0
+	r.mu.Unlock()
+
+	if err := r.startGroupCommunication(); err != nil {
+		return 0, err
+	}
+
+	if snapshot != nil {
+		r.installSnapshot(*snapshot)
+	}
+
+	replayed := 0
+	if r.e2eb != nil {
+		n, err := r.e2eb.Recover()
+		if err != nil {
+			return 0, fmt.Errorf("core: end-to-end recovery: %w", err)
+		}
+		replayed = n
+	}
+	return replayed, nil
+}
+
+func (r *Replica) installSnapshot(s StateSnapshot) {
+	r.dbase.RestoreState(s.Items, s.AppliedTxns)
+	r.mu.Lock()
+	r.lastAppliedSeq = s.LastAppliedSeq
+	ab := r.ab
+	r.mu.Unlock()
+	if ab != nil {
+		ab.SkipTo(s.LastAppliedSeq + 1)
+	}
+}
+
+// Close shuts the replica down.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	if !r.crashed {
+		r.crashed = true
+		close(r.crashCh)
+	}
+	r.mu.Unlock()
+	r.lifeMu.Lock()
+	r.stopGroupCommunication()
+	r.lifeMu.Unlock()
+	return r.dbase.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"groupsafe/internal/tuning"
 	"groupsafe/internal/workload"
 )
 
@@ -82,12 +83,10 @@ func runParallelApplyWorkload(t *testing.T, workers int) {
 	prev := runtime.GOMAXPROCS(8)
 	defer runtime.GOMAXPROCS(prev)
 	cluster, err := NewCluster(ClusterConfig{
-		Replicas:     3,
-		Items:        96, // small database: plenty of intra-batch conflicts
-		Level:        GroupSafe,
-		BatchSize:    8,
-		BatchDelay:   200 * time.Microsecond,
-		ApplyWorkers: workers,
+		Replicas: 3,
+		Items:    96, // small database: plenty of intra-batch conflicts
+		Level:    GroupSafe,
+		Pipeline: tuning.Pipe(8, 200*time.Microsecond, workers),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -150,12 +149,10 @@ func TestParallelApplyConcurrentRecovery(t *testing.T) {
 	prev := runtime.GOMAXPROCS(8)
 	defer runtime.GOMAXPROCS(prev)
 	cluster, err := NewCluster(ClusterConfig{
-		Replicas:     3,
-		Items:        128,
-		Level:        GroupSafe,
-		BatchSize:    8,
-		BatchDelay:   200 * time.Microsecond,
-		ApplyWorkers: 4,
+		Replicas: 3,
+		Items:    128,
+		Level:    GroupSafe,
+		Pipeline: tuning.Pipe(8, 200*time.Microsecond, 4),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -182,6 +182,106 @@ func encodeTxnPayload(txnID uint64, delegate string, readVers map[int]uint64, wr
 	return out
 }
 
+// --- binary operation-list payload codec (active replication hot path) ---
+
+// opsMagic versions the binary operation-list payload of active replication.
+const opsMagic = 0xA8
+
+// opsRecord is the decoded form of the message broadcast by active
+// replication: the full deterministic operation list, executed by every
+// replica in delivery order.  Ops is reused across deliveries by the apply
+// loop's decode arena, so it must not be retained past the delivery that
+// decoded it.
+type opsRecord struct {
+	TxnID    uint64
+	Delegate string
+	Ops      []workload.Op
+}
+
+// encodeOpsPayload encodes one update transaction's operation list for
+// active replication, using the same pooled-scratch varint style as
+// encodeTxnPayload: one allocation per encode.
+func encodeOpsPayload(txnID uint64, delegate string, ops []workload.Op) []byte {
+	s := payloadPool.Get().(*payloadScratch)
+	buf := append(s.buf[:0], opsMagic)
+	buf = binary.AppendUvarint(buf, txnID)
+	buf = binary.AppendUvarint(buf, uint64(len(delegate)))
+	buf = append(buf, delegate...)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		flag := byte(0)
+		if op.Write {
+			flag = 1
+		}
+		buf = append(buf, flag)
+		buf = binary.AppendUvarint(buf, uint64(op.Item))
+		if op.Write {
+			buf = binary.AppendVarint(buf, op.Value)
+		}
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	s.buf = buf
+	payloadPool.Put(s)
+	return out
+}
+
+// decodeOpsRecord decodes a binary operation-list payload into rec, reusing
+// rec's Ops slice (the apply loop's decode arena).
+func decodeOpsRecord(data []byte, rec *opsRecord) error {
+	if len(data) == 0 || data[0] != opsMagic {
+		return errBadTxnPayload
+	}
+	pos := 1
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	id, ok := next()
+	if !ok {
+		return errBadTxnPayload
+	}
+	rec.TxnID = id
+	dlen, ok := next()
+	if !ok || dlen > uint64(len(data)-pos) {
+		return errBadTxnPayload
+	}
+	rec.Delegate = string(data[pos : pos+int(dlen)])
+	pos += int(dlen)
+
+	nOps, ok := next()
+	if !ok || nOps > uint64(len(data)-pos) {
+		return errBadTxnPayload
+	}
+	rec.Ops = rec.Ops[:0]
+	for i := uint64(0); i < nOps; i++ {
+		if pos >= len(data) {
+			return errBadTxnPayload
+		}
+		write := data[pos] == 1
+		pos++
+		item, ok := next()
+		if !ok {
+			return errBadTxnPayload
+		}
+		op := workload.Op{Item: int(item), Write: write}
+		if write {
+			v, n := binary.Varint(data[pos:])
+			if n <= 0 {
+				return errBadTxnPayload
+			}
+			pos += n
+			op.Value = v
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	return nil
+}
+
 var errBadTxnPayload = errors.New("core: malformed transaction payload")
 
 // decodeTxnRecord decodes a binary transaction payload into rec, reusing

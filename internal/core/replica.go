@@ -6,16 +6,14 @@ import (
 	"sync"
 	"time"
 
-	"groupsafe/internal/apply"
 	"groupsafe/internal/db"
 	"groupsafe/internal/gcs"
 	"groupsafe/internal/gcs/abcast"
 	"groupsafe/internal/gcs/e2e"
 	"groupsafe/internal/gcs/fd"
 	"groupsafe/internal/gcs/transport"
-	"groupsafe/internal/storage"
+	"groupsafe/internal/tuning"
 	"groupsafe/internal/wal"
-	"groupsafe/internal/workload"
 )
 
 // Message types used by the replication layer on top of the shared router.
@@ -29,6 +27,13 @@ var (
 	ErrCrashed  = errors.New("core: replica is crashed")
 	ErrTimeout  = errors.New("core: timed out waiting for the transaction outcome")
 	ErrNotFound = errors.New("core: replica not found")
+	// ErrNotPrimary is returned by the lazy primary-copy technique when an
+	// update transaction is submitted to a non-primary replica.
+	ErrNotPrimary = errors.New("core: lazy primary-copy: update transactions must execute at the primary")
+	// ErrComputeNotReplicable is returned by active replication for requests
+	// with a Compute hook: a Go closure cannot be broadcast, and active
+	// replication replays the full operation list at every replica.
+	ErrComputeNotReplicable = errors.New("core: active replication cannot ship Compute closures; use static operation lists")
 )
 
 // ReplicaConfig configures one replica server.
@@ -41,48 +46,44 @@ type ReplicaConfig struct {
 	Items int
 	// Level is the safety criterion enforced when answering clients.
 	Level SafetyLevel
+	// Technique selects the replication technique (certification-based
+	// database state machine, active replication, or lazy primary-copy).
+	// The technique may constrain or canonicalise Level: active replication
+	// needs a group-communication level (the zero level is promoted to
+	// group-safe), lazy primary-copy is inherently 1-safe.
+	Technique TechniqueID
 	// Network is the shared in-memory network.
 	Network *transport.MemNetwork
 	// DiskSyncDelay emulates the latency of forcing a log to disk.
 	DiskSyncDelay time.Duration
 	// ExecTimeout bounds how long Execute waits for an outcome (default 10s).
 	ExecTimeout time.Duration
-	// LazyPropagationDelay postpones the asynchronous write-set propagation of
-	// the 0-safe and lazy levels, widening the window in which a delegate
-	// crash loses the transaction (used by the Table 2 experiments).
+	// LazyPropagationDelay postpones the asynchronous write-set propagation
+	// of the 0-safe, lazy and lazy primary-copy modes, widening the window
+	// in which a delegate crash loses the transaction (used by the Table 2
+	// experiments).
 	LazyPropagationDelay time.Duration
 	// StartDetector runs a heartbeat failure detector wired to the atomic
 	// broadcast's Suspect mechanism.
 	StartDetector bool
 	// Detector tunes the failure detector when StartDetector is set.
 	Detector fd.Config
-	// BatchSize is the maximum number of concurrent A-broadcast payloads the
-	// atomic broadcast coalesces into one DATA message (<= 1 disables
-	// sender-side batching).  Independent of this knob, the apply loop always
-	// drains delivered batches and forces the log once per drained batch.
-	BatchSize int
-	// BatchDelay bounds how long a payload waits for co-travellers before a
-	// partial batch is flushed.
-	BatchDelay time.Duration
-	// ApplyWorkers bounds how many certified write sets of one drained batch
-	// are installed concurrently.  Certification always stays serial in
-	// delivery order; with ApplyWorkers > 1 the committed write sets are
-	// partitioned by their item-conflict graph and independent write sets
-	// install in parallel, conflicting ones chained in delivery order —
-	// observationally identical to serial apply.  <= 1 keeps the serial
-	// apply loop.
-	ApplyWorkers int
+	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay,
+	// ApplyWorkers); see the tuning package for their semantics.
+	tuning.Pipeline
 }
 
-func (c *ReplicaConfig) applyDefaults() error {
+// applyDefaults validates the configuration, resolves the technique and lets
+// it canonicalise the safety level.
+func (c *ReplicaConfig) applyDefaults() (Technique, error) {
 	if c.ID == "" {
-		return fmt.Errorf("core: replica ID is required")
+		return nil, fmt.Errorf("core: replica ID is required")
 	}
 	if len(c.Members) == 0 {
-		return fmt.Errorf("core: member list is required")
+		return nil, fmt.Errorf("core: member list is required")
 	}
 	if c.Network == nil {
-		return fmt.Errorf("core: network is required")
+		return nil, fmt.Errorf("core: network is required")
 	}
 	if c.Items <= 0 {
 		c.Items = 1024
@@ -90,7 +91,16 @@ func (c *ReplicaConfig) applyDefaults() error {
 	if c.ExecTimeout <= 0 {
 		c.ExecTimeout = 10 * time.Second
 	}
-	return nil
+	tech, err := techniqueFor(c.Technique)
+	if err != nil {
+		return nil, err
+	}
+	level, err := tech.checkLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	c.Level = level
+	return tech, nil
 }
 
 // ReplicaStats are cumulative counters of one replica.
@@ -103,11 +113,12 @@ type ReplicaStats struct {
 }
 
 // Replica is one server of the replicated database: a local database
-// component plus a group communication component, combined by the replication
-// protocol.
+// component plus a group communication component, combined by the pluggable
+// replication technique.
 type Replica struct {
 	cfg   ReplicaConfig
 	index int
+	tech  Technique
 
 	// lifeMu serialises incarnation transitions (the teardown of Crash/Close
 	// and the rebuild of Recover): a crash triggered from inside the apply
@@ -122,7 +133,7 @@ type Replica struct {
 	ab             *abcast.Broadcaster
 	e2eb           *e2e.Broadcaster
 	detector       *fd.Detector
-	pending        map[uint64]chan Outcome
+	pending        map[uint64]chan txnOutcome
 	veryAcks       map[uint64]map[string]bool
 	veryDone       map[uint64]chan struct{}
 	crashed        bool
@@ -133,39 +144,17 @@ type Replica struct {
 	nextTxn        uint64
 	deliverHook    func(txnID uint64)
 	stats          ReplicaStats
-}
 
-// applyState is the apply-pipeline state of ONE incarnation's apply
-// goroutine: the conflict-graph scheduler and the reusable batch arenas that
-// make the steady-state apply path allocation-free.  It is owned by that
-// goroutine alone — a recovered replica gets a fresh applyState, so a
-// straggling pre-crash apply loop can never share arenas with its successor.
-type applyState struct {
-	sched     *apply.Scheduler
-	batchRecs []txnRecord       // decode arena, one slot per batch position
-	batchOK   []bool            // per-slot decode success
-	staged    []stagedTxn       // certified outcomes of the current batch
-	tasks     [][]storage.Write // committed write sets handed to the scheduler
-	certBumps map[int]uint64    // per-item version bumps staged by this batch
-}
-
-func newApplyState(workers int) *applyState {
-	return &applyState{
-		sched:     apply.New(workers),
-		certBumps: make(map[int]uint64),
-	}
-}
-
-// stagedTxn is one certified-and-staged delivery of the current batch.
-type stagedTxn struct {
-	item    applyItem
-	rec     *txnRecord
-	outcome Outcome
+	// Ordered asynchronous write-set propagation of the lazy modes
+	// (technique_lazy.go).
+	lazyQueue    []*lazyItem
+	lazyDraining bool
 }
 
 // NewReplica creates and starts a replica.
 func NewReplica(cfg ReplicaConfig) (*Replica, error) {
-	if err := cfg.applyDefaults(); err != nil {
+	tech, err := cfg.applyDefaults()
+	if err != nil {
 		return nil, err
 	}
 	index := -1
@@ -181,7 +170,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	r := &Replica{
 		cfg:      cfg,
 		index:    index,
-		pending:  make(map[uint64]chan Outcome),
+		tech:     tech,
+		pending:  make(map[uint64]chan txnOutcome),
 		veryAcks: make(map[uint64]map[string]bool),
 		veryDone: make(map[uint64]chan struct{}),
 		crashCh:  make(chan struct{}),
@@ -204,116 +194,18 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	return r, nil
 }
 
-// startGroupCommunication builds (or rebuilds, after recovery) the router,
-// the broadcaster and the applier for the current incarnation.  Callers
-// serialise it against stopGroupCommunication with lifeMu (NewReplica runs
-// before any concurrency exists).
-func (r *Replica) startGroupCommunication() error {
-	ep := r.cfg.Network.Endpoint(r.cfg.ID)
-	router := gcs.NewRouter(ep)
-	router.Handle(msgLazy, r.onLazy)
-	router.Handle(msgAck, r.onVerySafeAck)
-
-	r.incarnation++
-	stop := make(chan struct{})
-	var (
-		ab   *abcast.Broadcaster
-		e2eb *e2e.Broadcaster
-		det  *fd.Detector
-	)
-
-	if r.cfg.Level.UsesGroupCommunication() {
-		var err error
-		ab, err = abcast.New(abcast.Config{
-			Self:        r.cfg.ID,
-			Members:     r.cfg.Members,
-			BatchSize:   r.cfg.BatchSize,
-			BatchDelay:  r.cfg.BatchDelay,
-			Incarnation: uint64(r.incarnation),
-		}, router)
-		if err != nil {
-			return err
-		}
-		if r.cfg.Level.RequiresEndToEnd() {
-			if r.msgLog == nil {
-				r.msgLog = wal.NewMemLogWithDelay(r.cfg.DiskSyncDelay)
-			}
-			e2eb, err = e2e.Wrap(ab, e2e.Config{Log: r.msgLog})
-			if err != nil {
-				return err
-			}
-		}
-		if r.cfg.StartDetector {
-			det = fd.New(r.cfg.ID, r.cfg.Members, router, r.cfg.Detector)
-			router.Handle(fd.MsgHeartbeat, det.OnMessage)
-			det.OnEvent(func(ev fd.Event) {
-				if ev.Suspected {
-					ab.Suspect(ev.Peer)
-				} else {
-					ab.Unsuspect(ev.Peer)
-				}
-			})
-		}
-	}
-
-	// Publish the new incarnation's stack under mu: concurrent readers
-	// (broadcast, Suspect, BroadcastStats, the apply gate) see either the
-	// old stack or the new one, never a half-built mix.
-	r.mu.Lock()
-	r.router = router
-	r.ab = ab
-	r.e2eb = e2eb
-	r.detector = det
-	r.applierStop = stop
-	r.mu.Unlock()
-
-	router.Start()
-	if det != nil {
-		det.Start()
-	}
-	st := newApplyState(r.cfg.ApplyWorkers)
-	if e2eb != nil {
-		e2eb.Start()
-		go r.applyLoopE2E(st, e2eb, stop)
-	} else if ab != nil {
-		go r.applyLoopClassical(st, ab, stop)
-	}
-	return nil
-}
-
-// stopGroupCommunication tears down the current incarnation's group
-// communication stack (used by Crash and Close, under lifeMu).
-func (r *Replica) stopGroupCommunication() {
-	r.mu.Lock()
-	stop := r.applierStop
-	r.applierStop = nil
-	det := r.detector
-	r.detector = nil
-	e2eb, ab, router := r.e2eb, r.ab, r.router
-	r.mu.Unlock()
-
-	if stop != nil {
-		close(stop)
-	}
-	if det != nil {
-		det.Stop()
-	}
-	if e2eb != nil {
-		e2eb.Close()
-	}
-	if ab != nil {
-		ab.Close()
-	}
-	if router != nil {
-		router.Stop()
-	}
-}
-
 // ID returns the replica's address.
 func (r *Replica) ID() string { return r.cfg.ID }
 
-// Level returns the replica's safety level.
+// Level returns the replica's (canonicalised) safety level.
 func (r *Replica) Level() SafetyLevel { return r.cfg.Level }
+
+// Technique returns the replication technique the replica runs.
+func (r *Replica) Technique() TechniqueID { return r.tech.ID() }
+
+// IsPrimary reports whether this replica is the primary (the first member).
+// Only the lazy primary-copy technique distinguishes the primary.
+func (r *Replica) IsPrimary() bool { return r.index == 0 }
 
 // DB exposes the local database component (used by consistency checks).
 func (r *Replica) DB() *db.DB { return r.dbase }
@@ -333,9 +225,9 @@ func (r *Replica) Stats() ReplicaStats {
 }
 
 // BroadcastStats returns the atomic broadcast counters of this replica (zero
-// when the safety level does not use group communication).  The benchmarks
-// use it to measure the per-transaction message count of the batched
-// pipeline.
+// when the technique/safety level does not use group communication).  The
+// benchmarks use it to measure the per-transaction message count of the
+// batched pipeline.
 func (r *Replica) BroadcastStats() abcast.Stats {
 	r.mu.Lock()
 	ab := r.ab
@@ -384,7 +276,8 @@ func (r *Replica) nextTxnID() uint64 {
 }
 
 // Execute runs one client transaction with this replica as the delegate and
-// returns when the safety level's notification condition holds.
+// returns when the technique's and safety level's notification condition
+// holds.
 func (r *Replica) Execute(req Request) (Result, error) {
 	r.mu.Lock()
 	if r.crashed {
@@ -401,676 +294,5 @@ func (r *Replica) Execute(req Request) (Result, error) {
 	r.stats.Executed++
 	r.mu.Unlock()
 
-	switch r.cfg.Level {
-	case Safety0, Safety1Lazy:
-		return r.executeLocal(req)
-	default:
-		return r.executeReplicated(req, crashCh)
-	}
-}
-
-// executeLocal implements the 0-safe and lazy (1-safe) baselines: the
-// transaction runs entirely at the delegate under strict 2PL; the write set
-// is pushed to the other replicas asynchronously, after the client response.
-func (r *Replica) executeLocal(req Request) (Result, error) {
-	txn, err := r.dbase.Begin(req.ID)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: begin: %w", err)
-	}
-	readVals := make(map[int]int64)
-	runOps := func(ops []workload.Op) error {
-		for _, op := range ops {
-			if op.Write {
-				if err := txn.Write(op.Item, op.Value); err != nil {
-					return err
-				}
-				continue
-			}
-			v, err := txn.Read(op.Item)
-			if err != nil {
-				return err
-			}
-			readVals[op.Item] = v
-		}
-		return nil
-	}
-	err = runOps(req.Ops)
-	if err == nil && req.Compute != nil {
-		err = runOps(req.Compute(readVals))
-	}
-	if err != nil {
-		_ = txn.Abort()
-		r.countOutcome(OutcomeAborted)
-		return Result{TxnID: req.ID, Outcome: OutcomeAborted, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
-	}
-	ws := txn.WriteSet()
-	if err := txn.Commit(); err != nil {
-		return Result{}, fmt.Errorf("core: commit: %w", err)
-	}
-	r.countOutcome(OutcomeCommitted)
-
-	// Lazy propagation happens outside the transaction boundary.
-	if len(ws) > 0 {
-		payload := encodePayload(lazyPayload{TxnID: req.ID, Delegate: r.cfg.ID, Writes: ws})
-		delay := r.cfg.LazyPropagationDelay
-		go func() {
-			if delay > 0 {
-				time.Sleep(delay)
-			}
-			r.mu.Lock()
-			router, crashed := r.router, r.crashed
-			r.mu.Unlock()
-			if crashed || router == nil {
-				return
-			}
-			for _, m := range r.cfg.Members {
-				if m == r.cfg.ID {
-					continue
-				}
-				_ = router.Send(m, transport.Message{Type: msgLazy, Payload: payload})
-			}
-		}()
-	}
-	return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
-}
-
-// executeReplicated implements the group-communication based levels
-// (group-safe, group-1-safe, 2-safe, very-safe): optimistic execution at the
-// delegate, atomic broadcast of the read versions and write set, deterministic
-// certification at every replica.
-func (r *Replica) executeReplicated(req Request, crashCh chan struct{}) (Result, error) {
-	readVals := make(map[int]int64)
-	readVers := make(map[int]uint64)
-	writes := make(map[int]int64)
-	runOps := func(ops []workload.Op) error {
-		for _, op := range ops {
-			if op.Write {
-				writes[op.Item] = op.Value
-				continue
-			}
-			v, ver, err := r.dbase.ReadCommitted(op.Item)
-			if err != nil {
-				return fmt.Errorf("core: read item %d: %w", op.Item, err)
-			}
-			readVals[op.Item] = v
-			if _, seen := readVers[op.Item]; !seen {
-				readVers[op.Item] = ver
-			}
-		}
-		return nil
-	}
-	if err := runOps(req.Ops); err != nil {
-		return Result{}, err
-	}
-	if req.Compute != nil {
-		if err := runOps(req.Compute(readVals)); err != nil {
-			return Result{}, err
-		}
-	}
-
-	// Read-only transactions execute entirely at the delegate (Fig. 2/8:
-	// only transactions with writes are broadcast).
-	if len(writes) == 0 {
-		r.countOutcome(OutcomeCommitted)
-		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
-	}
-
-	outcomeCh := make(chan Outcome, 1)
-	var veryDone chan struct{}
-	r.mu.Lock()
-	r.pending[req.ID] = outcomeCh
-	if r.cfg.Level == VerySafe {
-		veryDone = make(chan struct{})
-		r.veryDone[req.ID] = veryDone
-		r.veryAcks[req.ID] = make(map[string]bool)
-	}
-	r.mu.Unlock()
-	defer func() {
-		r.mu.Lock()
-		delete(r.pending, req.ID)
-		delete(r.veryDone, req.ID)
-		delete(r.veryAcks, req.ID)
-		r.mu.Unlock()
-	}()
-
-	payload := encodeTxnPayload(req.ID, r.cfg.ID, readVers, writes)
-	if err := r.broadcast(payload); err != nil {
-		return Result{}, fmt.Errorf("core: broadcast: %w", err)
-	}
-
-	timeout := time.NewTimer(r.cfg.ExecTimeout)
-	defer timeout.Stop()
-	var outcome Outcome
-	select {
-	case outcome = <-outcomeCh:
-	case <-crashCh:
-		return Result{}, ErrCrashed
-	case <-timeout.C:
-		return Result{}, fmt.Errorf("%w: txn %d", ErrTimeout, req.ID)
-	}
-
-	// Very-safe: additionally wait until every server (not just the available
-	// ones) has acknowledged the transaction.
-	if r.cfg.Level == VerySafe && outcome == OutcomeCommitted {
-		select {
-		case <-veryDone:
-		case <-crashCh:
-			return Result{}, ErrCrashed
-		case <-timeout.C:
-			return Result{}, fmt.Errorf("%w: txn %d waiting for very-safe acks", ErrTimeout, req.ID)
-		}
-	}
-	return Result{TxnID: req.ID, Outcome: outcome, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
-}
-
-func (r *Replica) broadcast(payload []byte) error {
-	r.mu.Lock()
-	e2eb, ab := r.e2eb, r.ab
-	r.mu.Unlock()
-	if e2eb != nil {
-		_, err := e2eb.Broadcast(payload)
-		return err
-	}
-	if ab != nil {
-		_, err := ab.Broadcast(payload)
-		return err
-	}
-	return fmt.Errorf("core: safety level %v does not use group communication", r.cfg.Level)
-}
-
-func (r *Replica) countOutcome(o Outcome) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if o == OutcomeCommitted {
-		r.stats.Committed++
-	} else if o == OutcomeAborted {
-		r.stats.Aborted++
-	}
-}
-
-// applyItem is one totally-ordered delivery handed to the batched apply loop.
-// ack is non-nil for end-to-end deliveries and signals successful delivery.
-type applyItem struct {
-	seq     uint64
-	payload []byte
-	ack     func()
-}
-
-// maxApplyBatch bounds how many deliveries are applied under one force.
-const maxApplyBatch = 256
-
-// drainUpTo collects first plus every value already queued on ch, up to max
-// elements, without blocking.
-func drainUpTo[T any](ch <-chan T, first T, max int) []T {
-	batch := []T{first}
-	for len(batch) < max {
-		select {
-		case v := <-ch:
-			batch = append(batch, v)
-		default:
-			return batch
-		}
-	}
-	return batch
-}
-
-// applyLoopClassical consumes deliveries from the classical atomic broadcast,
-// draining every delivery already queued so the whole batch is applied with a
-// single log force and one bookkeeping lock round.
-//
-// When the stop signal races a pending delivery, the queued suffix is
-// deliberately DISCARDED, never applied (one-by-one or otherwise): stop is
-// only ever closed by a crash-model teardown (Crash/Close mark the replica
-// crashed first), and a crashed process losing its delivered-but-unprocessed
-// messages is exactly the paper's Fig. 5 window — classical levels recover
-// them by state transfer, end-to-end levels replay them from the message
-// log.  Applying them here would externalise work a crashed process cannot
-// have done.  A batch already inside applyBatch when the race happens is
-// likewise abandoned at the next applierCurrent gate.
-func (r *Replica) applyLoopClassical(st *applyState, ab *abcast.Broadcaster, stop chan struct{}) {
-	for {
-		select {
-		case <-stop:
-			return
-		case d := <-ab.Deliveries():
-			ds := drainUpTo(ab.Deliveries(), d, maxApplyBatch)
-			batch := make([]applyItem, len(ds))
-			for i, dd := range ds {
-				batch[i] = applyItem{seq: dd.Seq, payload: dd.Payload}
-			}
-			r.applyBatch(st, stop, batch)
-		}
-	}
-}
-
-// applyLoopE2E consumes deliveries from the end-to-end atomic broadcast and
-// acknowledges each one after the database has processed it (successful
-// delivery, Sect. 4.2).  Like the classical loop it applies drained batches;
-// acknowledgements are issued only after the batch force, so a crash mid-batch
-// replays the whole unacknowledged suffix (apply is idempotent).  Like the
-// classical loop, deliveries that race the stop signal are discarded, not
-// applied — they are logged and unacknowledged, so recovery replays them.
-func (r *Replica) applyLoopE2E(st *applyState, b *e2e.Broadcaster, stop chan struct{}) {
-	for {
-		select {
-		case <-stop:
-			return
-		case d := <-b.Deliveries():
-			ds := drainUpTo(b.Deliveries(), d, maxApplyBatch)
-			batch := make([]applyItem, len(ds))
-			for i, dd := range ds {
-				batch[i] = r.e2eItem(b, dd)
-			}
-			r.applyBatch(st, stop, batch)
-		}
-	}
-}
-
-func (r *Replica) e2eItem(b *e2e.Broadcaster, d e2e.Delivery) applyItem {
-	seq := d.Seq
-	return applyItem{seq: seq, payload: d.Payload, ack: func() { _ = b.Ack(seq) }}
-}
-
-// applyBatch certifies and applies a batch of totally-ordered transactions:
-// every write set is installed with its log records appended but not forced,
-// then one force covers all commit records of the batch, and only then are
-// delegates notified and end-to-end acknowledgements issued.  For a batch of
-// B transactions the levels that force on commit (group-1-safe, 2-safe,
-// very-safe) pay one disk force instead of B.
-//
-// Crash semantics: a crash mid-batch (the Fig. 5 window) abandons the whole
-// batch — commit records already appended for earlier batch members sit in
-// the unsynced log tail and are lost with it, like a real group-commit
-// system dying before its force.  That is safe under every criterion because
-// no outcome has been externalised: delegates are notified and e2e messages
-// acknowledged strictly after the batch force, so an unforced transaction
-// was never reported committed; end-to-end levels replay the whole
-// unacknowledged suffix from the message log, and classical levels recover
-// missed messages by state transfer, exactly as for a single lost delivery.
-// applyBatch runs the apply pipeline on one drained batch of totally-ordered
-// deliveries:
-//
-//  1. decode every payload (concurrently when ApplyWorkers > 1 — payloads are
-//     independent);
-//  2. certify and stage serially in strict delivery order: certification uses
-//     a version overlay (store versions plus the bumps staged earlier in this
-//     batch), the write sets and commit records are appended to the log in
-//     delivery order but not yet forced or installed;
-//  3. one group-committed force covers every commit record of the batch,
-//     overlapped with step 4 (neither depends on the other);
-//  4. the committed write sets are installed by the conflict-graph scheduler:
-//     disjoint write sets in parallel on the worker pool, conflicting ones
-//     chained in delivery order — byte-identical to a serial install;
-//  5. only then are delegates notified and end-to-end deliveries
-//     acknowledged.
-//
-// For a batch of B transactions the levels that force on commit pay one disk
-// force instead of B, and the installs use up to ApplyWorkers cores.
-//
-// Crash semantics are unchanged from the serial loop: a crash mid-batch (the
-// Fig. 5 window) abandons the whole batch — no outcome has been externalised,
-// because delegates are notified and e2e messages acknowledged strictly after
-// the batch force, so an unforced transaction was never reported committed;
-// end-to-end levels replay the whole unacknowledged suffix from the message
-// log, and classical levels recover missed messages by state transfer.
-func (r *Replica) applyBatch(st *applyState, stop chan struct{}, batch []applyItem) {
-	if !r.applierCurrent(stop) {
-		return
-	}
-
-	// Phase 1: decode into the reusable arena, in parallel for large batches.
-	n := len(batch)
-	if cap(st.batchRecs) < n {
-		st.batchRecs = make([]txnRecord, n)
-		st.batchOK = make([]bool, n)
-	}
-	recs := st.batchRecs[:n]
-	oks := st.batchOK[:n]
-	decodeOne := func(i int) {
-		oks[i] = decodeTxnRecord(batch[i].payload, &recs[i]) == nil
-	}
-	if workers := st.sched.EffectiveWorkers(); workers > 1 && n >= 4 {
-		if workers > n {
-			workers = n
-		}
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < n; i += workers {
-					decodeOne(i)
-				}
-			}(w)
-		}
-		wg.Wait()
-	} else {
-		for i := 0; i < n; i++ {
-			decodeOne(i)
-		}
-	}
-
-	// Phase 2: serial certification and staging in delivery order.
-	staged := st.staged[:0]
-	tasks := st.tasks[:0]
-	clear(st.certBumps)
-	numItems := r.dbase.Store().NumItems()
-	var maxLSN wal.LSN
-	for i := range batch {
-		r.mu.Lock()
-		current := !r.crashed && r.applierStop == stop
-		hook := r.deliverHook
-		r.mu.Unlock()
-		if !current {
-			return
-		}
-
-		if !oks[i] {
-			continue
-		}
-		rec := &recs[i]
-
-		// The crash window of Fig. 5: the group communication component has
-		// delivered the message, the database has not yet processed it.
-		if hook != nil {
-			hook(rec.TxnID)
-			if !r.applierCurrent(stop) {
-				return
-			}
-		}
-
-		outcome := r.certify(st, rec)
-		if outcome == OutcomeCommitted {
-			if !writesInRange(rec.Writes, numItems) {
-				continue
-			}
-			fresh, lsn, err := r.dbase.StageWrites(rec.TxnID, rec.Writes)
-			if err != nil {
-				continue
-			}
-			if fresh {
-				if lsn > maxLSN {
-					maxLSN = lsn
-				}
-				for _, w := range rec.Writes {
-					st.certBumps[w.Item]++
-				}
-				tasks = append(tasks, rec.Writes)
-			}
-		} else {
-			_ = r.dbase.RecordAbort(rec.TxnID)
-		}
-		staged = append(staged, stagedTxn{item: batch[i], rec: rec, outcome: outcome})
-	}
-	st.staged, st.tasks = staged, tasks
-
-	// Phases 3+4: the batch force and the conflict-scheduled installs run
-	// concurrently; both must finish before any outcome is externalised.
-	forceErr := make(chan error, 1)
-	if maxLSN > 0 && r.cfg.Level.SyncOnCommit() {
-		go func() { forceErr <- r.dbase.ForceTo(maxLSN) }()
-	} else {
-		forceErr <- nil
-	}
-	// InstallWrites cannot fail for staged write sets (ranges are validated
-	// by writesInRange before staging and the store size is fixed); if it
-	// ever does, the batch is abandoned before anything is externalised and
-	// the WAL stays the source of truth — crash recovery reinstalls the
-	// logged commits.
-	installErr := st.sched.Run(tasks, func(t int) error {
-		return r.dbase.InstallWrites(tasks[t])
-	})
-	if <-forceErr != nil || installErr != nil {
-		return
-	}
-
-	// Phase 5: bookkeeping for the whole batch under a single lock
-	// acquisition, then notifications and acknowledgements.  The router is
-	// snapshotted under the same lock: incarnation swaps publish a new
-	// router under mu, so an unlocked read would race a concurrent Recover.
-	r.mu.Lock()
-	router := r.router
-	notifyCh := make([]chan Outcome, len(staged))
-	for i, a := range staged {
-		r.stats.Delivered++
-		if a.item.seq > r.lastAppliedSeq {
-			r.lastAppliedSeq = a.item.seq
-		}
-		if ch, ok := r.pending[a.rec.TxnID]; ok {
-			notifyCh[i] = ch
-		}
-	}
-	r.mu.Unlock()
-
-	for i, a := range staged {
-		if ch := notifyCh[i]; ch != nil {
-			select {
-			case ch <- a.outcome:
-			default:
-			}
-			r.countOutcome(a.outcome)
-			if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
-				r.recordVerySafeAck(a.rec.TxnID, r.cfg.ID)
-			}
-		} else if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
-			// Very-safe: every replica confirms to the delegate that the
-			// transaction is logged locally (and, batched, durably forced).
-			ackBytes := encodePayload(ackPayload{TxnID: a.rec.TxnID, Replica: r.cfg.ID})
-			_ = router.Send(a.rec.Delegate, transport.Message{Type: msgAck, Payload: ackBytes})
-		}
-		if a.item.ack != nil {
-			a.item.ack()
-		}
-	}
-}
-
-// writesInRange reports whether every written item exists, so staging never
-// logs a write set the store would refuse to install.
-func writesInRange(writes []storage.Write, numItems int) bool {
-	for _, w := range writes {
-		if w.Item < 0 || w.Item >= numItems {
-			return false
-		}
-	}
-	return true
-}
-
-// certify runs the deterministic certification test (first-updater-wins): the
-// transaction aborts if any item it read has been overwritten by a
-// transaction delivered before it.  Writes staged earlier in the current
-// batch are not yet installed in the store, so their version bumps are
-// overlaid from certBumps — the outcome is exactly the one the serial loop
-// computed by installing before certifying the next transaction.
-func (r *Replica) certify(st *applyState, rec *txnRecord) Outcome {
-	for _, rv := range rec.Reads {
-		if r.dbase.Version(rv.Item)+st.certBumps[rv.Item] > rv.Ver {
-			return OutcomeAborted
-		}
-	}
-	return OutcomeCommitted
-}
-
-// applierCurrent reports whether the apply loop identified by stop still
-// belongs to the live incarnation: the replica is not crashed and no newer
-// incarnation has been started.  A straggling pre-crash loop (e.g. one whose
-// deliver hook crashed the replica mid-batch) fails this gate and abandons
-// its work instead of racing the recovered incarnation.
-func (r *Replica) applierCurrent(stop chan struct{}) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return !r.crashed && r.applierStop == stop
-}
-
-// onLazy applies a lazily-propagated write set (1-safe replication): no
-// certification, last writer wins — the source of the inconsistencies the
-// paper attributes to lazy replication.
-func (r *Replica) onLazy(m transport.Message) {
-	r.mu.Lock()
-	if r.crashed {
-		r.mu.Unlock()
-		return
-	}
-	r.mu.Unlock()
-	var p lazyPayload
-	if err := decodePayload(m.Payload, &p); err != nil {
-		return
-	}
-	if _, err := r.dbase.ApplyWriteSet(p.TxnID, writeSetOf(p.Writes)); err != nil {
-		return
-	}
-	r.mu.Lock()
-	r.stats.LazyApply++
-	r.mu.Unlock()
-}
-
-// onVerySafeAck records a per-replica acknowledgement at the delegate.
-func (r *Replica) onVerySafeAck(m transport.Message) {
-	var p ackPayload
-	if err := decodePayload(m.Payload, &p); err != nil {
-		return
-	}
-	r.recordVerySafeAck(p.TxnID, p.Replica)
-}
-
-func (r *Replica) recordVerySafeAck(txnID uint64, replica string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	acks, ok := r.veryAcks[txnID]
-	if !ok {
-		return
-	}
-	acks[replica] = true
-	if len(acks) == len(r.cfg.Members) {
-		if done, ok := r.veryDone[txnID]; ok {
-			select {
-			case <-done:
-			default:
-				close(done)
-			}
-		}
-	}
-}
-
-// Crash simulates a full server crash: the replica stops processing, its
-// network endpoint goes silent, and every piece of volatile state (database
-// buffers, unsynced logs, the group communication component's in-memory
-// state) is lost.
-func (r *Replica) Crash() {
-	r.mu.Lock()
-	if r.crashed {
-		r.mu.Unlock()
-		return
-	}
-	r.crashed = true
-	close(r.crashCh)
-	r.mu.Unlock()
-
-	r.lifeMu.Lock()
-	defer r.lifeMu.Unlock()
-	r.cfg.Network.Crash(r.cfg.ID)
-	r.stopGroupCommunication()
-}
-
-// StateSnapshot is the checkpoint shipped during state transfer.
-type StateSnapshot struct {
-	Items          []storage.Item
-	AppliedTxns    []uint64
-	LastAppliedSeq uint64
-}
-
-// Snapshot produces a state-transfer checkpoint of this replica.
-func (r *Replica) Snapshot() StateSnapshot {
-	return StateSnapshot{
-		Items:          r.dbase.SnapshotState(),
-		AppliedTxns:    r.dbase.AppliedTxns(),
-		LastAppliedSeq: r.LastAppliedSeq(),
-	}
-}
-
-// Recover restarts a crashed replica.  If snapshot is non-nil it is installed
-// first (checkpoint-based state transfer of the dynamic crash no-recovery
-// model); with end-to-end atomic broadcast, logged-but-unacknowledged
-// messages are then replayed (log-based recovery).  It returns the number of
-// replayed messages.
-func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
-	r.mu.Lock()
-	if !r.crashed {
-		r.mu.Unlock()
-		return 0, fmt.Errorf("core: replica %s is not crashed", r.cfg.ID)
-	}
-	r.mu.Unlock()
-
-	// Serialise against a Crash/Close teardown still in flight (e.g. one
-	// triggered from inside the old incarnation's deliver hook).
-	r.lifeMu.Lock()
-	defer r.lifeMu.Unlock()
-
-	// Volatile state of the database component is lost; rebuild from the
-	// durable prefix of its write-ahead log.
-	if err := r.dbase.CrashAndRecover(); err != nil {
-		return 0, fmt.Errorf("core: database recovery: %w", err)
-	}
-	// The group communication message log also loses its unsynced tail.
-	if r.msgLog != nil {
-		r.msgLog.Crash()
-	}
-
-	r.cfg.Network.Recover(r.cfg.ID)
-
-	r.mu.Lock()
-	r.pending = make(map[uint64]chan Outcome)
-	r.veryAcks = make(map[uint64]map[string]bool)
-	r.veryDone = make(map[uint64]chan struct{})
-	r.crashed = false
-	r.crashCh = make(chan struct{})
-	r.lastAppliedSeq = 0
-	r.mu.Unlock()
-
-	if err := r.startGroupCommunication(); err != nil {
-		return 0, err
-	}
-
-	if snapshot != nil {
-		r.installSnapshot(*snapshot)
-	}
-
-	replayed := 0
-	if r.e2eb != nil {
-		n, err := r.e2eb.Recover()
-		if err != nil {
-			return 0, fmt.Errorf("core: end-to-end recovery: %w", err)
-		}
-		replayed = n
-	}
-	return replayed, nil
-}
-
-func (r *Replica) installSnapshot(s StateSnapshot) {
-	r.dbase.RestoreState(s.Items, s.AppliedTxns)
-	r.mu.Lock()
-	r.lastAppliedSeq = s.LastAppliedSeq
-	ab := r.ab
-	r.mu.Unlock()
-	if ab != nil {
-		ab.SkipTo(s.LastAppliedSeq + 1)
-	}
-}
-
-// Close shuts the replica down.
-func (r *Replica) Close() error {
-	r.mu.Lock()
-	if !r.crashed {
-		r.crashed = true
-		close(r.crashCh)
-	}
-	r.mu.Unlock()
-	r.lifeMu.Lock()
-	r.stopGroupCommunication()
-	r.lifeMu.Unlock()
-	return r.dbase.Close()
-}
-
-// Execute a request built from a workload transaction.
-func RequestFromWorkload(t workload.Transaction) Request {
-	return Request{ID: 0, Ops: t.Ops}
+	return r.tech.execute(r, req, crashCh)
 }

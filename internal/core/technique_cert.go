@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"groupsafe/internal/wal"
+	"groupsafe/internal/workload"
+)
+
+// certTechnique is the certification-based database state machine — the
+// paper's own replication protocol (Sects. 2, 4, 5).  Update transactions
+// execute optimistically at their delegate under no locks, the read versions
+// and the write set are atomically broadcast, and every replica runs the
+// same deterministic first-updater-wins certification test in delivery
+// order.  Conflicting concurrent transactions abort; disjoint ones commit
+// with one broadcast and zero remote execution.
+//
+// At the Safety0 and Safety1Lazy levels the technique degrades to the
+// paper's baselines: purely local execution with asynchronous (lazy)
+// write-set propagation — see executeLocal in technique_lazy.go.
+type certTechnique struct{}
+
+// ID implements Technique.
+func (certTechnique) ID() TechniqueID { return TechCertification }
+
+func (certTechnique) usesGroupComm(level SafetyLevel) bool {
+	return level.UsesGroupCommunication()
+}
+
+func (certTechnique) checkLevel(level SafetyLevel) (SafetyLevel, error) {
+	return level, nil // every safety level is meaningful for certification
+}
+
+func (certTechnique) execute(r *Replica, req Request, crashCh chan struct{}) (Result, error) {
+	switch r.cfg.Level {
+	case Safety0, Safety1Lazy:
+		return r.executeLocal(req)
+	default:
+		return certExecuteReplicated(r, req, crashCh)
+	}
+}
+
+// certExecuteReplicated implements the group-communication based levels
+// (group-safe, group-1-safe, 2-safe, very-safe): optimistic execution at the
+// delegate, atomic broadcast of the read versions and write set, deterministic
+// certification at every replica.
+func certExecuteReplicated(r *Replica, req Request, crashCh chan struct{}) (Result, error) {
+	readVals := make(map[int]int64)
+	readVers := make(map[int]uint64)
+	writes := make(map[int]int64)
+	run := func(ops []workload.Op) error {
+		for _, op := range ops {
+			if op.Write {
+				writes[op.Item] = op.Value
+				continue
+			}
+			v, ver, err := r.dbase.ReadCommitted(op.Item)
+			if err != nil {
+				return fmt.Errorf("core: read item %d: %w", op.Item, err)
+			}
+			readVals[op.Item] = v
+			if _, seen := readVers[op.Item]; !seen {
+				readVers[op.Item] = ver
+			}
+		}
+		return nil
+	}
+	if err := run(req.Ops); err != nil {
+		return Result{}, err
+	}
+	if req.Compute != nil {
+		if err := run(req.Compute(readVals)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Read-only transactions execute entirely at the delegate (Fig. 2/8:
+	// only transactions with writes are broadcast).
+	if len(writes) == 0 {
+		r.countOutcome(OutcomeCommitted)
+		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+	}
+
+	payload := encodeTxnPayload(req.ID, r.cfg.ID, readVers, writes)
+	out, err := r.submitAndWait(req.ID, payload, crashCh)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+}
+
+// applyBatch runs the certification apply pipeline on one drained batch of
+// totally-ordered deliveries:
+//
+//  1. decode every payload (concurrently when ApplyWorkers > 1 — payloads are
+//     independent);
+//  2. certify and stage serially in strict delivery order: certification uses
+//     a version overlay (store versions plus the bumps staged earlier in this
+//     batch), the write sets and commit records are appended to the log in
+//     delivery order but not yet forced or installed;
+//  3. one group-committed force covers every commit record of the batch,
+//     overlapped with step 4 (neither depends on the other);
+//  4. the committed write sets are installed by the conflict-graph scheduler:
+//     disjoint write sets in parallel on the worker pool, conflicting ones
+//     chained in delivery order — byte-identical to a serial install;
+//  5. only then are delegates notified and end-to-end deliveries
+//     acknowledged (r.externalize).
+//
+// For a batch of B transactions the levels that force on commit pay one disk
+// force instead of B, and the installs use up to ApplyWorkers cores.
+//
+// Crash semantics: a crash mid-batch (the Fig. 5 window) abandons the whole
+// batch — commit records already appended for earlier batch members sit in
+// the unsynced log tail and are lost with it, like a real group-commit
+// system dying before its force.  That is safe under every criterion because
+// no outcome has been externalised: delegates are notified and e2e messages
+// acknowledged strictly after the batch force, so an unforced transaction
+// was never reported committed; end-to-end levels replay the whole
+// unacknowledged suffix from the message log, and classical levels recover
+// missed messages by state transfer, exactly as for a single lost delivery.
+func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, batch []applyItem) {
+	if !r.applierCurrent(stop) {
+		return
+	}
+
+	// Phase 1: decode into the reusable arena, in parallel for large batches.
+	n := len(batch)
+	if cap(st.batchRecs) < n {
+		st.batchRecs = make([]txnRecord, n)
+		st.batchOK = make([]bool, n)
+	}
+	recs := st.batchRecs[:n]
+	oks := st.batchOK[:n]
+	decodeOne := func(i int) {
+		oks[i] = decodeTxnRecord(batch[i].payload, &recs[i]) == nil
+	}
+	if workers := st.sched.EffectiveWorkers(); workers > 1 && n >= 4 {
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					decodeOne(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			decodeOne(i)
+		}
+	}
+
+	// Phase 2: serial certification and staging in delivery order.
+	staged := st.staged[:0]
+	tasks := st.tasks[:0]
+	clear(st.certBumps)
+	numItems := r.dbase.Store().NumItems()
+	var maxLSN wal.LSN
+	for i := range batch {
+		hook, current := r.deliveryGate(stop)
+		if !current {
+			return
+		}
+
+		if !oks[i] {
+			continue
+		}
+		rec := &recs[i]
+
+		// The crash window of Fig. 5: the group communication component has
+		// delivered the message, the database has not yet processed it.
+		if hook != nil {
+			hook(rec.TxnID)
+			if !r.applierCurrent(stop) {
+				return
+			}
+		}
+
+		outcome := certify(r, st, rec)
+		if outcome == OutcomeCommitted {
+			if !writesInRange(rec.Writes, numItems) {
+				continue
+			}
+			fresh, lsn, err := r.dbase.StageWrites(rec.TxnID, rec.Writes)
+			if err != nil {
+				continue
+			}
+			if fresh {
+				if lsn > maxLSN {
+					maxLSN = lsn
+				}
+				for _, w := range rec.Writes {
+					st.certBumps[w.Item]++
+				}
+				tasks = append(tasks, rec.Writes)
+			}
+		} else {
+			_ = r.dbase.RecordAbort(rec.TxnID)
+		}
+		staged = append(staged, stagedTxn{item: batch[i], txnID: rec.TxnID, delegate: rec.Delegate, outcome: outcome})
+	}
+	st.staged, st.tasks = staged, tasks
+
+	// Phases 3+4: the batch force and the conflict-scheduled installs run
+	// concurrently; both must finish before any outcome is externalised.
+	forceErr := make(chan error, 1)
+	if maxLSN > 0 && r.cfg.Level.SyncOnCommit() {
+		go func() { forceErr <- r.dbase.ForceTo(maxLSN) }()
+	} else {
+		forceErr <- nil
+	}
+	// InstallWrites cannot fail for staged write sets (ranges are validated
+	// by writesInRange before staging and the store size is fixed); if it
+	// ever does, the batch is abandoned before anything is externalised and
+	// the WAL stays the source of truth — crash recovery reinstalls the
+	// logged commits.
+	installErr := st.sched.Run(tasks, func(t int) error {
+		return r.dbase.InstallWrites(tasks[t])
+	})
+	if <-forceErr != nil || installErr != nil {
+		return
+	}
+
+	// Phase 5.
+	r.externalize(staged)
+}
+
+// certify runs the deterministic certification test (first-updater-wins): the
+// transaction aborts if any item it read has been overwritten by a
+// transaction delivered before it.  Writes staged earlier in the current
+// batch are not yet installed in the store, so their version bumps are
+// overlaid from certBumps — the outcome is exactly the one the serial loop
+// computed by installing before certifying the next transaction.
+func certify(r *Replica, st *applyState, rec *txnRecord) Outcome {
+	for _, rv := range rec.Reads {
+		if r.dbase.Version(rv.Item)+st.certBumps[rv.Item] > rv.Ver {
+			return OutcomeAborted
+		}
+	}
+	return OutcomeCommitted
+}

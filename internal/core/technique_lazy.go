@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/workload"
+)
+
+// lazyPrimaryTechnique is lazy primary-copy replication, the classical
+// 1-safe scheme the paper argues against (Sect. 3, Table 1): update
+// transactions execute only at the primary (the first member of the group),
+// which runs them under strict 2PL, forces its log, answers the client, and
+// only then ships the write set to the secondaries — asynchronously, off the
+// response path.  Because a single site orders all updates there are no
+// multi-master conflicts (unlike the Safety1Lazy update-everywhere
+// baseline), but a primary crash after the acknowledgement and before the
+// propagation loses the transaction: the 1-safe window group-safety closes.
+//
+// Read-only transactions may execute at any replica, against possibly-stale
+// committed state.
+type lazyPrimaryTechnique struct{}
+
+// lazyItem is one queued asynchronous write-set propagation.  ready is
+// closed once the local commit outcome is known; skip is set (before the
+// close) when the commit failed, so the drainer must not ship the payload.
+type lazyItem struct {
+	payload []byte
+	due     time.Time
+	ready   chan struct{}
+	skip    bool
+}
+
+// ID implements Technique.
+func (lazyPrimaryTechnique) ID() TechniqueID { return TechLazyPrimary }
+
+func (lazyPrimaryTechnique) usesGroupComm(SafetyLevel) bool { return false }
+
+func (lazyPrimaryTechnique) checkLevel(level SafetyLevel) (SafetyLevel, error) {
+	if level.UsesGroupCommunication() {
+		return 0, fmt.Errorf("core: lazy primary-copy does not use group communication; safety level %v is incompatible (the technique is 1-safe)", level)
+	}
+	// The technique is inherently 1-safe: the primary forces its commit
+	// record before answering the client.  The 0-safe zero value is
+	// canonicalised rather than kept, so Result.Level reports the guarantee
+	// actually provided.
+	return Safety1Lazy, nil
+}
+
+func (t lazyPrimaryTechnique) execute(r *Replica, req Request, _ chan struct{}) (Result, error) {
+	if !r.IsPrimary() && requestMayWrite(req) {
+		return Result{}, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, r.cfg.Members[0])
+	}
+	return r.executeLocal(req)
+}
+
+// applyBatch is never reached: the technique does not use group
+// communication, so no apply loop is started.
+func (lazyPrimaryTechnique) applyBatch(*Replica, *applyState, chan struct{}, []applyItem) {}
+
+// executeLocal implements purely local execution with asynchronous write-set
+// propagation: the 0-safe and lazy (1-safe) baselines of the certification
+// technique, and the whole of lazy primary-copy.  The transaction runs
+// entirely at this replica under strict 2PL; the write set is pushed to the
+// other replicas asynchronously, after the client response.
+func (r *Replica) executeLocal(req Request) (Result, error) {
+	txn, err := r.dbase.Begin(req.ID)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: begin: %w", err)
+	}
+	readVals := make(map[int]int64)
+	runOps := func(ops []workload.Op) error {
+		for _, op := range ops {
+			if op.Write {
+				if err := txn.Write(op.Item, op.Value); err != nil {
+					return err
+				}
+				continue
+			}
+			v, err := txn.Read(op.Item)
+			if err != nil {
+				return err
+			}
+			readVals[op.Item] = v
+		}
+		return nil
+	}
+	err = runOps(req.Ops)
+	if err == nil && req.Compute != nil {
+		err = runOps(req.Compute(readVals))
+	}
+	if err != nil {
+		_ = txn.Abort()
+		r.countOutcome(OutcomeAborted)
+		return Result{TxnID: req.ID, Outcome: OutcomeAborted, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+	}
+	ws := txn.WriteSet()
+
+	// Reserve the propagation slot BEFORE Commit releases the 2PL locks: a
+	// conflicting transaction is still blocked in its Write call at this
+	// point, so conflicting write sets enqueue in commit order and the
+	// single drainer ships them in that order — secondaries converge to the
+	// delegate's state instead of racing per-transaction goroutines
+	// (last-writer-wins on the wire would otherwise let a stale write set
+	// overtake a newer one and diverge permanently).  Disjoint write sets
+	// may enqueue in either order; they commute.  The payload only becomes
+	// send-ready once Commit has succeeded — the drainer must never ship a
+	// write set the delegate did not durably commit.
+	var it *lazyItem
+	if len(ws) > 0 {
+		it = r.enqueueLazy(encodePayload(lazyPayload{TxnID: req.ID, Delegate: r.cfg.ID, Writes: ws}))
+	}
+	if err := txn.Commit(); err != nil {
+		if it != nil {
+			it.skip = true
+			close(it.ready)
+		}
+		return Result{}, fmt.Errorf("core: commit: %w", err)
+	}
+	if it != nil {
+		close(it.ready)
+	}
+	r.countOutcome(OutcomeCommitted)
+	return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+}
+
+// enqueueLazy appends a write-set payload to the replica's ordered
+// propagation queue and makes sure a drainer goroutine is running.  The
+// queue is volatile: a crash drops it (Crash clears the queue and the
+// drainer exits), which is exactly the 1-safe window — acknowledged
+// transactions whose propagation had not left the delegate are lost.
+func (r *Replica) enqueueLazy(payload []byte) *lazyItem {
+	it := &lazyItem{
+		payload: payload,
+		due:     time.Now().Add(r.cfg.LazyPropagationDelay),
+		ready:   make(chan struct{}),
+	}
+	r.mu.Lock()
+	r.lazyQueue = append(r.lazyQueue, it)
+	start := !r.lazyDraining
+	if start {
+		r.lazyDraining = true
+	}
+	r.mu.Unlock()
+	if start {
+		go r.drainLazy()
+	}
+	return it
+}
+
+// drainLazy ships queued write sets to every other member, strictly in
+// enqueue order, honouring each item's propagation-delay deadline.  It runs
+// off the client response path (the lazy point) and exits when the queue is
+// empty or the replica crashed.
+func (r *Replica) drainLazy() {
+	for {
+		r.mu.Lock()
+		if r.crashed || len(r.lazyQueue) == 0 {
+			r.lazyDraining = false
+			r.mu.Unlock()
+			return
+		}
+		it := r.lazyQueue[0]
+		r.lazyQueue = r.lazyQueue[1:]
+		router := r.router
+		r.mu.Unlock()
+
+		// Wait until the local commit outcome is known (ready is always
+		// closed, by the commit and the abort path alike).
+		<-it.ready
+		if it.skip {
+			continue
+		}
+		if wait := time.Until(it.due); wait > 0 {
+			time.Sleep(wait)
+		}
+		// Re-check the incarnation after the waits: the popped item is
+		// volatile pre-crash state, and a crash+recover completed while we
+		// slept swaps the router — shipping then would leak state across
+		// the crash.  Comparing the router identity is the incarnation
+		// check (startGroupCommunication publishes a fresh router under mu).
+		r.mu.Lock()
+		stale := r.crashed || r.router != router
+		r.mu.Unlock()
+		if stale || router == nil {
+			continue
+		}
+		for _, m := range r.cfg.Members {
+			if m == r.cfg.ID {
+				continue
+			}
+			_ = router.Send(m, transport.Message{Type: msgLazy, Payload: it.payload})
+		}
+	}
+}
+
+// onLazy applies a lazily-propagated write set: no certification, last
+// writer wins.  Under update-everywhere lazy replication (Safety1Lazy) this
+// is the source of the inconsistencies the paper attributes to lazy
+// replication; under primary-copy a single site orders all updates, so the
+// secondaries converge to the primary's state.
+func (r *Replica) onLazy(m transport.Message) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	var p lazyPayload
+	if err := decodePayload(m.Payload, &p); err != nil {
+		return
+	}
+	if _, err := r.dbase.ApplyWriteSet(p.TxnID, writeSetOf(p.Writes)); err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.stats.LazyApply++
+	r.mu.Unlock()
+}

@@ -51,6 +51,7 @@ import (
 
 	"groupsafe/internal/gcs"
 	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/tuning"
 )
 
 // Message type identifiers on the wire.
@@ -77,13 +78,11 @@ type Config struct {
 	Members []string
 	// DeliveryBuffer is the capacity of the delivery channel (default 65536).
 	DeliveryBuffer int
-	// BatchSize is the maximum number of payloads coalesced into one DATA
-	// message.  Values <= 1 disable sender-side batching: every Broadcast
-	// sends its DATA message synchronously, as in the unbatched protocol.
-	BatchSize int
-	// BatchDelay bounds how long a payload may wait for co-travellers before
-	// a partial batch is flushed (default 1ms when BatchSize > 1).
-	BatchDelay time.Duration
+	// Batching carries the shared sender-side coalescing knobs (BatchSize,
+	// BatchDelay); see the tuning package.  Values <= 1 disable batching:
+	// every Broadcast sends its DATA message synchronously, as in the
+	// unbatched protocol.
+	tuning.Batching
 	// Incarnation namespaces this member's message ids.  In the dynamic
 	// crash no-recovery model a recovered process is a new process: if it
 	// reuses its address, it MUST use a fresh incarnation, or its message

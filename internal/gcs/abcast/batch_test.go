@@ -8,6 +8,7 @@ import (
 
 	"groupsafe/internal/gcs"
 	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/tuning"
 )
 
 // makeBatchedGroup is makeGroup with sender-side batching enabled.
@@ -17,7 +18,7 @@ func makeBatchedGroup(t *testing.T, net *transport.MemNetwork, addrs []string, b
 	for _, addr := range addrs {
 		ep := net.Endpoint(addr)
 		router := gcs.NewRouter(ep)
-		bc, err := New(Config{Self: addr, Members: addrs, BatchSize: batch, BatchDelay: delay}, router)
+		bc, err := New(Config{Self: addr, Members: addrs, Batching: tuning.Batching{BatchSize: batch, BatchDelay: delay}}, router)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func TestPartiallyAckedBatchSurvivesFailover(t *testing.T) {
 	addrs := []string{"s1", "s2", "s3", "s4", "s5"}
 	ep := net.Endpoint("s2")
 	router := gcs.NewRouter(ep)
-	b, err := New(Config{Self: "s2", Members: addrs, BatchSize: 4}, router)
+	b, err := New(Config{Self: "s2", Members: addrs, Batching: tuning.Batching{BatchSize: 4}}, router)
 	if err != nil {
 		t.Fatal(err)
 	}

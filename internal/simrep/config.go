@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"groupsafe/internal/core"
+	"groupsafe/internal/tuning"
 )
 
 // Config is the simulator parameter set; the defaults reproduce Table 4 of
@@ -41,18 +42,17 @@ type Config struct {
 	CPUPerNetworkOp time.Duration
 	// CertifyCPU is the CPU cost of certifying one transaction.
 	CertifyCPU time.Duration
-	// BatchSize is the maximum number of transactions the delegate's atomic
-	// broadcast stage coalesces into one dissemination/ordering round
-	// (<= 1 models the unbatched one-round-per-transaction protocol).
-	BatchSize int
-	// BatchDelay is the time a transaction waits for co-travellers before a
-	// partial batch is broadcast (default 1ms when BatchSize > 1).
-	BatchDelay time.Duration
-	// ApplyWorkers bounds how many delivered write sets one server installs
-	// concurrently (the apply stage's worker pool, mirroring
-	// core.ReplicaConfig.ApplyWorkers).  0 keeps the historical default of
-	// one install slot per disk.
-	ApplyWorkers int
+	// Technique selects the replication technique the servers model:
+	// certification-based (the default; the group-communication levels run
+	// the Fig. 2/8 certification flow), active replication (every server
+	// executes the full transaction in delivery order, zero aborts), or
+	// lazy primary-copy (all update transactions execute at server 0).
+	Technique core.TechniqueID
+	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay,
+	// ApplyWorkers) mirroring core.ReplicaConfig; the simulator reads
+	// ApplyWorkers 0 as its historical default of one install slot per
+	// disk.  See the tuning package.
+	tuning.Pipeline
 	// Duration is the simulated time during which transactions are generated.
 	Duration time.Duration
 	// WarmupFraction of Duration is discarded from the statistics.
@@ -79,7 +79,7 @@ func DefaultConfig() Config {
 		NetworkDelay:     70 * time.Microsecond,
 		CPUPerNetworkOp:  70 * time.Microsecond,
 		CertifyCPU:       300 * time.Microsecond,
-		BatchSize:        1,
+		Pipeline:         tuning.Pipe(1, 0, 0),
 		Duration:         2 * time.Minute,
 		WarmupFraction:   0.1,
 		Seed:             1,
@@ -120,7 +120,8 @@ func (c Config) Validate() error {
 
 // Result summarises one simulation run (one technique at one offered load).
 type Result struct {
-	Level core.SafetyLevel
+	Level     core.SafetyLevel
+	Technique core.TechniqueID
 	// LoadTPS is the offered load in transactions per second.
 	LoadTPS float64
 	// Completed, Committed and Aborted count terminated transactions after
@@ -145,6 +146,10 @@ type Result struct {
 
 // String renders one row of the Fig. 9 data set.
 func (r Result) String() string {
+	label := r.Level.String()
+	if r.Technique != core.TechCertification {
+		label = r.Technique.String()
+	}
 	return fmt.Sprintf("%-13s load=%5.1f tps  resp=%7.1f ms  p95=%7.1f ms  abort=%4.1f%%  thr=%5.1f tps  disk=%4.0f%%",
-		r.Level, r.LoadTPS, r.ResponseMeanMs, r.ResponseP95Ms, 100*r.AbortRate, r.ThroughputTPS, 100*r.DiskUtilization)
+		label, r.LoadTPS, r.ResponseMeanMs, r.ResponseP95Ms, 100*r.AbortRate, r.ThroughputTPS, 100*r.DiskUtilization)
 }

@@ -23,10 +23,20 @@ func Figure9Loads() []float64 {
 }
 
 // RunFigure9 runs the full response-time-versus-load sweep for the given
-// levels and loads (defaults to the paper's setting when nil).
+// levels and loads (defaults to the paper's setting when nil).  When the
+// configured technique constrains the safety level (active replication,
+// lazy primary-copy), the default level list collapses to the technique's
+// canonical level.
 func RunFigure9(cfg Config, levels []core.SafetyLevel, loads []float64) ([]Result, error) {
 	if levels == nil {
-		levels = Figure9Levels()
+		switch cfg.Technique {
+		case core.TechActive:
+			levels = []core.SafetyLevel{core.GroupSafe}
+		case core.TechLazyPrimary:
+			levels = []core.SafetyLevel{core.Safety1Lazy}
+		default:
+			levels = Figure9Levels()
+		}
 	}
 	if loads == nil {
 		loads = Figure9Loads()

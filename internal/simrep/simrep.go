@@ -11,13 +11,20 @@ import (
 )
 
 // Run simulates one replication technique at one offered load and returns its
-// measured behaviour.
+// measured behaviour.  The safety level is canonicalised against the
+// technique exactly like core.ReplicaConfig: active replication promotes the
+// zero level to group-safe and rejects the lazy level; lazy primary-copy is
+// inherently 1-safe.
 func Run(cfg Config, level core.SafetyLevel, loadTPS float64) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	if loadTPS <= 0 {
 		return Result{}, fmt.Errorf("simrep: load must be positive, got %v", loadTPS)
+	}
+	level, err := core.CanonicalLevel(cfg.Technique, level)
+	if err != nil {
+		return Result{}, fmt.Errorf("simrep: %w", err)
 	}
 	s := newSimulation(cfg, level, loadTPS)
 	s.run()
@@ -155,6 +162,11 @@ func (s *simulation) generator(p *sim.Process) {
 		delegate := rr % s.cfg.Servers
 		rr++
 		t := s.newTxn(delegate)
+		// Lazy primary-copy: every update transaction executes at the
+		// primary (server 0); only read-only work stays at its delegate.
+		if s.cfg.Technique == core.TechLazyPrimary && len(t.writeOps) > 0 {
+			t.delegateIdx = 0
+		}
 		s.eng.Spawn(fmt.Sprintf("txn-%d", t.id), 0, func(p *sim.Process) {
 			s.runTxn(p, t)
 		})
@@ -187,8 +199,10 @@ func (s *simulation) runTxn(p *sim.Process, t *simTxn) {
 	t.start = p.Now()
 
 	var committed bool
-	switch s.level {
-	case core.Safety0, core.Safety1Lazy:
+	switch {
+	case s.cfg.Technique == core.TechActive:
+		committed = s.runActive(p, t, srv)
+	case s.level == core.Safety0 || s.level == core.Safety1Lazy:
 		committed = s.runLocal(p, t, srv)
 	default:
 		committed = s.runReplicated(p, t, srv)
@@ -292,13 +306,40 @@ func (s *simulation) runReplicated(p *sim.Process, t *simTxn, srv *server) bool 
 	return t.notify.Get(p)
 }
 
+// runActive is the active-replication flow: the delegate broadcasts the
+// whole operation list without any local execution phase, and every server
+// executes the transaction in delivery order (the dispatcher's active
+// branch).  There is no certification and no aborts.
+func (s *simulation) runActive(p *sim.Process, t *simTxn, srv *server) bool {
+	// Read-only transactions execute at the delegate only.
+	if len(t.writeOps) == 0 {
+		s.executeOps(p, srv, t.ops)
+		return true
+	}
+	if s.batchSize > 1 {
+		srv.bcastQueue.Put(t)
+		return t.notify.Get(p)
+	}
+	peers := time.Duration(s.cfg.Servers - 1)
+	srv.cpu.Use(p, peers*s.cfg.CPUPerNetworkOp)
+	s.network.Use(p, peers*s.cfg.NetworkDelay)
+	s.network.Use(p, peers*s.cfg.NetworkDelay)
+	s.orderAndEnqueue(t)
+	return t.notify.Get(p)
+}
+
 // orderAndEnqueue fixes the delivery position of a broadcast transaction and
 // hands it to every server's apply stage.  Certification is deterministic, so
-// its outcome is computed once (every server reaches the same verdict).
+// its outcome is computed once (every server reaches the same verdict);
+// active replication has no certification step and commits everything.
 func (s *simulation) orderAndEnqueue(t *simTxn) {
 	s.nextSeq++
 	t.seq = s.nextSeq
-	t.committed = s.certify(t)
+	if s.cfg.Technique == core.TechActive {
+		t.committed = true
+	} else {
+		t.committed = s.certify(t)
+	}
 	for _, target := range s.servers {
 		target.applyQueue.Put(t)
 	}
@@ -362,8 +403,22 @@ func (s *simulation) dispatcher(p *sim.Process, srv *server) {
 	for {
 		t := srv.applyQueue.Get(p)
 		srv.applySlots.Acquire(p)
-		srv.cpu.Use(p, s.cfg.CertifyCPU)
 
+		if s.cfg.Technique == core.TechActive {
+			// Active replication: the decision is known at delivery (no
+			// vote, no certification), so group-safe replies immediately;
+			// the server then executes the whole transaction.
+			if srv.idx == t.delegateIdx && s.level == core.GroupSafe {
+				t.notify.Put(true)
+			}
+			txn, target := t, srv
+			s.eng.Spawn(fmt.Sprintf("exec-%d-%d", t.id, srv.idx), 0, func(ip *sim.Process) {
+				s.executeActive(ip, target, txn)
+			})
+			continue
+		}
+
+		srv.cpu.Use(p, s.cfg.CertifyCPU)
 		isDelegate := srv.idx == t.delegateIdx
 		if isDelegate {
 			switch s.level {
@@ -430,6 +485,39 @@ func (s *simulation) installReplicated(p *sim.Process, srv *server, t *simTxn) {
 	}
 }
 
+// executeActive performs one delivered transaction's full execution at one
+// server under active replication: every server pays the CPU and disk of all
+// operations (the technique's higher processing cost), then the
+// level-specific response forces and completion events fire exactly as in
+// installReplicated.
+func (s *simulation) executeActive(p *sim.Process, srv *server, t *simTxn) {
+	isDelegate := srv.idx == t.delegateIdx
+	if s.level.RequiresEndToEnd() {
+		srv.disk.Use(p, s.diskAccess())
+	}
+	s.executeOps(p, srv, t.ops)
+	if isDelegate && (s.level == core.Group1Safe || s.level == core.Safety2) {
+		srv.disk.Use(p, s.diskAccess())
+	}
+	if s.level == core.VerySafe {
+		srv.disk.Use(p, s.diskAccess())
+	}
+	srv.applySlots.Release()
+
+	if isDelegate && (s.level == core.Group1Safe || s.level == core.Safety2) {
+		t.notify.Put(true)
+	}
+	if s.level == core.VerySafe {
+		if !isDelegate {
+			s.network.Use(p, s.cfg.NetworkDelay)
+		}
+		t.remaining--
+		if t.remaining == 0 {
+			t.notify.Put(true)
+		}
+	}
+}
+
 // installWrites charges the CPU and disk cost of installing a write set at
 // one server.  Write-set installation happens off the response path and
 // benefits from write caching (the paper: "writes of adjacent pages would
@@ -469,6 +557,7 @@ func (s *simulation) record(now time.Duration, t *simTxn, committed bool) {
 func (s *simulation) result() Result {
 	r := Result{
 		Level:          s.level,
+		Technique:      s.cfg.Technique,
 		LoadTPS:        s.load,
 		Completed:      s.completed,
 		Committed:      s.committed,

@@ -1,0 +1,44 @@
+// Package tuning holds the pipeline tuning knobs shared by every layer of
+// the stack.  BatchSize/BatchDelay/ApplyWorkers used to be copy-pasted across
+// abcast.Config, core.ReplicaConfig, core.ClusterConfig and simrep.Config;
+// each of those now embeds one of the structs below, so a knob is documented
+// once and promoted field access (cfg.BatchSize) keeps working everywhere.
+package tuning
+
+import "time"
+
+// Batching tunes the sender-side coalescing of the atomic broadcast (and the
+// simulator's model of it).
+type Batching struct {
+	// BatchSize is the maximum number of concurrent payloads coalesced into
+	// one DATA message / dissemination round.  Values <= 1 disable
+	// sender-side batching: every broadcast pays its own round, as in the
+	// unbatched protocol.  Independent of this knob, the apply loops always
+	// drain delivered bursts and force the log once per drained batch.
+	BatchSize int
+	// BatchDelay bounds how long a payload waits for co-travellers before a
+	// partial batch is flushed (default 1ms when BatchSize > 1).
+	BatchDelay time.Duration
+}
+
+// Pipeline is the full replica-pipeline knob set: broadcast batching plus the
+// parallel apply stage.
+type Pipeline struct {
+	Batching
+	// ApplyWorkers bounds how many certified write sets of one drained batch
+	// are installed concurrently.  Certification always stays serial in
+	// delivery order; with ApplyWorkers > 1 the committed write sets are
+	// partitioned by their item-conflict graph and independent write sets
+	// install in parallel, conflicting ones chained in delivery order —
+	// observationally identical to serial apply.  <= 1 keeps the serial
+	// apply loop.  (The simulator reads 0 as its historical default of one
+	// install slot per disk.)
+	ApplyWorkers int
+}
+
+// Pipe is a literal-friendly constructor: embedding hides the promoted
+// fields from composite literals, so call sites use Pipe(8, time.Millisecond, 4)
+// instead of nesting Pipeline{Batching{...}}.
+func Pipe(batchSize int, batchDelay time.Duration, applyWorkers int) Pipeline {
+	return Pipeline{Batching: Batching{BatchSize: batchSize, BatchDelay: batchDelay}, ApplyWorkers: applyWorkers}
+}

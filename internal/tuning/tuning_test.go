@@ -1,0 +1,18 @@
+package tuning
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPipeBuildsNestedLiteral(t *testing.T) {
+	p := Pipe(8, 2*time.Millisecond, 4)
+	if p.BatchSize != 8 || p.BatchDelay != 2*time.Millisecond || p.ApplyWorkers != 4 {
+		t.Fatalf("Pipe produced %+v", p)
+	}
+	// Promotion must expose the batching fields directly.
+	var b Batching = p.Batching
+	if b.BatchSize != 8 {
+		t.Fatalf("embedded batching = %+v", b)
+	}
+}
