@@ -12,6 +12,7 @@
 package groupsafe
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -398,7 +399,7 @@ func benchmarkBatchedReplication(b *testing.B, level core.SafetyLevel, batch, ap
 		delegate := int(seed) % cluster.Size()
 		gen := workload.NewGenerator(workload.Config{Items: 8192, MinOps: 2, MaxOps: 4, WriteProb: 0.5}, int64(seed))
 		for pb.Next() {
-			if _, err := cluster.Execute(delegate, core.RequestFromWorkload(gen.Next(0, delegate))); err != nil {
+			if _, err := cluster.Execute(context.Background(), delegate, core.RequestFromWorkload(gen.Next(0, delegate))); err != nil {
 				b.Error(err)
 				return
 			}
@@ -556,7 +557,7 @@ func BenchmarkReplicatedTransaction(b *testing.B) {
 	gen := workload.NewGenerator(workload.Config{Items: 4096, MinOps: 5, MaxOps: 10, WriteProb: 0.5}, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cluster.Execute(i%3, core.RequestFromWorkload(gen.Next(0, i%3))); err != nil {
+		if _, err := cluster.Execute(context.Background(), i%3, core.RequestFromWorkload(gen.Next(0, i%3))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,27 +1,28 @@
-// Command gsdb-demo starts an in-process replicated database cluster, drives
-// it with the Table 4 workload, injects a crash and a recovery, and prints
-// the observed response times and consistency status.  It is the quickest way
-// to see the replication stack (atomic broadcast, certification, safety
-// levels, crash recovery) working end to end.
+// Command gsdb-demo starts an in-process replicated database cluster through
+// the public gsdb API, drives it with the Table 4 workload, injects a crash
+// and a recovery, and prints the observed response times and consistency
+// status.  It is the quickest way to see the replication stack (atomic
+// broadcast, certification, safety levels, crash recovery) working end to
+// end.
 //
 // Usage:
 //
 //	gsdb-demo -level group-safe -replicas 3 -txns 200 -disk-sync 2ms
 //	gsdb-demo -technique active -txns 200
+//	gsdb-demo -mix-safety very-safe -txns 200   # every 10th txn overridden
 //	gsdb-demo -compare-techniques
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"groupsafe/internal/core"
-	"groupsafe/internal/experiments"
-	"groupsafe/internal/stats"
-	"groupsafe/internal/tuning"
-	"groupsafe/internal/workload"
+	"groupsafe/gsdb"
+	"groupsafe/gsdb/experiments"
+	"groupsafe/gsdb/stats"
 )
 
 func main() {
@@ -36,8 +37,11 @@ func main() {
 	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables sender batching)")
 	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
 	applyWorkers := flag.Int("apply-workers", 1, "concurrent write-set installs per replica (<=1: serial apply)")
+	mixSafety := flag.String("mix-safety", "", "per-transaction safety override applied to every 10th transaction (e.g. very-safe)")
 	compare := flag.Bool("compare-techniques", false, "run the same workload over all three replication techniques and print the comparison")
 	flag.Parse()
+
+	ctx := context.Background()
 
 	if *compare {
 		const compareClients = 4
@@ -52,7 +56,7 @@ func main() {
 			TxnsPerClient:  perClient,
 			DiskSyncDelay:  *diskSync,
 			NetworkLatency: *netLatency,
-			Pipeline:       tuning.Pipe(*batch, *batchDelay, *applyWorkers),
+			Pipeline:       gsdb.Pipe(*batch, *batchDelay, *applyWorkers),
 			Seed:           *seed,
 		})
 		if err != nil {
@@ -63,76 +67,84 @@ func main() {
 		return
 	}
 
-	var level core.SafetyLevel
-	found := false
-	for _, l := range core.AllLevels() {
-		if l.String() == *levelFlag {
-			level, found = l, true
-			break
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown safety level %q\n", *levelFlag)
+	level, err := gsdb.ParseLevel(*levelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	technique, err := core.ParseTechnique(*techniqueFlag)
+	technique, err := gsdb.ParseTechnique(*techniqueFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	// The lazy primary-copy technique is inherently 1-safe: accept the
 	// default -level rather than rejecting the flag combination.
-	if technique == core.TechLazyPrimary && level.UsesGroupCommunication() {
-		level = core.Safety1Lazy
+	if technique == gsdb.TechLazyPrimary && level.UsesGroupCommunication() {
+		level = gsdb.Safety1Lazy
+	}
+	var overrideLevel *gsdb.SafetyLevel
+	if *mixSafety != "" {
+		l, err := gsdb.ParseLevel(*mixSafety)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		overrideLevel = &l
 	}
 
-	cluster, err := core.NewCluster(core.ClusterConfig{
-		Replicas:       *replicas,
-		Items:          10000,
-		Level:          level,
-		Technique:      technique,
-		DiskSyncDelay:  *diskSync,
-		NetworkLatency: *netLatency,
-		ExecTimeout:    15 * time.Second,
-		Seed:           *seed,
-		Pipeline:       tuning.Pipe(*batch, *batchDelay, *applyWorkers),
-	})
+	client, err := gsdb.Open(ctx,
+		gsdb.WithReplicas(*replicas),
+		gsdb.WithItems(10000),
+		gsdb.WithSafetyLevel(level),
+		gsdb.WithTechnique(technique),
+		gsdb.WithDiskSyncDelay(*diskSync),
+		gsdb.WithNetworkLatency(*netLatency),
+		gsdb.WithExecTimeout(15*time.Second),
+		gsdb.WithSeed(*seed),
+		gsdb.WithBatching(*batch, *batchDelay),
+		gsdb.WithApplyWorkers(*applyWorkers),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	defer cluster.Close()
+	defer client.Close()
 
-	fmt.Printf("started %d-replica cluster: technique %s, safety level %s\n", *replicas, technique, cluster.Level())
-	gen := workload.NewGenerator(workload.DefaultConfig(), *seed)
+	fmt.Printf("started %d-replica cluster: technique %s, safety level %s\n", *replicas, technique, client.Level())
+	gen := gsdb.NewWorkload(gsdb.DefaultWorkloadConfig(), *seed)
 	sample := stats.NewSample()
-	commits, aborts := 0, 0
+	commits, aborts, overridden := 0, 0, 0
 	crashAt := *txns / 3
 	recoverAt := 2 * *txns / 3
 
 	for i := 0; i < *txns; i++ {
 		if *crash && i == crashAt && *replicas >= 3 {
-			fmt.Printf("  [txn %d] crashing replica %s\n", i, cluster.Replica(*replicas-1).ID())
-			cluster.Crash(*replicas - 1)
+			fmt.Printf("  [txn %d] crashing replica %s\n", i, client.ReplicaID(*replicas-1))
+			client.Crash(*replicas - 1)
 			for j := 0; j < *replicas-1; j++ {
-				cluster.Replica(j).Suspect(cluster.Replica(*replicas - 1).ID())
+				client.Suspect(j, *replicas-1)
 			}
 		}
 		if *crash && i == recoverAt && *replicas >= 3 {
-			replayed, err := cluster.Recover(*replicas - 1)
+			replayed, err := client.Recover(*replicas - 1)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "recover:", err)
 				os.Exit(1)
 			}
 			fmt.Printf("  [txn %d] recovered replica %s (state transfer + %d replayed messages)\n",
-				i, cluster.Replica(*replicas-1).ID(), replayed)
+				i, client.ReplicaID(*replicas-1), replayed)
 		}
 		delegate := i % (*replicas)
-		if cluster.Replica(delegate).Crashed() {
+		if client.ReplicaCrashed(delegate) {
 			delegate = (delegate + 1) % *replicas
 		}
+		opts := []gsdb.TxnOption{gsdb.Via(delegate)}
+		if overrideLevel != nil && i%10 == 0 {
+			opts = append(opts, gsdb.WithSafety(*overrideLevel))
+			overridden++
+		}
 		start := time.Now()
-		res, err := cluster.Execute(delegate, core.RequestFromWorkload(gen.Next(0, delegate)))
+		res, err := client.Execute(ctx, gsdb.RequestFromWorkload(gen.Next(0, delegate)), opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "execute:", err)
 			os.Exit(1)
@@ -145,16 +157,22 @@ func main() {
 		}
 	}
 
-	consistent := cluster.WaitConsistent(10 * time.Second)
-	total := cluster.TotalStats()
+	waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	consistentErr := client.WaitConsistent(waitCtx)
+	cancel()
+	total := client.TotalStats()
 	fmt.Printf("\nresults:\n")
 	fmt.Printf("  transactions: %d committed, %d aborted (abort rate %.1f%%)\n",
 		commits, aborts, 100*float64(aborts)/float64(commits+aborts))
+	if overridden > 0 {
+		fmt.Printf("  per-transaction safety overrides: %d txns at %s (%d very-safe acks on the wire)\n",
+			overridden, *mixSafety, total.AcksSent)
+	}
 	fmt.Printf("  response time: mean %.2f ms, p95 %.2f ms, max %.2f ms\n",
 		sample.Mean(), sample.Percentile(95), sample.Max())
 	fmt.Printf("  deliveries across replicas: %d, lazy applies: %d\n", total.Delivered, total.LazyApply)
-	fmt.Printf("  all live replicas consistent: %v\n", consistent)
-	if !consistent && level == core.Safety1Lazy {
-		fmt.Println("  (lazy replication gives no consistency guarantee under concurrent conflicting updates)")
+	fmt.Printf("  all live replicas consistent: %v\n", consistentErr == nil)
+	if consistentErr != nil && level == gsdb.Safety1Lazy {
+		fmt.Printf("  (lazy replication gives no consistency guarantee under concurrent conflicting updates: %v)\n", consistentErr)
 	}
 }

@@ -17,7 +17,7 @@ import (
 	"os"
 	"time"
 
-	"groupsafe/internal/experiments"
+	"groupsafe/gsdb/experiments"
 )
 
 func main() {

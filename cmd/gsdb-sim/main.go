@@ -19,8 +19,8 @@ import (
 	"strings"
 	"time"
 
-	"groupsafe/internal/core"
-	"groupsafe/internal/simrep"
+	"groupsafe/gsdb"
+	"groupsafe/gsdb/sim"
 )
 
 func main() {
@@ -61,13 +61,13 @@ func run() int {
 		}()
 	}
 
-	cfg := simrep.DefaultConfig()
+	cfg := sim.DefaultConfig()
 	cfg.Duration = *duration
 	cfg.Seed = *seed
 	cfg.BatchSize = *batch
 	cfg.BatchDelay = *batchDelay
 	cfg.ApplyWorkers = *applyWorkers
-	technique, err := core.ParseTechnique(*techniqueFlag)
+	technique, err := gsdb.ParseTechnique(*techniqueFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -91,7 +91,7 @@ func run() int {
 	}
 }
 
-func printTable4(cfg simrep.Config) {
+func printTable4(cfg sim.Config) {
 	fmt.Println("Simulator parameters (Table 4 of the paper):")
 	fmt.Printf("  Number of items in the database      %d\n", cfg.Items)
 	fmt.Printf("  Number of servers                    %d\n", cfg.Servers)
@@ -108,8 +108,8 @@ func printTable4(cfg simrep.Config) {
 	fmt.Printf("  Simulated duration per data point    %v\n", cfg.Duration)
 }
 
-func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) int {
-	loads := simrep.Figure9Loads()
+func runFig9(cfg sim.Config, loadsFlag, levelsFlag string) int {
+	loads := sim.Figure9Loads()
 	if loadsFlag != "" {
 		loads = nil
 		for _, tok := range strings.Split(loadsFlag, ",") {
@@ -124,10 +124,10 @@ func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) int {
 	// nil lets RunFigure9 pick the default level set for the configured
 	// technique (the Fig. 9 trio for certification, the canonical level for
 	// active / lazy-primary).
-	var levels []core.SafetyLevel
+	var levels []gsdb.SafetyLevel
 	if levelsFlag != "" {
 		for _, tok := range strings.Split(levelsFlag, ",") {
-			level, err := parseLevel(strings.TrimSpace(tok))
+			level, err := gsdb.ParseLevel(strings.TrimSpace(tok))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 2
@@ -137,16 +137,16 @@ func runFig9(cfg simrep.Config, loadsFlag, levelsFlag string) int {
 	}
 
 	fmt.Printf("Figure 9 reproduction: response time vs load (%d servers, Table 4 workload, %s technique)\n\n", cfg.Servers, cfg.Technique)
-	results, err := simrep.RunFigure9(cfg, levels, loads)
+	results, err := sim.RunFigure9(cfg, levels, loads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Println(simrep.FormatFigure9(results))
+	fmt.Println(sim.FormatFigure9(results))
 	// The group-safe-vs-lazy crossover only exists in the certification
 	// technique's multi-level sweep.
-	if cfg.Technique == core.TechCertification {
-		if cross := simrep.CrossoverLoad(results, core.GroupSafe, core.Safety1Lazy); cross > 0 {
+	if cfg.Technique == gsdb.TechCertification {
+		if cross := sim.CrossoverLoad(results, gsdb.GroupSafe, gsdb.Safety1Lazy); cross > 0 {
 			fmt.Printf("group-safe overtakes lazy replication at %.0f tps (paper: ~38 tps)\n", cross)
 		} else {
 			fmt.Println("group-safe stayed faster than lazy replication over the whole sweep")
@@ -161,13 +161,4 @@ func runScaling() {
 	for _, p := range coreScalingPoints() {
 		fmt.Printf("%-10d  %-22.4f  %-22.4f\n", p.Servers, p.LazyViolationProb, p.GroupSafeViolateProb)
 	}
-}
-
-func parseLevel(s string) (core.SafetyLevel, error) {
-	for _, level := range core.AllLevels() {
-		if level.String() == s {
-			return level, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown safety level %q", s)
 }

@@ -1,6 +1,6 @@
 package main
 
-import "groupsafe/internal/experiments"
+import "groupsafe/gsdb/experiments"
 
 // coreScalingPoints runs the Sect. 7 Monte-Carlo model with its default
 // parameters (kept in a separate function so main.go stays flag-focused).

@@ -1,20 +1,21 @@
-// Banking: account transfers on an update-everywhere replicated database.
-// Concurrent transfers are submitted to different delegate servers; the
-// certification step aborts the conflicting ones deterministically on every
-// replica, so the total amount of money is conserved and all replicas agree.
+// Banking: account transfers on an update-everywhere replicated database,
+// driven through the public gsdb API.  Concurrent transfers are submitted to
+// different delegate servers; the certification step aborts the conflicting
+// ones deterministically on every replica, so the total amount of money is
+// conserved and all replicas agree.
 //
 //	go run ./examples/banking
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"sync"
 	"time"
 
-	"groupsafe/internal/core"
-	"groupsafe/internal/workload"
+	"groupsafe/gsdb"
 )
 
 const (
@@ -24,44 +25,45 @@ const (
 )
 
 func main() {
-	cluster, err := core.NewCluster(core.ClusterConfig{
-		Replicas: 3,
-		Items:    accounts,
-		Level:    core.GroupSafe,
-	})
+	ctx := context.Background()
+	client, err := gsdb.Open(ctx,
+		gsdb.WithReplicas(3),
+		gsdb.WithItems(accounts),
+		gsdb.WithSafetyLevel(gsdb.GroupSafe),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer client.Close()
 
 	// Fund the accounts through server 0.
-	ops := make([]workload.Op, accounts)
+	ops := make([]gsdb.Op, accounts)
 	for i := range ops {
-		ops[i] = workload.Op{Item: i, Write: true, Value: initialBalance}
+		ops[i] = gsdb.Op{Item: i, Write: true, Value: initialBalance}
 	}
-	if _, err := cluster.Execute(0, core.Request{Ops: ops}); err != nil {
+	if _, err := client.Execute(ctx, gsdb.Request{Ops: ops}, gsdb.Via(0)); err != nil {
 		log.Fatal(err)
 	}
-	cluster.WaitConsistent(2 * time.Second)
+	waitConsistent(ctx, client, 2*time.Second)
 	fmt.Printf("funded %d accounts with %d each (total %d)\n", accounts, initialBalance, accounts*initialBalance)
 
 	// Run concurrent transfers from three clients, one per delegate server.
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	commits, aborts := 0, 0
-	for client := 0; client < 3; client++ {
+	for delegate := 0; delegate < 3; delegate++ {
 		wg.Add(1)
-		go func(client int) {
+		go func(delegate int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(client) + 1))
+			rng := rand.New(rand.NewSource(int64(delegate) + 1))
 			for i := 0; i < transfers/3; i++ {
 				from, to := rng.Intn(accounts), rng.Intn(accounts)
 				if from == to {
 					continue
 				}
-				committed, err := transfer(cluster, client, from, to, int64(1+rng.Intn(50)))
+				committed, err := transfer(ctx, client, delegate, from, to, int64(1+rng.Intn(50)))
 				if err != nil {
-					log.Printf("client %d: %v", client, err)
+					log.Printf("client %d: %v", delegate, err)
 					return
 				}
 				mu.Lock()
@@ -72,23 +74,21 @@ func main() {
 				}
 				mu.Unlock()
 			}
-		}(client)
+		}(delegate)
 	}
 	wg.Wait()
 
-	if !cluster.WaitConsistent(5 * time.Second) {
-		log.Fatal("replicas diverged")
-	}
+	waitConsistent(ctx, client, 5*time.Second)
 	fmt.Printf("transfers: %d committed, %d aborted by certification\n", commits, aborts)
 
 	// Money conservation on every replica.
-	for i := 0; i < cluster.Size(); i++ {
+	for i := 0; i < client.Size(); i++ {
 		var total int64
 		for acc := 0; acc < accounts; acc++ {
-			v, _ := cluster.Value(i, acc)
+			v, _ := client.Value(i, acc)
 			total += v
 		}
-		fmt.Printf("  replica %s: total balance = %d\n", cluster.Replica(i).ID(), total)
+		fmt.Printf("  replica %s: total balance = %d\n", client.ReplicaID(i), total)
 		if total != accounts*initialBalance {
 			log.Fatalf("money was created or destroyed on replica %d", i)
 		}
@@ -96,24 +96,33 @@ func main() {
 	fmt.Println("all replicas conserve the total balance: one-copy serialisability holds")
 }
 
+func waitConsistent(ctx context.Context, client *gsdb.Client, timeout time.Duration) {
+	waitCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	// On failure the error names the diverging replica pair and item.
+	if err := client.WaitConsistent(waitCtx); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // transfer moves amount from one account to another as a single replicated
 // read-modify-write transaction: the balances are read at the delegate, the
 // new balances are computed from those reads, and the certification step
 // aborts the transaction if a concurrent transfer touched either account
 // between the reads and the delivery of the write set.
-func transfer(cluster *core.Cluster, delegate, from, to int, amount int64) (bool, error) {
-	res, err := cluster.Execute(delegate, core.Request{
-		Ops: []workload.Op{{Item: from}, {Item: to}},
-		Compute: func(reads map[int]int64) []workload.Op {
+func transfer(ctx context.Context, client *gsdb.Client, delegate, from, to int, amount int64) (bool, error) {
+	res, err := client.Execute(ctx, gsdb.Request{
+		Ops: []gsdb.Op{{Item: from}, {Item: to}},
+		Compute: func(reads map[int]int64) []gsdb.Op {
 			if reads[from] < amount {
 				return nil // insufficient funds: a read-only no-op
 			}
-			return []workload.Op{
+			return []gsdb.Op{
 				{Item: from, Write: true, Value: reads[from] - amount},
 				{Item: to, Write: true, Value: reads[to] + amount},
 			}
 		},
-	})
+	}, gsdb.Via(delegate))
 	if err != nil {
 		return false, err
 	}

@@ -1,23 +1,25 @@
-// Failover: demonstrates the failure semantics that motivate the paper.
+// Failover: demonstrates the failure semantics that motivate the paper,
+// through the public gsdb API.
 //
 //  1. A group-safe cluster keeps serving transactions while a minority of the
 //     servers is crashed, and the crashed server catches up through state
 //     transfer when it recovers.
+//
 //  2. The Fig. 5 / Fig. 7 schedules are replayed: with classical atomic
 //     broadcast an acknowledged transaction is lost after a total failure,
 //     with end-to-end atomic broadcast (2-safe) it is recovered.
 //
-//	go run ./examples/failover
+//     go run ./examples/failover
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"groupsafe/internal/core"
-	"groupsafe/internal/experiments"
-	"groupsafe/internal/workload"
+	"groupsafe/gsdb"
+	"groupsafe/gsdb/experiments"
 )
 
 func main() {
@@ -27,49 +29,54 @@ func main() {
 
 func minorityCrashDemo() {
 	fmt.Println("=== group-safe replication under a minority crash ===")
-	cluster, err := core.NewCluster(core.ClusterConfig{
-		Replicas: 3,
-		Items:    1000,
-		Level:    core.GroupSafe,
-	})
+	ctx := context.Background()
+	client, err := gsdb.Open(ctx,
+		gsdb.WithReplicas(3),
+		gsdb.WithItems(1000),
+		gsdb.WithSafetyLevel(gsdb.GroupSafe),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer client.Close()
 
 	write := func(delegate, item int, value int64) {
-		res, err := cluster.Execute(delegate, core.Request{Ops: []workload.Op{
+		res, err := client.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{
 			{Item: item, Write: true, Value: value},
-		}})
+		}}, gsdb.Via(delegate))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote item %d = %d via %s (%s)\n", item, value, res.Delegate, res.Outcome)
 	}
+	waitConsistent := func(timeout time.Duration) error {
+		waitCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		return client.WaitConsistent(waitCtx)
+	}
 
 	write(0, 1, 11)
-	cluster.WaitConsistent(2 * time.Second)
+	_ = waitConsistent(2 * time.Second)
 
-	crashed := cluster.Replica(2)
-	fmt.Printf("  crashing %s\n", crashed.ID())
-	cluster.Crash(2)
-	cluster.Replica(0).Suspect(crashed.ID())
-	cluster.Replica(1).Suspect(crashed.ID())
+	fmt.Printf("  crashing %s\n", client.ReplicaID(2))
+	client.Crash(2)
+	client.Suspect(0, 2)
+	client.Suspect(1, 2)
 
 	// The group keeps accepting transactions with one server down.
 	write(0, 2, 22)
 	write(1, 3, 33)
 
-	replayed, err := cluster.Recover(2)
+	replayed, err := client.Recover(2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !cluster.WaitConsistent(5 * time.Second) {
-		log.Fatal("recovered replica did not catch up")
+	if err := waitConsistent(5 * time.Second); err != nil {
+		log.Fatalf("recovered replica did not catch up: %v", err)
 	}
-	v, _ := cluster.Value(2, 3)
+	v, _ := client.Value(2, 3)
 	fmt.Printf("  recovered %s via state transfer (%d replayed messages); item3=%d on the recovered replica\n\n",
-		crashed.ID(), replayed, v)
+		client.ReplicaID(2), replayed, v)
 }
 
 func totalFailureDemo() {

@@ -4,25 +4,25 @@
 // replication — with a realistic (emulated) disk-force latency, and compares
 // client-visible response times, abort rates, guarantees and convergence.
 // This is the qualitative content of Fig. 9 and Sect. 7 on the real stack
-// rather than the simulator.
+// rather than the simulator, driven through the public gsdb API.
 //
 //	go run ./examples/lazyvsgroup
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"groupsafe/internal/core"
-	"groupsafe/internal/stats"
-	"groupsafe/internal/workload"
+	"groupsafe/gsdb"
+	"groupsafe/gsdb/stats"
 )
 
 const transactions = 100
 
 func main() {
-	for _, tech := range core.AllTechniques() {
+	for _, tech := range gsdb.AllTechniques() {
 		runTechnique(tech)
 	}
 	fmt.Println()
@@ -34,31 +34,32 @@ func main() {
 	fmt.Println("aborts, paying with execution of every transaction on every replica.")
 }
 
-func runTechnique(tech core.TechniqueID) {
-	level := core.GroupSafe
-	if tech == core.TechLazyPrimary {
-		level = core.Safety1Lazy
+func runTechnique(tech gsdb.TechniqueID) {
+	ctx := context.Background()
+	level := gsdb.GroupSafe
+	if tech == gsdb.TechLazyPrimary {
+		level = gsdb.Safety1Lazy
 	}
-	cluster, err := core.NewCluster(core.ClusterConfig{
-		Replicas:      3,
-		Items:         5000,
-		Level:         level,
-		Technique:     tech,
-		DiskSyncDelay: 4 * time.Millisecond, // emulated log-force cost
-		ExecTimeout:   20 * time.Second,
-	})
+	client, err := gsdb.Open(ctx,
+		gsdb.WithReplicas(3),
+		gsdb.WithItems(5000),
+		gsdb.WithSafetyLevel(level),
+		gsdb.WithTechnique(tech),
+		gsdb.WithDiskSyncDelay(4*time.Millisecond), // emulated log-force cost
+		gsdb.WithExecTimeout(20*time.Second),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer client.Close()
 
-	gen := workload.NewGenerator(workload.Config{Items: 5000, MinOps: 5, MaxOps: 10, WriteProb: 0.5}, 7)
+	gen := gsdb.NewWorkload(gsdb.WorkloadConfig{Items: 5000, MinOps: 5, MaxOps: 10, WriteProb: 0.5}, 7)
 	sample := stats.NewSample()
 	commits, aborts := 0, 0
 	for i := 0; i < transactions; i++ {
-		delegate := i % cluster.Size()
+		delegate := i % client.Size()
 		start := time.Now()
-		res, err := cluster.Execute(delegate, core.RequestFromWorkload(gen.Next(0, delegate)))
+		res, err := client.Execute(ctx, gsdb.RequestFromWorkload(gen.Next(0, delegate)), gsdb.Via(delegate))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,8 +70,10 @@ func runTechnique(tech core.TechniqueID) {
 			aborts++
 		}
 	}
-	consistent := cluster.WaitConsistent(5 * time.Second)
+	waitCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	consistent := client.WaitConsistent(waitCtx) == nil
+	cancel()
 	fmt.Printf("%-14s (%-12s) mean=%6.2f ms  p95=%6.2f ms  commits=%d aborts=%d  delivered-everywhere=%-5v consistent=%v\n",
-		tech, cluster.Level(), sample.Mean(), sample.Percentile(95), commits, aborts,
-		cluster.Level().UsesGroupCommunication(), consistent)
+		tech, client.Level(), sample.Mean(), sample.Percentile(95), commits, aborts,
+		client.Level().UsesGroupCommunication(), consistent)
 }

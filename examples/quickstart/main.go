@@ -1,58 +1,92 @@
-// Quickstart: build a three-server group-safe replicated database, run a few
-// transactions through different delegate servers, and verify that every
-// replica converged to the same state.
+// Quickstart: open a three-server group-safe replicated database through the
+// public gsdb API, run transactions at different safety levels — including a
+// per-transaction very-safe override and an async commit handle that
+// separates the response point from the durability point — and verify that
+// every replica converged to the same state.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"groupsafe/internal/core"
-	"groupsafe/internal/workload"
+	"groupsafe/gsdb"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A cluster of three replicas connected by an in-memory network, using
 	// the group-safe criterion: the client is answered as soon as the
 	// transaction's message is guaranteed to be delivered everywhere and the
 	// commit/abort decision is known — no disk force on the response path.
-	cluster, err := core.NewCluster(core.ClusterConfig{
-		Replicas: 3,
-		Items:    1000,
-		Level:    core.GroupSafe,
-	})
+	client, err := gsdb.Open(ctx,
+		gsdb.WithReplicas(3),
+		gsdb.WithItems(1000),
+		gsdb.WithSafetyLevel(gsdb.GroupSafe),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer client.Close()
 
 	// Write through server 0.
-	res, err := cluster.Execute(0, core.Request{Ops: []workload.Op{
+	res, err := client.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{
 		{Item: 1, Write: true, Value: 100},
 		{Item: 2, Write: true, Value: 200},
+	}}, gsdb.Via(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("txn %d via %s: %s (level %s)\n", res.TxnID, res.Delegate, res.Outcome, res.Level)
+
+	// A single transaction can strengthen its own safety level: this one is
+	// not acknowledged until EVERY server has logged and forced it.
+	res, err = client.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{
+		{Item: 3, Write: true, Value: 300},
+	}}, gsdb.WithSafety(gsdb.VerySafe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("txn %d: %s at %s (waited for every server's ack)\n", res.TxnID, res.Outcome, res.Level)
+
+	// Submit returns an async handle that makes the paper's
+	// response-vs-durability gap visible: Responded resolves at group-safe
+	// delivery, Durable only once the delegate's log is forced.
+	commit, err := client.Submit(ctx, gsdb.Request{Ops: []gsdb.Op{
+		{Item: 4, Write: true, Value: 400},
 	}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("txn %d via %s: %s\n", res.TxnID, res.Delegate, res.Outcome)
+	if res, err = commit.Responded(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("txn %d responded (group-safe: durability still pending)\n", res.TxnID)
+	if err := commit.Durable(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("txn %d now durable on the delegate's stable storage\n", res.TxnID)
 
 	// Read through server 2 (a different delegate).
-	cluster.WaitConsistent(2 * time.Second)
-	res, err = cluster.Execute(2, core.Request{Ops: []workload.Op{
-		{Item: 1}, {Item: 2},
-	}})
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := client.WaitConsistent(waitCtx); err != nil {
+		log.Fatal(err)
+	}
+	res, err = client.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{{Item: 1}, {Item: 2}}}, gsdb.Via(2))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read via %s: item1=%d item2=%d\n", res.Delegate, res.ReadValues[1], res.ReadValues[2])
 
 	// Every replica holds the same committed state (one-copy equivalence).
-	fmt.Printf("replicas consistent: %v\n", cluster.Consistent())
-	for i := 0; i < cluster.Size(); i++ {
-		v, _ := cluster.Value(i, 1)
-		fmt.Printf("  replica %s: item1=%d\n", cluster.Replica(i).ID(), v)
+	fmt.Printf("replicas consistent: %v\n", client.Consistent())
+	for i := 0; i < client.Size(); i++ {
+		v, _ := client.Value(i, 1)
+		fmt.Printf("  replica %s: item1=%d\n", client.ReplicaID(i), v)
 	}
 }

@@ -1,0 +1,118 @@
+package gsdb_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestImportBoundary enforces the public-API layering: nothing under cmd/ or
+// examples/ may import groupsafe/internal/... (they must go through gsdb),
+// and the gsdb packages themselves — the deliberate bridge — may only import
+// the specific internal packages they wrap, so new internals cannot leak
+// into the public surface by accident.
+func TestImportBoundary(t *testing.T) {
+	root := repoRoot(t)
+
+	// Consumers: no internal imports at all.
+	for _, dir := range []string{"cmd", "examples"} {
+		walkGoFiles(t, filepath.Join(root, dir), func(file string, imports []string) {
+			for _, imp := range imports {
+				if strings.HasPrefix(imp, "groupsafe/internal/") {
+					t.Errorf("%s imports %s: cmd/ and examples/ must use the public gsdb API", rel(root, file), imp)
+				}
+			}
+		})
+	}
+
+	// The bridge: per-package whitelist of wrapped internals.
+	allowed := map[string][]string{
+		"gsdb": {
+			"groupsafe/internal/core",
+			"groupsafe/internal/workload",
+			"groupsafe/internal/tuning",
+			"groupsafe/internal/gcs/fd",
+		},
+		"gsdb/stats":       {"groupsafe/internal/stats"},
+		"gsdb/experiments": {"groupsafe/internal/experiments"},
+		"gsdb/sim":         {"groupsafe/internal/simrep"},
+	}
+	for pkgDir, whitelist := range allowed {
+		walkGoFiles(t, filepath.Join(root, pkgDir), func(file string, imports []string) {
+			if filepath.Dir(file) != filepath.Join(root, pkgDir) {
+				return // subpackages have their own entry
+			}
+			for _, imp := range imports {
+				if !strings.HasPrefix(imp, "groupsafe/internal/") {
+					continue
+				}
+				ok := false
+				for _, w := range whitelist {
+					if imp == w {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("%s imports %s, which is not in the %s whitelist — widen the surface deliberately or route through an existing wrapper", rel(root, file), imp, pkgDir)
+				}
+			}
+		})
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd() // the gsdb package directory when run under go test
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(wd)
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found from %s: %v", wd, err)
+	}
+	return root
+}
+
+func rel(root, file string) string {
+	r, err := filepath.Rel(root, file)
+	if err != nil {
+		return file
+	}
+	return r
+}
+
+// walkGoFiles parses the imports of every non-test .go file under dir.
+func walkGoFiles(t *testing.T, dir string, visit func(file string, imports []string)) {
+	t.Helper()
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		imports := make([]string, 0, len(f.Imports))
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			imports = append(imports, p)
+		}
+		visit(path, imports)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package gsdb_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"groupsafe/gsdb"
+)
+
+// ExampleOpen opens a three-server group-safe cluster, commits a transaction
+// at the cluster level and one with a per-transaction very-safe override,
+// and shows the async commit handle's response and durability points.
+func ExampleOpen() {
+	ctx := context.Background()
+	client, err := gsdb.Open(ctx,
+		gsdb.WithReplicas(3),
+		gsdb.WithItems(100),
+		gsdb.WithSafetyLevel(gsdb.GroupSafe),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// A group-safe transaction: answered at guaranteed delivery, disk force
+	// off the response path.
+	res, err := client.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{
+		{Item: 1, Write: true, Value: 42},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("group-safe txn:", res.Outcome, "at", res.Level)
+
+	// One transaction can demand more: very-safe waits until EVERY server
+	// has logged and forced it.
+	res, err = client.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{
+		{Item: 2, Write: true, Value: 7},
+	}}, gsdb.WithSafety(gsdb.VerySafe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("override txn:  ", res.Outcome, "at", res.Level)
+
+	// The async handle separates the response point from local durability.
+	commit, err := client.Submit(ctx, gsdb.Request{Ops: []gsdb.Op{
+		{Item: 3, Write: true, Value: 9},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := commit.Responded(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := commit.Durable(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("submitted txn: responded, then durable")
+
+	waitCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := client.WaitConsistent(waitCtx); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := client.Value(2, 1)
+	fmt.Println("replica 2 reads item 1 =", v)
+
+	// Output:
+	// group-safe txn: committed at group-safe
+	// override txn:   committed at very-safe
+	// submitted txn: responded, then durable
+	// replica 2 reads item 1 = 42
+}

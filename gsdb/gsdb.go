@@ -1,0 +1,236 @@
+// Package gsdb is the public client API of the group-safe replicated
+// database.  It is the supported surface of this module: everything under
+// internal/ is implementation detail and may change without notice, while
+// the identifiers exported here follow the stability policy below.
+//
+// The package exposes the system of Wiesmann & Schiper's "Beyond 1-Safety
+// and 2-Safety for Replicated Databases: Group-Safety" as a context-first
+// embedded database client:
+//
+//	client, err := gsdb.Open(ctx,
+//		gsdb.WithReplicas(3),
+//		gsdb.WithSafetyLevel(gsdb.GroupSafe),
+//	)
+//	if err != nil { ... }
+//	defer client.Close()
+//
+//	res, err := client.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{
+//		{Item: 1, Write: true, Value: 42},
+//	}})
+//
+// # Safety as a per-transaction, end-to-end guarantee
+//
+// The paper's safety criteria (0-safe, 1-safe, group-safe, group-1-safe,
+// 2-safe, very safe) describe what is guaranteed about a transaction at the
+// moment the client is notified.  gsdb makes that choice per transaction,
+// not only per cluster: a single Execute may strengthen its own response
+// point with WithSafety, and the requested level rides inside the broadcast
+// payload so every replica forces and acknowledges that one transaction at
+// its level:
+//
+//	res, err := client.Execute(ctx, req, gsdb.WithSafety(gsdb.VerySafe))
+//
+// Levels weaker than the cluster's machinery floor are canonicalised up;
+// levels needing machinery the cluster was not built with (2-safe on a
+// classical-broadcast cluster) fail with ErrSafetyUnavailable.
+//
+// # Response versus durability
+//
+// Group-safety's central trade is answering the client at message delivery
+// while the disk force happens later.  Submit makes the two points visible
+// in the type system: it returns a *Commit whose Responded resolves at the
+// transaction's response point (e.g. group-safe delivery) and whose Durable
+// resolves only once the commit record is forced to the delegate's local
+// log.
+//
+// # Contexts and timeouts
+//
+// Every blocking call takes a context.Context and honours its deadline and
+// cancellation; cancelling an Execute mid-flight deregisters its waiter
+// promptly (the transaction itself may still commit group-wide — only the
+// notification is abandoned).  A context without a deadline falls back to
+// the cluster's ExecTimeout (WithExecTimeout).  Deadline expiries surface as
+// errors matching both ErrTimeout and context.DeadlineExceeded.
+//
+// # Stability policy
+//
+// The gsdb package (and its subpackages experiments, sim and stats) is the
+// module's public API:
+//
+//   - identifiers exported by gsdb are append-only: they may gain new
+//     functions, options and struct fields, but existing signatures, option
+//     semantics and error identities (errors.Is) are kept compatible;
+//   - the CI pipeline diffs `go doc -all ./gsdb` against the committed
+//     gsdb/api.txt, so every surface change is explicit in review;
+//   - packages under internal/ carry no compatibility promise at all — no
+//     code outside this module can import them, and no code inside cmd/ or
+//     examples/ does either (enforced by a test).
+package gsdb
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"groupsafe/internal/core"
+)
+
+// Open builds and starts an in-process replicated database cluster (one
+// replica per simulated server, connected by an in-memory network with
+// failure injection) and returns a client for it.  The default cluster is
+// three replicas at the group-safe level running the certification-based
+// technique; see the With* options.
+func Open(ctx context.Context, opts ...Option) (*Client, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gsdb: open: %w", err)
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cluster, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("gsdb: open: %w", err)
+	}
+	return &Client{cluster: cluster}, nil
+}
+
+// Client is a handle on a running replicated database cluster.  All methods
+// are safe for concurrent use.
+type Client struct {
+	cluster *core.Cluster
+	closed  atomic.Bool
+	rr      atomic.Uint64
+}
+
+// Close shuts every replica down.  Calls after Close fail with ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.cluster.Close()
+	return nil
+}
+
+// Execute runs one transaction and blocks until the notification condition
+// of its safety level holds (the cluster's level, or a WithSafety override),
+// or until ctx is done.  Aborted transactions are reported through
+// Result.Outcome, not through the error.  The delegate replica is picked
+// round-robin over the live replicas unless pinned with Via.
+func (c *Client) Execute(ctx context.Context, req Request, opts ...TxnOption) (Result, error) {
+	if c.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	o := newTxnOptions(opts)
+	o.apply(&req)
+	return c.cluster.Execute(ctx, c.pickDelegate(&o), req)
+}
+
+// Submit starts one transaction asynchronously and returns a Commit handle
+// for its response and durability points.  ctx governs the whole in-flight
+// transaction: cancelling it resolves the handle with the cancellation
+// error.  See Commit.
+func (c *Client) Submit(ctx context.Context, req Request, opts ...TxnOption) (*Commit, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	o := newTxnOptions(opts)
+	o.apply(&req)
+	delegate := c.pickDelegate(&o)
+	cm := &Commit{client: c, done: make(chan struct{})}
+	go func() {
+		defer close(cm.done)
+		cm.res, cm.err = c.cluster.Execute(ctx, delegate, req)
+	}()
+	return cm, nil
+}
+
+// pickDelegate returns the pinned delegate, or the next live replica in
+// round-robin order (falling back to the raw round-robin slot when every
+// replica is down, so the caller still gets a meaningful ErrCrashed).
+func (c *Client) pickDelegate(o *txnOptions) int {
+	if o.delegate >= 0 {
+		return o.delegate
+	}
+	n := c.cluster.Size()
+	start := int(c.rr.Add(1)-1) % n
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if r := c.cluster.Replica(i); r != nil && !r.Crashed() {
+			return i
+		}
+	}
+	return start
+}
+
+// WaitConsistent blocks until every live replica holds identical committed
+// state, or until ctx is done.  On failure the returned error names the
+// first replica pair and item that diverged (see DivergenceError) and wraps
+// ctx.Err().
+func (c *Client) WaitConsistent(ctx context.Context) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return c.cluster.WaitConsistent(ctx)
+}
+
+// Consistent reports whether every live replica currently has identical
+// committed state.
+func (c *Client) Consistent() bool { return c.cluster.Consistent() }
+
+// Size returns the number of replicas.
+func (c *Client) Size() int { return c.cluster.Size() }
+
+// Level returns the cluster's configured (canonicalised) safety level.
+func (c *Client) Level() SafetyLevel { return c.cluster.Level() }
+
+// Technique returns the cluster's replication technique.
+func (c *Client) Technique() TechniqueID { return c.cluster.Technique() }
+
+// LiveCount returns the number of non-crashed replicas.
+func (c *Client) LiveCount() int { return c.cluster.LiveCount() }
+
+// TotalStats aggregates the per-replica counters.
+func (c *Client) TotalStats() Stats { return c.cluster.TotalStats() }
+
+// Value returns the committed value of item at replica i.
+func (c *Client) Value(i, item int) (int64, error) { return c.cluster.Value(i, item) }
+
+// ReplicaID returns the network address of replica i ("" when out of range).
+func (c *Client) ReplicaID(i int) string {
+	if r := c.cluster.Replica(i); r != nil {
+		return r.ID()
+	}
+	return ""
+}
+
+// ReplicaCrashed reports whether replica i is currently crashed (false when
+// i is out of range).
+func (c *Client) ReplicaCrashed(i int) bool {
+	if r := c.cluster.Replica(i); r != nil {
+		return r.Crashed()
+	}
+	return false
+}
+
+// Crash crash-stops replica i: its endpoint goes silent and all volatile
+// state (buffers, unsynced logs, queued lazy propagations) is lost.
+func (c *Client) Crash(i int) { c.cluster.Crash(i) }
+
+// Recover restarts crashed replica i, installing a state-transfer checkpoint
+// from the most advanced live replica when one exists and replaying
+// logged-but-unacknowledged end-to-end messages.  It returns the number of
+// replayed messages.
+func (c *Client) Recover(i int) (int, error) { return c.cluster.Recover(i) }
+
+// Suspect tells replica observer to treat replica suspect as crashed (the
+// manual stand-in for a failure detector; see WithFailureDetectors for the
+// automatic one).
+func (c *Client) Suspect(observer, suspect int) {
+	obs := c.cluster.Replica(observer)
+	sus := c.cluster.Replica(suspect)
+	if obs == nil || sus == nil {
+		return
+	}
+	obs.Suspect(sus.ID())
+}

@@ -1,0 +1,166 @@
+package gsdb
+
+import (
+	"time"
+
+	"groupsafe/internal/core"
+	"groupsafe/internal/gcs/fd"
+	"groupsafe/internal/tuning"
+)
+
+// Option configures Open.
+type Option func(*core.ClusterConfig)
+
+func defaultConfig() core.ClusterConfig {
+	return core.ClusterConfig{
+		Replicas: 3,
+		Items:    1024,
+		Level:    core.GroupSafe,
+	}
+}
+
+// WithReplicas sets the number of replica servers (default 3; the paper
+// assumes n >= 3).
+func WithReplicas(n int) Option {
+	return func(cfg *core.ClusterConfig) { cfg.Replicas = n }
+}
+
+// WithItems sets the database size in items (default 1024).
+func WithItems(n int) Option {
+	return func(cfg *core.ClusterConfig) { cfg.Items = n }
+}
+
+// WithSafetyLevel sets the cluster's default safety level (default
+// GroupSafe).  Individual transactions may strengthen their own level with
+// WithSafety; 2-safe and very-safe per-transaction overrides need the
+// machinery of the cluster level they ride on (see WithSafety).
+func WithSafetyLevel(l SafetyLevel) Option {
+	return func(cfg *core.ClusterConfig) { cfg.Level = l }
+}
+
+// WithTechnique selects the replication technique (default
+// TechCertification).  The technique may canonicalise the safety level:
+// active replication promotes the zero level to group-safe, lazy
+// primary-copy pins to 1-safe-lazy.
+func WithTechnique(t TechniqueID) Option {
+	return func(cfg *core.ClusterConfig) { cfg.Technique = t }
+}
+
+// WithDiskSyncDelay emulates the latency of forcing a log to disk (the
+// paper's setting: 4-12ms, far above the 0.07ms network message).
+func WithDiskSyncDelay(d time.Duration) Option {
+	return func(cfg *core.ClusterConfig) { cfg.DiskSyncDelay = d }
+}
+
+// WithNetworkLatency emulates the one-way LAN latency.
+func WithNetworkLatency(d time.Duration) Option {
+	return func(cfg *core.ClusterConfig) { cfg.NetworkLatency = d }
+}
+
+// WithNetworkJitter adds random jitter on top of the network latency.
+func WithNetworkJitter(d time.Duration) Option {
+	return func(cfg *core.ClusterConfig) { cfg.NetworkJitter = d }
+}
+
+// WithExecTimeout sets the DEFAULT bound on Execute calls, used only when
+// the caller's context carries no deadline of its own (default 10s).  A
+// context deadline always wins.
+func WithExecTimeout(d time.Duration) Option {
+	return func(cfg *core.ClusterConfig) { cfg.ExecTimeout = d }
+}
+
+// WithLazyPropagationDelay postpones the asynchronous write-set propagation
+// of the lazy modes, widening the crash window the failure-injection
+// experiments measure.
+func WithLazyPropagationDelay(d time.Duration) Option {
+	return func(cfg *core.ClusterConfig) { cfg.LazyPropagationDelay = d }
+}
+
+// WithFailureDetectors runs a heartbeat failure detector on every replica,
+// wired to the atomic broadcast's suspect mechanism (without it, crashed
+// peers must be reported manually via Client.Suspect).
+func WithFailureDetectors() Option {
+	return func(cfg *core.ClusterConfig) {
+		cfg.StartDetectors = true
+		cfg.Detector = fd.Config{}
+	}
+}
+
+// WithSeed seeds the cluster's network randomness (default 1).
+func WithSeed(seed int64) Option {
+	return func(cfg *core.ClusterConfig) { cfg.Seed = seed }
+}
+
+// WithBatching coalesces up to size concurrent broadcasts into one network
+// message, waiting at most delay for co-travellers (size <= 1 disables
+// sender batching).
+func WithBatching(size int, delay time.Duration) Option {
+	return func(cfg *core.ClusterConfig) {
+		cfg.BatchSize = size
+		cfg.BatchDelay = delay
+	}
+}
+
+// WithApplyWorkers sets the number of concurrent write-set installs per
+// replica (<= 1 keeps the apply stage serial).
+func WithApplyWorkers(n int) Option {
+	return func(cfg *core.ClusterConfig) { cfg.ApplyWorkers = n }
+}
+
+// TxnOption configures a single Execute or Submit call.
+type TxnOption func(*txnOptions)
+
+type txnOptions struct {
+	delegate int
+	safety   *SafetyLevel
+}
+
+func newTxnOptions(opts []TxnOption) txnOptions {
+	o := txnOptions{delegate: -1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// apply copies the per-call options into the outgoing request.
+func (o *txnOptions) apply(req *Request) {
+	if o.safety != nil {
+		s := *o.safety
+		req.Safety = &s
+	}
+}
+
+// WithSafety overrides the safety level of this one transaction: the
+// requested level rides in the transaction's payload and every replica
+// externalises it at that level's force/ack/delivery point, so mixed-safety
+// workloads share a single cluster.  Levels below the cluster's machinery
+// floor are canonicalised up (on a group-communication cluster everything
+// rides the broadcast, so the floor is GroupSafe); very-safe is honoured on
+// any group-communication cluster via explicit per-replica acknowledgements;
+// 2-safe needs a cluster opened at 2-safe or very-safe (the end-to-end
+// message log) and fails with ErrSafetyUnavailable otherwise.
+//
+// Very-safe liveness caveat: the wait ends only when EVERY member has
+// acknowledged, so it blocks while any replica is down (the paper's
+// definition).  On a cluster opened at 2-safe or very-safe a recovering
+// replica replays its logged deliveries and the wait completes; on a
+// classical-broadcast cluster (e.g. group-safe) a replica that crashed
+// before delivery catches up by state transfer without replaying, its
+// acknowledgement never arrives, and the override ends in ErrTimeout even
+// though the transaction committed cluster-wide.
+func WithSafety(l SafetyLevel) TxnOption {
+	return func(o *txnOptions) { o.safety = &l }
+}
+
+// Via pins the delegate replica (by index) instead of the default
+// round-robin over live replicas.
+func Via(delegate int) TxnOption {
+	return func(o *txnOptions) { o.delegate = delegate }
+}
+
+// Pipe bundles the batching and apply-worker knobs into a Pipeline value,
+// as used by the experiments subpackage's configurations.
+func Pipe(batchSize int, batchDelay time.Duration, applyWorkers int) Pipeline {
+	return tuning.Pipe(batchSize, batchDelay, applyWorkers)
+}

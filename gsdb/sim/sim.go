@@ -1,0 +1,47 @@
+// Package sim exposes the paper's Sect. 6 performance evaluation on the
+// discrete-event simulator (the source of the paper's own Fig. 9 numbers):
+// the response-time-versus-load sweep across safety levels and replication
+// techniques under the Table 4 parameters.  It is the public face of the
+// module's internal simulator package.
+package sim
+
+import (
+	"groupsafe/gsdb"
+	"groupsafe/internal/simrep"
+)
+
+// Config holds the Table 4 simulator parameters plus the technique, level
+// sweep and tuning knobs.
+type Config = simrep.Config
+
+// Result is one simulated (level, load) data point.
+type Result = simrep.Result
+
+// DefaultConfig returns the paper's Table 4 parameters.
+func DefaultConfig() Config { return simrep.DefaultConfig() }
+
+// Run simulates one safety level at one offered load.
+func Run(cfg Config, level gsdb.SafetyLevel, loadTPS float64) (Result, error) {
+	return simrep.Run(cfg, level, loadTPS)
+}
+
+// Figure9Levels returns the level trio of the paper's Fig. 9.
+func Figure9Levels() []gsdb.SafetyLevel { return simrep.Figure9Levels() }
+
+// Figure9Loads returns the Fig. 9 load sweep (20..40 tps).
+func Figure9Loads() []float64 { return simrep.Figure9Loads() }
+
+// RunFigure9 sweeps the given levels over the given loads (nil selects the
+// defaults for the configured technique).
+func RunFigure9(cfg Config, levels []gsdb.SafetyLevel, loads []float64) ([]Result, error) {
+	return simrep.RunFigure9(cfg, levels, loads)
+}
+
+// CrossoverLoad returns the lowest load at which level a's response time
+// overtakes level b's (0 when it never does).
+func CrossoverLoad(results []Result, a, b gsdb.SafetyLevel) float64 {
+	return simrep.CrossoverLoad(results, a, b)
+}
+
+// FormatFigure9 renders the sweep as the Fig. 9 table.
+func FormatFigure9(results []Result) string { return simrep.FormatFigure9(results) }

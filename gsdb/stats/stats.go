@@ -1,0 +1,15 @@
+// Package stats is the public measurement toolkit of the gsdb API: response
+// time samples with percentiles and confidence intervals, as used by the
+// examples and command-line tools.  It re-exports the module's internal
+// statistics package, which stays an implementation detail.
+package stats
+
+import istats "groupsafe/internal/stats"
+
+// Sample accumulates scalar observations (typically response times in
+// milliseconds via AddDuration) and reports mean, min/max, percentiles and a
+// 95% confidence interval.
+type Sample = istats.Sample
+
+// NewSample returns an empty sample.
+func NewSample() *Sample { return istats.NewSample() }

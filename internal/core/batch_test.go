@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func runConcurrent(t *testing.T, c *Cluster, delegate, clients, txns, items int)
 			defer wg.Done()
 			gen := workload.NewGenerator(workload.Config{Items: items, MinOps: 2, MaxOps: 4, WriteProb: 0.5}, int64(g+1))
 			for i := 0; i < txns; i++ {
-				res, err := c.Execute(delegate, RequestFromWorkload(gen.Next(0, delegate)))
+				res, err := c.Execute(context.Background(), delegate, RequestFromWorkload(gen.Next(0, delegate)))
 				if err != nil {
 					t.Error(err)
 					return
@@ -63,7 +64,7 @@ func TestClusterBatchedConvergence(t *testing.T) {
 	if commits+aborts != 8*25 {
 		t.Fatalf("accounted %d outcomes, want %d", commits+aborts, 8*25)
 	}
-	if !c.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(c, 5*time.Second) {
 		t.Fatal("replicas did not converge under batched delivery")
 	}
 	// Batching must actually have happened: the delegate sent fewer DATA
@@ -95,7 +96,7 @@ func TestClusterBatched2Safe(t *testing.T) {
 	if commits == 0 {
 		t.Fatal("no transaction committed")
 	}
-	if !c.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(c, 5*time.Second) {
 		t.Fatal("2-safe replicas did not converge under batched delivery")
 	}
 }
@@ -115,7 +116,7 @@ func TestRecoveredDelegateCanCommit(t *testing.T) {
 	// The future victim delegates a few broadcasts, so its pre-crash message
 	// ids exist group-wide.
 	for i := 0; i < 5; i++ {
-		if _, err := c.Execute(2, RequestFromWorkload(gen.Next(0, 2))); err != nil {
+		if _, err := c.Execute(context.Background(), 2, RequestFromWorkload(gen.Next(0, 2))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -123,21 +124,21 @@ func TestRecoveredDelegateCanCommit(t *testing.T) {
 	for _, r := range c.Replicas()[:2] {
 		r.Suspect("s3")
 	}
-	if _, err := c.Execute(0, RequestFromWorkload(gen.Next(0, 0))); err != nil {
+	if _, err := c.Execute(context.Background(), 0, RequestFromWorkload(gen.Next(0, 0))); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Recover(2); err != nil {
 		t.Fatal(err)
 	}
 	// The recovered replica must be able to get fresh transactions ordered.
-	res, err := c.Execute(2, RequestFromWorkload(gen.Next(0, 2)))
+	res, err := c.Execute(context.Background(), 2, RequestFromWorkload(gen.Next(0, 2)))
 	if err != nil {
 		t.Fatalf("post-recovery execute: %v", err)
 	}
 	if !res.Committed() {
 		t.Fatalf("post-recovery txn aborted: %+v", res)
 	}
-	if !c.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(c, 5*time.Second) {
 		t.Fatal("replicas diverged after recovery")
 	}
 }
@@ -175,7 +176,7 @@ func TestClusterBatchedFailover(t *testing.T) {
 	if commits2 == 0 {
 		t.Fatal("no transaction committed after sequencer failover")
 	}
-	if !c.WaitConsistent(10 * time.Second) {
+	if !waitConsistent(c, 10*time.Second) {
 		t.Fatal("survivors did not converge after a batched failover")
 	}
 }

@@ -1,12 +1,21 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
 
 	"groupsafe/internal/workload"
 )
+
+// waitConsistent is the test shorthand for WaitConsistent under a timeout;
+// it reports whether the replicas converged.
+func waitConsistent(c *Cluster, d time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.WaitConsistent(ctx) == nil
+}
 
 func newTestCluster(t *testing.T, level SafetyLevel, replicas int) *Cluster {
 	t.Helper()
@@ -37,14 +46,14 @@ func readReq(items ...int) Request {
 
 func TestGroupSafeCommitPropagatesToAllReplicas(t *testing.T) {
 	c := newTestCluster(t, GroupSafe, 3)
-	res, err := c.Execute(0, writeReq(0, 7, 77))
+	res, err := c.Execute(context.Background(), 0, writeReq(0, 7, 77))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Committed() {
 		t.Fatalf("result = %+v", res)
 	}
-	if !c.WaitConsistent(2 * time.Second) {
+	if !waitConsistent(c, 2*time.Second) {
 		t.Fatal("replicas did not converge")
 	}
 	for i := 0; i < c.Size(); i++ {
@@ -60,7 +69,7 @@ func TestEveryLevelCommitsAndConverges(t *testing.T) {
 		level := level
 		t.Run(level.String(), func(t *testing.T) {
 			c := newTestCluster(t, level, 3)
-			res, err := c.Execute(1, writeReq(0, 3, 33))
+			res, err := c.Execute(context.Background(), 1, writeReq(0, 3, 33))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +79,7 @@ func TestEveryLevelCommitsAndConverges(t *testing.T) {
 			if res.Delegate != "s2" || res.Level != level {
 				t.Fatalf("result metadata = %+v", res)
 			}
-			if !c.WaitConsistent(3 * time.Second) {
+			if !waitConsistent(c, 3*time.Second) {
 				t.Fatalf("replicas did not converge under %v", level)
 			}
 			v, _ := c.Value(2, 3)
@@ -83,11 +92,11 @@ func TestEveryLevelCommitsAndConverges(t *testing.T) {
 
 func TestReadYourOwnClusterWrites(t *testing.T) {
 	c := newTestCluster(t, GroupSafe, 3)
-	if _, err := c.Execute(0, writeReq(0, 5, 50)); err != nil {
+	if _, err := c.Execute(context.Background(), 0, writeReq(0, 5, 50)); err != nil {
 		t.Fatal(err)
 	}
-	c.WaitConsistent(2 * time.Second)
-	res, err := c.Execute(2, readReq(5))
+	waitConsistent(c, 2*time.Second)
+	res, err := c.Execute(context.Background(), 2, readReq(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +108,7 @@ func TestReadYourOwnClusterWrites(t *testing.T) {
 func TestReadOnlyTransactionsDoNotBroadcast(t *testing.T) {
 	c := newTestCluster(t, GroupSafe, 3)
 	before := c.Replica(0).Stats().Delivered
-	res, err := c.Execute(0, readReq(1, 2, 3))
+	res, err := c.Execute(context.Background(), 0, readReq(1, 2, 3))
 	if err != nil || !res.Committed() {
 		t.Fatalf("read-only txn failed: %+v, %v", res, err)
 	}
@@ -112,10 +121,10 @@ func TestReadOnlyTransactionsDoNotBroadcast(t *testing.T) {
 func TestCertificationAbortsConflictingTransaction(t *testing.T) {
 	c := newTestCluster(t, GroupSafe, 3)
 	// Seed item 10.
-	if _, err := c.Execute(0, writeReq(0, 10, 1)); err != nil {
+	if _, err := c.Execute(context.Background(), 0, writeReq(0, 10, 1)); err != nil {
 		t.Fatal(err)
 	}
-	c.WaitConsistent(2 * time.Second)
+	waitConsistent(c, 2*time.Second)
 
 	// Build a request whose read version is captured now...
 	readVers := map[int]uint64{10: c.Replica(1).DB().Version(10)}
@@ -137,7 +146,7 @@ func TestCertificationAbortsConflictingTransaction(t *testing.T) {
 	for i := 0; i < 30 && aborts == 0; i++ {
 		done := make(chan Result, 2)
 		go func() {
-			r, err := c.Execute(0, Request{Ops: []workload.Op{{Item: 10, Write: false}, {Item: 10, Write: true, Value: int64(i)}}})
+			r, err := c.Execute(context.Background(), 0, Request{Ops: []workload.Op{{Item: 10, Write: false}, {Item: 10, Write: true, Value: int64(i)}}})
 			if err == nil {
 				done <- r
 			} else {
@@ -145,7 +154,7 @@ func TestCertificationAbortsConflictingTransaction(t *testing.T) {
 			}
 		}()
 		go func() {
-			r, err := c.Execute(1, stale)
+			r, err := c.Execute(context.Background(), 1, stale)
 			if err == nil {
 				done <- r
 			} else {
@@ -161,7 +170,7 @@ func TestCertificationAbortsConflictingTransaction(t *testing.T) {
 	if aborts == 0 {
 		t.Skip("no conflicting interleaving observed; certification abort covered by unit test")
 	}
-	if !c.WaitConsistent(2 * time.Second) {
+	if !waitConsistent(c, 2*time.Second) {
 		t.Fatal("replicas diverged despite certification")
 	}
 }
@@ -176,14 +185,14 @@ func TestWorkloadRunConsistency(t *testing.T) {
 	done := make(chan error, len(clients))
 	for _, cl := range clients {
 		cl := cl
-		go func() { done <- cl.RunWorkload(gen, 15) }()
+		go func() { done <- cl.RunWorkload(context.Background(), gen, 15) }()
 	}
 	for range clients {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
 	}
-	if !c.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(c, 5*time.Second) {
 		t.Fatal("replicas diverged under concurrent workload")
 	}
 	total := c.TotalStats()
@@ -207,11 +216,11 @@ func TestLazyReplicationCanDivergeOnConflicts(t *testing.T) {
 	// the mechanism works and that both writes were accepted locally without
 	// any coordination.
 	c := newTestCluster(t, Safety1Lazy, 3)
-	resA, err := c.Execute(0, writeReq(0, 20, 200))
+	resA, err := c.Execute(context.Background(), 0, writeReq(0, 20, 200))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, err := c.Execute(1, writeReq(0, 20, 300))
+	resB, err := c.Execute(context.Background(), 1, writeReq(0, 20, 300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,13 +249,13 @@ func TestVerySafeBlocksWhileAServerIsDown(t *testing.T) {
 	}
 	defer c.Close()
 	// All servers up: commits fine.
-	if res, err := c.Execute(0, writeReq(0, 1, 1)); err != nil || !res.Committed() {
+	if res, err := c.Execute(context.Background(), 0, writeReq(0, 1, 1)); err != nil || !res.Committed() {
 		t.Fatalf("very-safe commit with all servers up failed: %+v %v", res, err)
 	}
 	// One server down: the very-safe level cannot terminate (it needs an
 	// acknowledgement from every server), so the request times out.
 	c.Crash(2)
-	_, err = c.Execute(0, writeReq(0, 2, 2))
+	_, err = c.Execute(context.Background(), 0, writeReq(0, 2, 2))
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("very-safe with a crashed server should time out, got %v", err)
 	}
@@ -254,17 +263,17 @@ func TestVerySafeBlocksWhileAServerIsDown(t *testing.T) {
 
 func TestGroupSafeToleratesMinorityCrash(t *testing.T) {
 	c := newTestCluster(t, GroupSafe, 3)
-	if _, err := c.Execute(0, writeReq(0, 1, 10)); err != nil {
+	if _, err := c.Execute(context.Background(), 0, writeReq(0, 1, 10)); err != nil {
 		t.Fatal(err)
 	}
-	c.WaitConsistent(2 * time.Second)
+	waitConsistent(c, 2*time.Second)
 
 	// Crash one replica (a minority); the group continues.
 	c.Crash(2)
 	for _, r := range c.Replicas()[:2] {
 		r.Suspect("s3")
 	}
-	res, err := c.Execute(1, writeReq(0, 2, 20))
+	res, err := c.Execute(context.Background(), 1, writeReq(0, 2, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +286,7 @@ func TestGroupSafeToleratesMinorityCrash(t *testing.T) {
 	// Let the surviving replicas drain their delivery queues so the state
 	// transfer donor is up to date (checkpoint-based recovery cannot replay
 	// messages the recovering replica missed).
-	if !c.WaitConsistent(2 * time.Second) {
+	if !waitConsistent(c, 2*time.Second) {
 		t.Fatal("survivors did not converge before recovery")
 	}
 
@@ -285,7 +294,7 @@ func TestGroupSafeToleratesMinorityCrash(t *testing.T) {
 	if _, err := c.Recover(2); err != nil {
 		t.Fatal(err)
 	}
-	if !c.WaitConsistent(3 * time.Second) {
+	if !waitConsistent(c, 3*time.Second) {
 		t.Fatal("recovered replica did not catch up")
 	}
 	v, _ := c.Value(2, 2)
@@ -297,10 +306,10 @@ func TestGroupSafeToleratesMinorityCrash(t *testing.T) {
 func TestExecuteOnCrashedReplicaFails(t *testing.T) {
 	c := newTestCluster(t, GroupSafe, 3)
 	c.Crash(0)
-	if _, err := c.Execute(0, writeReq(0, 1, 1)); !errors.Is(err, ErrCrashed) {
+	if _, err := c.Execute(context.Background(), 0, writeReq(0, 1, 1)); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("execute on crashed replica: %v", err)
 	}
-	if _, err := c.Execute(99, writeReq(0, 1, 1)); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Execute(context.Background(), 99, writeReq(0, 1, 1)); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("execute on unknown replica: %v", err)
 	}
 	// Crashing twice is a no-op; recovering a non-crashed replica errors.

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"groupsafe/internal/gcs/fd"
 	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/storage"
 	"groupsafe/internal/tuning"
 	"groupsafe/internal/workload"
 )
@@ -137,11 +139,12 @@ func (c *Cluster) Replicas() []*Replica {
 	return out
 }
 
-// Execute runs a request with replica i as the delegate.  Under the lazy
-// primary-copy technique, update transactions are transparently routed to
-// the primary (replica 0) — the cluster plays the role of the client-side
-// driver that knows where the primary copy lives.
-func (c *Cluster) Execute(i int, req Request) (Result, error) {
+// Execute runs a request with replica i as the delegate; ctx bounds the call
+// (a context without a deadline gets the configured ExecTimeout as a
+// default).  Under the lazy primary-copy technique, update transactions are
+// transparently routed to the primary (replica 0) — the cluster plays the
+// role of the client-side driver that knows where the primary copy lives.
+func (c *Cluster) Execute(ctx context.Context, i int, req Request) (Result, error) {
 	r := c.Replica(i)
 	if r == nil {
 		return Result{}, fmt.Errorf("%w: index %d", ErrNotFound, i)
@@ -149,7 +152,17 @@ func (c *Cluster) Execute(i int, req Request) (Result, error) {
 	if c.cfg.Technique == TechLazyPrimary && !r.IsPrimary() && requestMayWrite(req) {
 		r = c.Replica(0)
 	}
-	return r.Execute(req)
+	return r.Execute(ctx, req)
+}
+
+// ReplicaByID returns the replica with the given network address, or nil.
+func (c *Cluster) ReplicaByID(id string) *Replica {
+	for _, r := range c.replicas {
+		if r.cfg.ID == id {
+			return r
+		}
+	}
+	return nil
 }
 
 // Crash crashes replica i.
@@ -224,39 +237,97 @@ func (c *Cluster) Value(i, item int) (int64, error) {
 	return v, err
 }
 
-// WaitConsistent polls until every live replica converged to the same store
-// contents or the timeout expires; it reports whether convergence was
-// reached.  (Group-communication-based levels converge as soon as their
-// delivery queues drain; lazy replication may never converge when conflicting
-// transactions were accepted.)
-func (c *Cluster) WaitConsistent(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+// DivergenceError reports why a WaitConsistent call gave up: the first item
+// observed to differ between two live replicas.  It wraps the context error
+// that ended the wait, so errors.Is(err, context.DeadlineExceeded) (or
+// Canceled) still works on it.
+type DivergenceError struct {
+	// ReplicaA and ReplicaB are the two disagreeing replicas.
+	ReplicaA, ReplicaB string
+	// Item is the first diverging item index.
+	Item int
+	// ValueA/VersionA and ValueB/VersionB are the item's committed state on
+	// the respective replicas at the time of the final check.
+	ValueA, ValueB     int64
+	VersionA, VersionB uint64
+	cause              error
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("core: replicas %s and %s diverged at item %d (%s: value=%d version=%d, %s: value=%d version=%d): %v",
+		e.ReplicaA, e.ReplicaB, e.Item, e.ReplicaA, e.ValueA, e.VersionA, e.ReplicaB, e.ValueB, e.VersionB, e.cause)
+}
+
+// Unwrap exposes the context error that ended the wait.
+func (e *DivergenceError) Unwrap() error { return e.cause }
+
+// WaitConsistent blocks until every live replica converged to the same store
+// contents, or until ctx is done.  On success it returns nil; when the
+// context expires first it returns a *DivergenceError naming the first
+// replica pair and item that still disagreed (wrapping ctx.Err()), or nil
+// in the degenerate case where the stores converged between the expiry and
+// the final check — the wait's goal was reached, so it is not reported as a
+// failure.  (Group-communication-based levels converge as soon as
+// their delivery queues drain; lazy replication may never converge when
+// conflicting transactions were accepted.)
+func (c *Cluster) WaitConsistent(ctx context.Context) error {
 	for {
 		if c.consistentNow() {
-			return true
+			return nil
 		}
-		if time.Now().After(deadline) {
-			return false
+		select {
+		case <-ctx.Done():
+			if d := c.firstDivergence(); d != nil {
+				d.cause = ctx.Err()
+				return d
+			}
+			return nil // converged between the poll and the final check
+		case <-time.After(2 * time.Millisecond):
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 }
 
+// consistentNow is firstDivergence's boolean form, so the convergence poll
+// and the failure report can never apply different comparisons.
 func (c *Cluster) consistentNow() bool {
+	return c.firstDivergence() == nil
+}
+
+// firstDivergence scans the live replicas pairwise against the first live
+// one and returns the first differing item, or nil when all agree.
+func (c *Cluster) firstDivergence() *DivergenceError {
 	var reference *Replica
+	var refItems []storage.Item
 	for _, r := range c.replicas {
 		if r.Crashed() {
 			continue
 		}
 		if reference == nil {
 			reference = r
+			refItems = r.DB().Store().Snapshot()
 			continue
 		}
-		if !reference.DB().Store().Equal(r.DB().Store()) {
-			return false
+		items := r.DB().Store().Snapshot()
+		n := len(refItems)
+		if len(items) < n {
+			n = len(items)
+		}
+		for i := 0; i < n; i++ {
+			if refItems[i] != items[i] {
+				return &DivergenceError{
+					ReplicaA: reference.ID(), ReplicaB: r.ID(),
+					Item:   i,
+					ValueA: refItems[i].Value, ValueB: items[i].Value,
+					VersionA: refItems[i].Version, VersionB: items[i].Version,
+				}
+			}
+		}
+		if len(refItems) != len(items) {
+			return &DivergenceError{ReplicaA: reference.ID(), ReplicaB: r.ID(), Item: n}
 		}
 	}
-	return true
+	return nil
 }
 
 // Consistent reports whether every live replica currently has identical
@@ -273,6 +344,7 @@ func (c *Cluster) TotalStats() ReplicaStats {
 		total.Aborted += s.Aborted
 		total.Delivered += s.Delivered
 		total.LazyApply += s.LazyApply
+		total.AcksSent += s.AcksSent
 	}
 	return total
 }
@@ -302,9 +374,9 @@ func NewClient(cluster *Cluster, delegate int) *Client {
 }
 
 // Run executes one request and records its response time.
-func (cl *Client) Run(req Request) (Result, error) {
+func (cl *Client) Run(ctx context.Context, req Request) (Result, error) {
 	start := time.Now()
-	res, err := cl.cluster.Execute(cl.delegate, req)
+	res, err := cl.cluster.Execute(ctx, cl.delegate, req)
 	elapsed := time.Since(start)
 	if err != nil {
 		return res, err
@@ -321,10 +393,10 @@ func (cl *Client) Run(req Request) (Result, error) {
 }
 
 // RunWorkload executes n transactions drawn from the generator.
-func (cl *Client) RunWorkload(gen *workload.Generator, n int) error {
+func (cl *Client) RunWorkload(ctx context.Context, gen *workload.Generator, n int) error {
 	for i := 0; i < n; i++ {
 		txn := gen.Next(0, cl.delegate)
-		if _, err := cl.Run(RequestFromWorkload(txn)); err != nil {
+		if _, err := cl.Run(ctx, RequestFromWorkload(txn)); err != nil {
 			return err
 		}
 	}

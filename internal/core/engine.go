@@ -1,14 +1,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"time"
 
 	"groupsafe/internal/apply"
 	"groupsafe/internal/gcs/abcast"
 	"groupsafe/internal/gcs/e2e"
 	"groupsafe/internal/gcs/transport"
 	"groupsafe/internal/storage"
+	"groupsafe/internal/wal"
 	"groupsafe/internal/workload"
 )
 
@@ -77,20 +79,26 @@ func newApplyState(workers int) *applyState {
 }
 
 // stagedTxn is one processed delivery of the current batch, ready to be
-// externalised once the batch force and installs complete.
+// externalised once the batch force and installs complete.  level is the
+// transaction's own externalisation level (decoded from the payload), lsn
+// the local WAL position of its commit record (zero when nothing was staged).
 type stagedTxn struct {
 	item     applyItem
 	txnID    uint64
 	delegate string
+	level    SafetyLevel
 	outcome  Outcome
+	lsn      wal.LSN
 	reads    map[int]int64 // delegate read results (active technique only)
 }
 
 // txnOutcome is what the apply goroutine hands back to a waiting Execute
-// call: the certified outcome and, for techniques that execute reads at
-// delivery time (active replication), the values read.
+// call: the certified outcome, the local commit-record LSN, and, for
+// techniques that execute reads at delivery time (active replication), the
+// values read.
 type txnOutcome struct {
 	outcome Outcome
+	lsn     wal.LSN
 	reads   map[int]int64
 }
 
@@ -195,17 +203,94 @@ func (r *Replica) countOutcome(o Outcome) {
 	}
 }
 
+// effectiveLevel resolves the safety level one transaction is externalised
+// at: the cluster's configured level, or the request's per-transaction
+// override.  An override is first canonicalised against the technique's
+// floor (CanonicalLevel: active promotes the zero level to group-safe, lazy
+// primary-copy pins to 1-safe-lazy), then checked against the machinery this
+// cluster was actually built with:
+//
+//   - on a group-communication cluster every transaction rides the broadcast,
+//     so levels weaker than group-safe are canonicalised up to it;
+//   - 2-safe needs the end-to-end message log, which only exists when the
+//     cluster itself was opened 2-safe or very-safe;
+//   - very-safe is honoured on ANY group-communication cluster: its
+//     every-server-logged guarantee is enforced by explicit per-replica
+//     acknowledgements, which are transport-independent.  Liveness caveat:
+//     the wait ends only when every member acked.  On an end-to-end cluster
+//     (2-safe/very-safe) a recovering replica replays logged deliveries and
+//     acks then; on a classical-broadcast cluster a replica that crashed
+//     before delivery recovers by state transfer WITHOUT replay, so its ack
+//     never arrives and the waiter ends in ErrTimeout even though the
+//     transaction committed cluster-wide — the paper's very-safe blocks
+//     while any site is down, and this implementation inherits that;
+//   - on a non-group cluster (0-safe, lazy) no alternative response point
+//     exists, so only the cluster's own level is accepted.
+func (r *Replica) effectiveLevel(req Request) (SafetyLevel, error) {
+	base := r.cfg.Level
+	if req.Safety == nil {
+		return base, nil
+	}
+	lvl, err := CanonicalLevel(r.tech.ID(), *req.Safety)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSafetyUnavailable, err)
+	}
+	if !base.UsesGroupCommunication() {
+		if lvl != base {
+			return 0, fmt.Errorf("%w: cluster runs %v without group communication; cannot honour per-transaction %v", ErrSafetyUnavailable, base, lvl)
+		}
+		return base, nil
+	}
+	if !lvl.UsesGroupCommunication() {
+		lvl = GroupSafe
+	}
+	if lvl == Safety2 && !base.RequiresEndToEnd() {
+		return 0, fmt.Errorf("%w: 2-safe needs the end-to-end message log; open the cluster at 2-safe or very-safe", ErrSafetyUnavailable)
+	}
+	return lvl, nil
+}
+
+// ctxWaitError translates a context expiry into the engine's error taxonomy:
+// a deadline becomes an ErrTimeout that still wraps ctx.Err(), a cancellation
+// surfaces context.Canceled directly — both remain errors.Is-able.
+func ctxWaitError(ctx context.Context, txnID uint64, phase string) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: txn %d %s: %w", ErrTimeout, txnID, phase, ctx.Err())
+	}
+	return fmt.Errorf("core: txn %d %s: %w", txnID, phase, ctx.Err())
+}
+
+// withDefaultTimeout applies the replica's ExecTimeout as a default deadline
+// when the caller's context does not carry one.  ExecTimeout is only a
+// default: a context deadline or cancellation always wins.
+func (r *Replica) withDefaultTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, r.cfg.ExecTimeout)
+}
+
 // submitAndWait registers the transaction's notification channel, broadcasts
 // the payload through the group communication stack, and blocks until the
-// apply goroutine reports the outcome — plus, under very-safe, until every
-// server (available or not) has acknowledged the transaction.  It is the
-// shared submit path of every broadcast-based technique.
-func (r *Replica) submitAndWait(txnID uint64, payload []byte, crashCh chan struct{}) (txnOutcome, error) {
+// apply goroutine reports the outcome — plus, when the transaction's level is
+// very-safe, until every server (available or not) has acknowledged it.  It
+// is the shared submit path of every broadcast-based technique.
+//
+// The waiter is deregistered on EVERY exit path (the deferred cleanup),
+// including context cancellation and deadline expiry: a cancelled Execute
+// must not leak its pending-outcome entry until some later delivery happens
+// to garbage-collect it.  A delivery racing the deregistration is harmless —
+// externalize sends non-blocking into the buffered channel and treats a
+// missing entry as "no local waiter".
+func (r *Replica) submitAndWait(ctx context.Context, txnID uint64, payload []byte, level SafetyLevel, crashCh chan struct{}) (txnOutcome, error) {
+	ctx, cancel := r.withDefaultTimeout(ctx)
+	defer cancel()
+
 	outcomeCh := make(chan txnOutcome, 1)
 	var veryDone chan struct{}
 	r.mu.Lock()
 	r.pending[txnID] = outcomeCh
-	if r.cfg.Level == VerySafe {
+	if level == VerySafe {
 		veryDone = make(chan struct{})
 		r.veryDone[txnID] = veryDone
 		r.veryAcks[txnID] = make(map[string]bool)
@@ -219,30 +304,33 @@ func (r *Replica) submitAndWait(txnID uint64, payload []byte, crashCh chan struc
 		r.mu.Unlock()
 	}()
 
+	// A context cancelled before the broadcast aborts the submission outright:
+	// nothing has left this replica yet.
+	if err := ctx.Err(); err != nil {
+		return txnOutcome{}, ctxWaitError(ctx, txnID, "before broadcast")
+	}
 	if err := r.broadcast(payload); err != nil {
 		return txnOutcome{}, fmt.Errorf("core: broadcast: %w", err)
 	}
 
-	timeout := time.NewTimer(r.cfg.ExecTimeout)
-	defer timeout.Stop()
 	var out txnOutcome
 	select {
 	case out = <-outcomeCh:
 	case <-crashCh:
 		return txnOutcome{}, ErrCrashed
-	case <-timeout.C:
-		return txnOutcome{}, fmt.Errorf("%w: txn %d", ErrTimeout, txnID)
+	case <-ctx.Done():
+		return txnOutcome{}, ctxWaitError(ctx, txnID, "waiting for the outcome")
 	}
 
 	// Very-safe: additionally wait until every server (not just the available
 	// ones) has acknowledged the transaction.
-	if r.cfg.Level == VerySafe && out.outcome == OutcomeCommitted {
+	if level == VerySafe && out.outcome == OutcomeCommitted {
 		select {
 		case <-veryDone:
 		case <-crashCh:
 			return txnOutcome{}, ErrCrashed
-		case <-timeout.C:
-			return txnOutcome{}, fmt.Errorf("%w: txn %d waiting for very-safe acks", ErrTimeout, txnID)
+		case <-ctx.Done():
+			return txnOutcome{}, ctxWaitError(ctx, txnID, "waiting for very-safe acks")
 		}
 	}
 	return out, nil
@@ -274,18 +362,24 @@ func (r *Replica) externalize(staged []stagedTxn) {
 	for i, a := range staged {
 		if ch := notifyCh[i]; ch != nil {
 			select {
-			case ch <- txnOutcome{outcome: a.outcome, reads: a.reads}:
+			case ch <- txnOutcome{outcome: a.outcome, lsn: a.lsn, reads: a.reads}:
 			default:
 			}
 			r.countOutcome(a.outcome)
-			if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
+			if a.level == VerySafe && a.outcome == OutcomeCommitted {
 				r.recordVerySafeAck(a.txnID, r.cfg.ID)
 			}
-		} else if r.cfg.Level == VerySafe && a.outcome == OutcomeCommitted {
-			// Very-safe: every replica confirms to the delegate that the
-			// transaction is logged locally (and, batched, durably forced).
+		} else if a.level == VerySafe && a.outcome == OutcomeCommitted {
+			// Very-safe (the transaction's own level, which may be a
+			// per-request override): every replica confirms to the delegate
+			// that the transaction is logged locally (and, batched, durably
+			// forced — the batch force ran before externalize).
 			ackBytes := encodePayload(ackPayload{TxnID: a.txnID, Replica: r.cfg.ID})
-			_ = router.Send(a.delegate, transport.Message{Type: msgAck, Payload: ackBytes})
+			if router.Send(a.delegate, transport.Message{Type: msgAck, Payload: ackBytes}) == nil {
+				r.mu.Lock()
+				r.stats.AcksSent++
+				r.mu.Unlock()
+			}
 		}
 		if a.item.ack != nil {
 			a.item.ack()

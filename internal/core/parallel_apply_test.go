@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -26,12 +27,13 @@ func TestTxnPayloadRoundTrip(t *testing.T) {
 			writes[rng.Intn(10000)] = rng.Int63() - rng.Int63()
 		}
 		id := uint64(rng.Int63())
-		payload := encodeTxnPayload(id, "s1", readVers, writes)
+		level := AllLevels()[rng.Intn(len(AllLevels()))]
+		payload := encodeTxnPayload(id, "s1", level, readVers, writes)
 
 		if err := decodeTxnRecord(payload, &rec); err != nil {
 			t.Fatalf("trial %d: decode: %v", trial, err)
 		}
-		if rec.TxnID != id || rec.Delegate != "s1" {
+		if rec.TxnID != id || rec.Delegate != "s1" || rec.Level != level {
 			t.Fatalf("trial %d: header mismatch: %+v", trial, rec)
 		}
 		if len(rec.Reads) != len(readVers) || len(rec.Writes) != len(writes) {
@@ -59,7 +61,7 @@ func TestTxnPayloadRoundTrip(t *testing.T) {
 // TestTxnPayloadDecodeRejectsGarbage checks that truncated or corrupt
 // payloads fail to decode instead of producing a bogus record.
 func TestTxnPayloadDecodeRejectsGarbage(t *testing.T) {
-	payload := encodeTxnPayload(42, "s1", map[int]uint64{1: 2}, map[int]int64{3: 4})
+	payload := encodeTxnPayload(42, "s1", Group1Safe, map[int]uint64{1: 2}, map[int]int64{3: 4})
 	var rec txnRecord
 	for cut := 0; cut < len(payload); cut++ {
 		if err := decodeTxnRecord(payload[:cut], &rec); err == nil {
@@ -105,7 +107,7 @@ func runParallelApplyWorkload(t *testing.T, workers int) {
 			}, int64(c+1))
 			delegate := c % cluster.Size()
 			for i := 0; i < txnsPerClient; i++ {
-				if _, err := cluster.Execute(delegate, RequestFromWorkload(gen.Next(0, delegate))); err != nil {
+				if _, err := cluster.Execute(context.Background(), delegate, RequestFromWorkload(gen.Next(0, delegate))); err != nil {
 					errCh <- err
 					return
 				}
@@ -123,7 +125,7 @@ func runParallelApplyWorkload(t *testing.T, workers int) {
 	// totally-ordered prefix, so after the queues drain the three stores
 	// must be byte-identical (values AND versions) — with parallel install,
 	// any scheduling nondeterminism would break this.
-	if !cluster.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(cluster, 5*time.Second) {
 		t.Fatalf("workers=%d: replicas did not converge to identical state", workers)
 	}
 }
@@ -176,7 +178,7 @@ func TestParallelApplyConcurrentRecovery(t *testing.T) {
 					return
 				default:
 				}
-				_, _ = cluster.Execute(delegate, RequestFromWorkload(gen.Next(0, delegate)))
+				_, _ = cluster.Execute(context.Background(), delegate, RequestFromWorkload(gen.Next(0, delegate)))
 			}
 		}(c)
 	}
@@ -200,13 +202,13 @@ func TestParallelApplyConcurrentRecovery(t *testing.T) {
 	// a final quiesced state transfer: crash the victim, let the survivors
 	// drain and agree, then hand the victim a snapshot of the settled state.
 	cluster.Crash(2)
-	if !cluster.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(cluster, 5*time.Second) {
 		t.Fatal("surviving replicas did not converge after crash/recovery rounds")
 	}
 	if _, err := cluster.Recover(2); err != nil {
 		t.Fatalf("final recover: %v", err)
 	}
-	if !cluster.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(cluster, 5*time.Second) {
 		t.Fatal("recovered replica did not converge to the settled state")
 	}
 }

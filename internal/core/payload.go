@@ -26,6 +26,15 @@ type Request struct {
 	// of the same transaction, so the certification step protects the
 	// read-compute-write cycle against concurrent conflicting updates.
 	Compute func(reads map[int]int64) []workload.Op
+	// Safety, when non-nil, overrides the replica's configured safety level
+	// for this transaction alone: the requested level rides in the broadcast
+	// payload and every replica externalises the transaction at that level's
+	// force/ack/delivery point, so mixed-safety workloads share one cluster.
+	// Levels weaker than the technique's floor are canonicalised up (see
+	// CanonicalLevel); levels needing machinery the cluster was not built
+	// with (e.g. 2-safe on a classical-broadcast cluster) are rejected with
+	// ErrSafetyUnavailable.  Nil means "use the cluster's configured level".
+	Safety *SafetyLevel
 }
 
 // Outcome is the terminal state of a replicated transaction.
@@ -61,7 +70,15 @@ type Result struct {
 	Outcome    Outcome
 	ReadValues map[int]int64
 	Delegate   string
-	Level      SafetyLevel
+	// Level is the safety level the transaction was actually externalised at
+	// (the cluster level, or the canonicalised per-request override).
+	Level SafetyLevel
+	// CommitLSN is the position of the transaction's commit record in the
+	// delegate's local write-ahead log, or zero when nothing was logged there
+	// (read-only or aborted transactions).  At response time the record is
+	// durable only if Level forces on commit; Replica.WaitDurable(ctx, lsn)
+	// forces the gap on demand — the paper's response-vs-durability window.
+	CommitLSN uint64
 }
 
 // Committed reports whether the transaction committed.
@@ -75,13 +92,16 @@ type readVer struct {
 
 // txnRecord is the decoded form of the message broadcast to the group for
 // one update transaction: the versions observed by the delegate's reads (for
-// certification) and the write set to install.  Reads and Writes are sorted
-// by item; the slices are reused across deliveries by the apply loop's
-// decode arena, so they must not be retained past the batch that decoded
-// them.
+// certification), the write set to install, and the safety level the
+// transaction must be externalised at (per-transaction overrides ride in the
+// payload so every replica forces and acknowledges consistently).  Reads and
+// Writes are sorted by item; the slices are reused across deliveries by the
+// apply loop's decode arena, so they must not be retained past the batch
+// that decoded them.
 type txnRecord struct {
 	TxnID    uint64
 	Delegate string
+	Level    SafetyLevel
 	Reads    []readVer
 	Writes   []storage.Write
 }
@@ -145,12 +165,13 @@ var payloadPool = sync.Pool{New: func() interface{} { return new(payloadScratch)
 // encodeTxnPayload encodes one update transaction for broadcast.  Reads and
 // writes are emitted sorted by item, so the apply side decodes directly into
 // the sorted-slice form the scheduler and the WAL staging path need.
-func encodeTxnPayload(txnID uint64, delegate string, readVers map[int]uint64, writes map[int]int64) []byte {
+func encodeTxnPayload(txnID uint64, delegate string, level SafetyLevel, readVers map[int]uint64, writes map[int]int64) []byte {
 	s := payloadPool.Get().(*payloadScratch)
 	buf := append(s.buf[:0], txnMagic)
 	buf = binary.AppendUvarint(buf, txnID)
 	buf = binary.AppendUvarint(buf, uint64(len(delegate)))
 	buf = append(buf, delegate...)
+	buf = binary.AppendUvarint(buf, uint64(level))
 
 	items := s.items[:0]
 	for it := range readVers {
@@ -195,18 +216,20 @@ const opsMagic = 0xA8
 type opsRecord struct {
 	TxnID    uint64
 	Delegate string
+	Level    SafetyLevel
 	Ops      []workload.Op
 }
 
 // encodeOpsPayload encodes one update transaction's operation list for
 // active replication, using the same pooled-scratch varint style as
 // encodeTxnPayload: one allocation per encode.
-func encodeOpsPayload(txnID uint64, delegate string, ops []workload.Op) []byte {
+func encodeOpsPayload(txnID uint64, delegate string, level SafetyLevel, ops []workload.Op) []byte {
 	s := payloadPool.Get().(*payloadScratch)
 	buf := append(s.buf[:0], opsMagic)
 	buf = binary.AppendUvarint(buf, txnID)
 	buf = binary.AppendUvarint(buf, uint64(len(delegate)))
 	buf = append(buf, delegate...)
+	buf = binary.AppendUvarint(buf, uint64(level))
 	buf = binary.AppendUvarint(buf, uint64(len(ops)))
 	for _, op := range ops {
 		flag := byte(0)
@@ -252,6 +275,11 @@ func decodeOpsRecord(data []byte, rec *opsRecord) error {
 	}
 	rec.Delegate = string(data[pos : pos+int(dlen)])
 	pos += int(dlen)
+	lvl, ok := next()
+	if !ok {
+		return errBadTxnPayload
+	}
+	rec.Level = SafetyLevel(lvl)
 
 	nOps, ok := next()
 	if !ok || nOps > uint64(len(data)-pos) {
@@ -310,6 +338,11 @@ func decodeTxnRecord(data []byte, rec *txnRecord) error {
 	}
 	rec.Delegate = string(data[pos : pos+int(dlen)])
 	pos += int(dlen)
+	lvl, ok := next()
+	if !ok {
+		return errBadTxnPayload
+	}
+	rec.Level = SafetyLevel(lvl)
 
 	nReads, ok := next()
 	if !ok || nReads > uint64(len(data)-pos) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,6 +35,11 @@ var (
 	// with a Compute hook: a Go closure cannot be broadcast, and active
 	// replication replays the full operation list at every replica.
 	ErrComputeNotReplicable = errors.New("core: active replication cannot ship Compute closures; use static operation lists")
+	// ErrSafetyUnavailable is returned when a per-transaction safety override
+	// (Request.Safety) asks for a level the cluster's technique or machinery
+	// cannot provide — e.g. 2-safe on a cluster built without the end-to-end
+	// message log, or any group-communication level on a lazy cluster.
+	ErrSafetyUnavailable = errors.New("core: requested per-transaction safety level is unavailable on this cluster")
 )
 
 // ReplicaConfig configures one replica server.
@@ -110,6 +116,11 @@ type ReplicaStats struct {
 	Aborted   uint64
 	Delivered uint64
 	LazyApply uint64
+	// AcksSent counts the very-safe per-replica acknowledgement messages this
+	// replica sent to remote delegates (its own local ack is not counted).
+	// The per-transaction safety tests use it to assert, by message count,
+	// that a very-safe transaction really waited for remote acknowledgements.
+	AcksSent uint64
 }
 
 // Replica is one server of the replicated database: a local database
@@ -276,9 +287,17 @@ func (r *Replica) nextTxnID() uint64 {
 }
 
 // Execute runs one client transaction with this replica as the delegate and
-// returns when the technique's and safety level's notification condition
-// holds.
-func (r *Replica) Execute(req Request) (Result, error) {
+// returns when the notification condition of the transaction's safety level
+// (the cluster's, or the Request.Safety override) holds.  Cancellation and
+// deadlines are first-class: when ctx expires mid-flight the call returns
+// promptly with a ctx.Err()-wrapped error (ErrTimeout for deadlines) and the
+// transaction's waiter is deregistered; the transaction itself may still
+// commit group-wide — only the notification is abandoned.  A context without
+// a deadline gets the configured ExecTimeout as a default.
+func (r *Replica) Execute(ctx context.Context, req Request) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, ctxWaitError(ctx, req.ID, "before submission")
+	}
 	r.mu.Lock()
 	if r.crashed {
 		r.mu.Unlock()
@@ -294,5 +313,24 @@ func (r *Replica) Execute(req Request) (Result, error) {
 	r.stats.Executed++
 	r.mu.Unlock()
 
-	return r.tech.execute(r, req, crashCh)
+	return r.tech.execute(ctx, r, req, crashCh)
+}
+
+// WaitDurable blocks until the replica's local database log is durable up to
+// lsn (as reported by Result.CommitLSN), forcing it on demand, or until ctx
+// is done.  For safety levels that force on commit the call returns
+// immediately; for the asynchronous-durability levels (group-safe) it is the
+// explicit way to close the response-vs-durability gap for one transaction.
+func (r *Replica) WaitDurable(ctx context.Context, lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.dbase.ForceTo(wal.LSN(lsn)) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

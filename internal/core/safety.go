@@ -139,3 +139,13 @@ func (l SafetyLevel) GuaranteedLogged() string {
 func AllLevels() []SafetyLevel {
 	return []SafetyLevel{Safety0, Safety1Lazy, GroupSafe, Group1Safe, Safety2, VerySafe}
 }
+
+// ParseLevel resolves a safety level name (as printed by String).
+func ParseLevel(s string) (SafetyLevel, error) {
+	for _, l := range AllLevels() {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown safety level %q", s)
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // TechniqueID selects the replication technique a replica runs.  The paper's
 // companion line of work (Wiesmann & Schiper, "Comparison of database
@@ -86,10 +89,10 @@ type Technique interface {
 	checkLevel(level SafetyLevel) (SafetyLevel, error)
 
 	// execute runs one client transaction with r as the delegate and
-	// returns when the technique's (and safety level's) notification
-	// condition holds.  crashCh is the delegate's crash channel snapshot
-	// taken at submission.
-	execute(r *Replica, req Request, crashCh chan struct{}) (Result, error)
+	// returns when the notification condition of the transaction's
+	// effective safety level holds, or when ctx is done.  crashCh is the
+	// delegate's crash channel snapshot taken at submission.
+	execute(ctx context.Context, r *Replica, req Request, crashCh chan struct{}) (Result, error)
 
 	// applyBatch processes one drained batch of totally-ordered deliveries
 	// on the apply goroutine: decode, commit/abort decision, WAL staging,

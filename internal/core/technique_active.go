@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,9 +46,13 @@ func (activeTechnique) checkLevel(level SafetyLevel) (SafetyLevel, error) {
 	}
 }
 
-func (activeTechnique) execute(r *Replica, req Request, crashCh chan struct{}) (Result, error) {
+func (activeTechnique) execute(ctx context.Context, r *Replica, req Request, crashCh chan struct{}) (Result, error) {
 	if req.Compute != nil {
 		return Result{}, ErrComputeNotReplicable
+	}
+	level, err := r.effectiveLevel(req)
+	if err != nil {
+		return Result{}, err
 	}
 
 	// Read-only transactions execute entirely at the delegate against its
@@ -63,11 +68,11 @@ func (activeTechnique) execute(r *Replica, req Request, crashCh chan struct{}) (
 			readVals[op.Item] = v
 		}
 		r.countOutcome(OutcomeCommitted)
-		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: level}, nil
 	}
 
-	payload := encodeOpsPayload(req.ID, r.cfg.ID, req.Ops)
-	out, err := r.submitAndWait(req.ID, payload, crashCh)
+	payload := encodeOpsPayload(req.ID, r.cfg.ID, level, req.Ops)
+	out, err := r.submitAndWait(ctx, req.ID, payload, level, crashCh)
 	if err != nil {
 		return Result{}, err
 	}
@@ -75,7 +80,7 @@ func (activeTechnique) execute(r *Replica, req Request, crashCh chan struct{}) (
 	// when it executed the transaction at its delivery position — i.e. they
 	// are the reads of the serialisation point, not of an optimistic
 	// pre-execution.
-	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: out.reads, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: out.reads, Delegate: r.cfg.ID, Level: level, CommitLSN: uint64(out.lsn)}, nil
 }
 
 // applyBatch executes one drained batch of totally-ordered transactions.
@@ -99,6 +104,7 @@ func (activeTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}
 	staged := st.staged[:0]
 	numItems := r.dbase.Store().NumItems()
 	var maxLSN wal.LSN
+	needSync := false
 
 	for i := range batch {
 		hook, current := r.deliveryGate(stop)
@@ -167,9 +173,14 @@ func (activeTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}
 		if err != nil {
 			continue
 		}
+		var commitLSN wal.LSN
 		if fresh {
+			commitLSN = lsn
 			if lsn > maxLSN {
 				maxLSN = lsn
+			}
+			if rec.Level.SyncOnCommit() {
+				needSync = true
 			}
 			// Install immediately (serial): the next transaction of the
 			// batch may read these items at its serialisation point.
@@ -177,13 +188,14 @@ func (activeTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}
 				return
 			}
 		}
-		staged = append(staged, stagedTxn{item: batch[i], txnID: rec.TxnID, delegate: rec.Delegate, outcome: OutcomeCommitted, reads: reads})
+		staged = append(staged, stagedTxn{item: batch[i], txnID: rec.TxnID, delegate: rec.Delegate, level: rec.Level, outcome: OutcomeCommitted, lsn: commitLSN, reads: reads})
 	}
 	st.staged = staged
 
-	// One force covers every commit record of the batch (levels that force
-	// on commit); nothing was externalised before it.
-	if maxLSN > 0 && r.cfg.Level.SyncOnCommit() {
+	// One force covers every commit record of the batch when any of its
+	// transactions runs at a force-on-commit level (the cluster's, or a
+	// per-transaction override); nothing was externalised before it.
+	if maxLSN > 0 && needSync {
 		if err := r.dbase.ForceTo(maxLSN); err != nil {
 			return
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -32,12 +33,12 @@ func (certTechnique) checkLevel(level SafetyLevel) (SafetyLevel, error) {
 	return level, nil // every safety level is meaningful for certification
 }
 
-func (certTechnique) execute(r *Replica, req Request, crashCh chan struct{}) (Result, error) {
+func (certTechnique) execute(ctx context.Context, r *Replica, req Request, crashCh chan struct{}) (Result, error) {
 	switch r.cfg.Level {
 	case Safety0, Safety1Lazy:
-		return r.executeLocal(req)
+		return r.executeLocal(ctx, req)
 	default:
-		return certExecuteReplicated(r, req, crashCh)
+		return certExecuteReplicated(ctx, r, req, crashCh)
 	}
 }
 
@@ -45,7 +46,11 @@ func (certTechnique) execute(r *Replica, req Request, crashCh chan struct{}) (Re
 // (group-safe, group-1-safe, 2-safe, very-safe): optimistic execution at the
 // delegate, atomic broadcast of the read versions and write set, deterministic
 // certification at every replica.
-func certExecuteReplicated(r *Replica, req Request, crashCh chan struct{}) (Result, error) {
+func certExecuteReplicated(ctx context.Context, r *Replica, req Request, crashCh chan struct{}) (Result, error) {
+	level, err := r.effectiveLevel(req)
+	if err != nil {
+		return Result{}, err
+	}
 	readVals := make(map[int]int64)
 	readVers := make(map[int]uint64)
 	writes := make(map[int]int64)
@@ -79,15 +84,15 @@ func certExecuteReplicated(r *Replica, req Request, crashCh chan struct{}) (Resu
 	// only transactions with writes are broadcast).
 	if len(writes) == 0 {
 		r.countOutcome(OutcomeCommitted)
-		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: level}, nil
 	}
 
-	payload := encodeTxnPayload(req.ID, r.cfg.ID, readVers, writes)
-	out, err := r.submitAndWait(req.ID, payload, crashCh)
+	payload := encodeTxnPayload(req.ID, r.cfg.ID, level, readVers, writes)
+	out, err := r.submitAndWait(ctx, req.ID, payload, level, crashCh)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: readVals, Delegate: r.cfg.ID, Level: level, CommitLSN: uint64(out.lsn)}, nil
 }
 
 // applyBatch runs the certification apply pipeline on one drained batch of
@@ -162,6 +167,7 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 	clear(st.certBumps)
 	numItems := r.dbase.Store().NumItems()
 	var maxLSN wal.LSN
+	needSync := false
 	for i := range batch {
 		hook, current := r.deliveryGate(stop)
 		if !current {
@@ -183,6 +189,7 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 		}
 
 		outcome := certify(r, st, rec)
+		var commitLSN wal.LSN
 		if outcome == OutcomeCommitted {
 			if !writesInRange(rec.Writes, numItems) {
 				continue
@@ -192,8 +199,12 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 				continue
 			}
 			if fresh {
+				commitLSN = lsn
 				if lsn > maxLSN {
 					maxLSN = lsn
+				}
+				if rec.Level.SyncOnCommit() {
+					needSync = true
 				}
 				for _, w := range rec.Writes {
 					st.certBumps[w.Item]++
@@ -203,14 +214,19 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 		} else {
 			_ = r.dbase.RecordAbort(rec.TxnID)
 		}
-		staged = append(staged, stagedTxn{item: batch[i], txnID: rec.TxnID, delegate: rec.Delegate, outcome: outcome})
+		staged = append(staged, stagedTxn{item: batch[i], txnID: rec.TxnID, delegate: rec.Delegate, level: rec.Level, outcome: outcome, lsn: commitLSN})
 	}
 	st.staged, st.tasks = staged, tasks
 
 	// Phases 3+4: the batch force and the conflict-scheduled installs run
 	// concurrently; both must finish before any outcome is externalised.
+	// The force decision is per-batch: one group-committed force covers the
+	// batch when ANY of its transactions runs at a force-on-commit level (the
+	// cluster's own level, or a per-transaction override riding the payload).
+	// Pure group-safe batches skip the force — durability stays delegated to
+	// the group.
 	forceErr := make(chan error, 1)
-	if maxLSN > 0 && r.cfg.Level.SyncOnCommit() {
+	if maxLSN > 0 && needSync {
 		go func() { forceErr <- r.dbase.ForceTo(maxLSN) }()
 	} else {
 		forceErr <- nil

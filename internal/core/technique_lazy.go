@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"groupsafe/internal/gcs/transport"
@@ -48,11 +50,11 @@ func (lazyPrimaryTechnique) checkLevel(level SafetyLevel) (SafetyLevel, error) {
 	return Safety1Lazy, nil
 }
 
-func (t lazyPrimaryTechnique) execute(r *Replica, req Request, _ chan struct{}) (Result, error) {
+func (t lazyPrimaryTechnique) execute(ctx context.Context, r *Replica, req Request, _ chan struct{}) (Result, error) {
 	if !r.IsPrimary() && requestMayWrite(req) {
 		return Result{}, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, r.cfg.Members[0])
 	}
-	return r.executeLocal(req)
+	return r.executeLocal(ctx, req)
 }
 
 // applyBatch is never reached: the technique does not use group
@@ -63,12 +65,54 @@ func (lazyPrimaryTechnique) applyBatch(*Replica, *applyState, chan struct{}, []a
 // propagation: the 0-safe and lazy (1-safe) baselines of the certification
 // technique, and the whole of lazy primary-copy.  The transaction runs
 // entirely at this replica under strict 2PL; the write set is pushed to the
-// other replicas asynchronously, after the client response.
-func (r *Replica) executeLocal(req Request) (Result, error) {
-	txn, err := r.dbase.Begin(req.ID)
+// other replicas asynchronously, after the client response.  The local path
+// has a single response point, so a per-request safety override must resolve
+// to the cluster's own level (effectiveLevel rejects anything else).
+//
+// The caller's context (or the ExecTimeout default) bounds the whole local
+// execution, 2PL lock waits included: a watcher goroutine externally aborts
+// the transaction's lock acquisition when ctx expires, so an Execute stuck
+// behind a conflicting lock returns promptly with the context error.  The
+// watcher and the commit path arbitrate through one atomic gate — Abort
+// revokes every held lock, which must never happen once Commit has started
+// appending records, so whichever side wins the CAS excludes the other.
+// Once the commit sequence has begun, the disk force runs to completion
+// regardless of ctx.
+func (r *Replica) executeLocal(ctx context.Context, req Request) (Result, error) {
+	level, err := r.effectiveLevel(req)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx, cancel := r.withDefaultTimeout(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return Result{}, ctxWaitError(ctx, req.ID, "before local execution")
+	}
+	dbase := r.dbase
+	txn, err := dbase.Begin(req.ID)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: begin: %w", err)
 	}
+
+	const (
+		gateRunning    int32 = 0
+		gateCommitting int32 = 1
+		gateCtxAborted int32 = 2
+	)
+	var gate atomic.Int32
+	watchDone := make(chan struct{})
+	watcherExit := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		defer close(watcherExit)
+		select {
+		case <-ctx.Done():
+			if gate.CompareAndSwap(gateRunning, gateCtxAborted) {
+				dbase.AbortWaiting(req.ID)
+			}
+		case <-watchDone:
+		}
+	}()
 	readVals := make(map[int]int64)
 	runOps := func(ops []workload.Op) error {
 		for _, op := range ops {
@@ -92,10 +136,29 @@ func (r *Replica) executeLocal(req Request) (Result, error) {
 	}
 	if err != nil {
 		_ = txn.Abort()
+		if !gate.CompareAndSwap(gateRunning, gateCommitting) {
+			// The watcher externally aborted us (the error is the lock
+			// manager's ErrAborted, or a genuine abort that raced the
+			// expiry): report the context error, not an abort outcome.
+			// Wait for the watcher first — ForgetTxn must run after its
+			// AbortWaiting, or the lock manager's aborted mark leaks.
+			<-watcherExit
+			dbase.ForgetTxn(req.ID)
+			return Result{}, ctxWaitError(ctx, req.ID, "during local execution")
+		}
 		r.countOutcome(OutcomeAborted)
-		return Result{TxnID: req.ID, Outcome: OutcomeAborted, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+		return Result{TxnID: req.ID, Outcome: OutcomeAborted, Delegate: r.cfg.ID, Level: level}, nil
 	}
 	ws := txn.WriteSet()
+
+	// Claim the gate before the commit sequence: from here on the watcher
+	// can no longer revoke the 2PL locks.
+	if !gate.CompareAndSwap(gateRunning, gateCommitting) {
+		_ = txn.Abort()
+		<-watcherExit // ForgetTxn strictly after the watcher's AbortWaiting
+		dbase.ForgetTxn(req.ID)
+		return Result{}, ctxWaitError(ctx, req.ID, "before local commit")
+	}
 
 	// Reserve the propagation slot BEFORE Commit releases the 2PL locks: a
 	// conflicting transaction is still blocked in its Write call at this
@@ -122,7 +185,7 @@ func (r *Replica) executeLocal(req Request) (Result, error) {
 		close(it.ready)
 	}
 	r.countOutcome(OutcomeCommitted)
-	return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: r.cfg.Level}, nil
+	return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: level, CommitLSN: uint64(txn.CommitLSN())}, nil
 }
 
 // enqueueLazy appends a write-set payload to the replica's ordered

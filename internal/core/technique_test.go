@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -89,11 +90,12 @@ func TestOpsPayloadRoundTrip(t *testing.T) {
 			}
 		}
 		id := uint64(rng.Int63())
-		payload := encodeOpsPayload(id, "s2", ops)
+		level := AllLevels()[rng.Intn(len(AllLevels()))]
+		payload := encodeOpsPayload(id, "s2", level, ops)
 		if err := decodeOpsRecord(payload, &rec); err != nil {
 			t.Fatalf("trial %d: decode: %v", trial, err)
 		}
-		if rec.TxnID != id || rec.Delegate != "s2" || len(rec.Ops) != n {
+		if rec.TxnID != id || rec.Delegate != "s2" || rec.Level != level || len(rec.Ops) != n {
 			t.Fatalf("trial %d: header mismatch: %+v", trial, rec)
 		}
 		for i, op := range rec.Ops {
@@ -131,7 +133,7 @@ func TestActiveReplicationCommitsWithoutAborts(t *testing.T) {
 	if commits != 6*20 {
 		t.Fatalf("committed %d, want %d", commits, 6*20)
 	}
-	if !c.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(c, 5*time.Second) {
 		t.Fatal("active replicas did not converge")
 	}
 }
@@ -143,12 +145,12 @@ func TestActiveReplicationReadsAtSerialisationPoint(t *testing.T) {
 	}
 	defer c.Close()
 
-	if _, err := c.Execute(0, writeReq(0, 9, 90)); err != nil {
+	if _, err := c.Execute(context.Background(), 0, writeReq(0, 9, 90)); err != nil {
 		t.Fatal(err)
 	}
 	// A read-then-write transaction must observe the committed value at its
 	// delivery position (read-your-writes included).
-	res, err := c.Execute(1, Request{Ops: []workload.Op{
+	res, err := c.Execute(context.Background(), 1, Request{Ops: []workload.Op{
 		{Item: 9},
 		{Item: 10, Write: true, Value: 100},
 		{Item: 10},
@@ -161,7 +163,7 @@ func TestActiveReplicationReadsAtSerialisationPoint(t *testing.T) {
 	}
 
 	// Compute hooks cannot travel in a broadcast.
-	_, err = c.Execute(0, Request{
+	_, err = c.Execute(context.Background(), 0, Request{
 		Ops:     []workload.Op{{Item: 9}},
 		Compute: func(map[int]int64) []workload.Op { return nil },
 	})
@@ -178,11 +180,11 @@ func TestLazyPrimaryRoutesUpdatesToPrimary(t *testing.T) {
 	defer c.Close()
 
 	// Direct submission of an update to a secondary is refused...
-	if _, err := c.Replica(1).Execute(writeReq(0, 3, 33)); !errors.Is(err, ErrNotPrimary) {
+	if _, err := c.Replica(1).Execute(context.Background(), writeReq(0, 3, 33)); !errors.Is(err, ErrNotPrimary) {
 		t.Fatalf("update at secondary: %v", err)
 	}
 	// ...but the cluster driver transparently routes it to the primary.
-	res, err := c.Execute(1, writeReq(0, 3, 33))
+	res, err := c.Execute(context.Background(), 1, writeReq(0, 3, 33))
 	if err != nil || !res.Committed() {
 		t.Fatalf("routed update failed: %+v, %v", res, err)
 	}
@@ -190,10 +192,10 @@ func TestLazyPrimaryRoutesUpdatesToPrimary(t *testing.T) {
 		t.Fatalf("update executed at %s, want primary s1", res.Delegate)
 	}
 	// Read-only transactions stay at their delegate.
-	if !c.WaitConsistent(5 * time.Second) {
+	if !waitConsistent(c, 5*time.Second) {
 		t.Fatal("secondaries did not receive the lazy write set")
 	}
-	rres, err := c.Replica(2).Execute(readReq(3))
+	rres, err := c.Replica(2).Execute(context.Background(), readReq(3))
 	if err != nil || rres.ReadValues[3] != 33 {
 		t.Fatalf("secondary read = %+v, %v", rres, err)
 	}
@@ -246,7 +248,7 @@ func runRequests(t *testing.T, c *Cluster, streams [][]Request) {
 			defer wg.Done()
 			delegate := cl % c.Size()
 			for _, req := range reqs {
-				res, err := c.Execute(delegate, req)
+				res, err := c.Execute(context.Background(), delegate, req)
 				if err != nil {
 					errCh <- err
 					return
@@ -296,7 +298,7 @@ func TestCertAndActiveReachSameStateOnConflictFreeWorkload(t *testing.T) {
 	active := build(TechActive)
 	runRequests(t, cert, streams)
 	runRequests(t, active, streams)
-	if !cert.WaitConsistent(5*time.Second) || !active.WaitConsistent(5*time.Second) {
+	if !waitConsistent(cert, 5*time.Second) || !waitConsistent(active, 5*time.Second) {
 		t.Fatal("clusters did not converge internally")
 	}
 	if !cert.Replica(0).DB().Store().Equal(active.Replica(0).DB().Store()) {
@@ -336,7 +338,7 @@ func TestTechniquesDeterministicAcrossApplyWorkers(t *testing.T) {
 				if commits == 0 {
 					t.Fatal("no transaction committed")
 				}
-				if !c.WaitConsistent(5 * time.Second) {
+				if !waitConsistent(c, 5*time.Second) {
 					t.Fatalf("%v with %d workers: replicas diverged", tech, workers)
 				}
 			})

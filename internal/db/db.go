@@ -244,6 +244,18 @@ func (d *DB) ApplyWriteSet(txnID uint64, ws storage.WriteSet) (bool, error) {
 	return applied, err
 }
 
+// AbortWaiting externally aborts txnID's lock acquisition: any Acquire
+// blocked on its behalf returns lock.ErrAborted and every lock it holds is
+// released.  It is the cancellation hook for a caller whose context expired
+// while the transaction may be blocked in 2PL — never call it once the
+// transaction's Commit has started, and call ForgetTxn after the
+// transaction has fully terminated.
+func (d *DB) AbortWaiting(txnID uint64) { d.locks.Abort(txnID) }
+
+// ForgetTxn clears residual lock-manager bookkeeping for an externally
+// aborted transaction (see AbortWaiting).
+func (d *DB) ForgetTxn(txnID uint64) { d.locks.Forget(txnID) }
+
 // ForceTo blocks until every log record with an LSN <= lsn is durable,
 // sharing forces with concurrent callers through the group committer.  The
 // batched replica apply loop uses it to force a whole batch of deferred
@@ -404,15 +416,22 @@ func (d *DB) RecordAbort(txnID uint64) error {
 
 // Txn is a locally executed transaction under strict two-phase locking.
 type Txn struct {
-	db       *DB
-	id       uint64
-	writes   storage.WriteSet
-	readVers map[int]uint64
-	done     bool
+	db        *DB
+	id        uint64
+	writes    storage.WriteSet
+	readVers  map[int]uint64
+	commitLSN wal.LSN
+	done      bool
 }
 
 // ID returns the transaction identifier.
 func (t *Txn) ID() uint64 { return t.id }
+
+// CommitLSN returns the log position of the transaction's commit record, or
+// zero before Commit ran (or when the transaction wrote nothing and aborted).
+// Under AsyncCommit the record is not necessarily durable yet; ForceTo closes
+// the gap on demand.
+func (t *Txn) CommitLSN() wal.LSN { return t.commitLSN }
 
 // Read returns the value of item as seen by the transaction (its own writes
 // first, then the committed state), acquiring a shared lock.
@@ -492,6 +511,7 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("db: log commit: %w", err)
 	}
 	lastLSN = lsn
+	t.commitLSN = lastLSN
 	if t.db.Policy() == SyncOnCommit {
 		if err := t.db.gc.WaitDurable(lastLSN); err != nil {
 			return fmt.Errorf("db: force log: %w", err)

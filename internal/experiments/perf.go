@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -56,7 +57,7 @@ func RunFig2VsFig8Trace(diskSync, netLatency time.Duration, txns int) (TraceResu
 				{Item: (i + 1) % 64, Write: true, Value: int64(i)},
 			}}
 			start := time.Now()
-			res, err := cluster.Execute(0, req)
+			res, err := cluster.Execute(context.Background(), 0, req)
 			if err != nil {
 				return 0, err
 			}

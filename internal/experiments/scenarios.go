@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -87,7 +88,7 @@ func runDeliveryCrashSchedule(level core.SafetyLevel) (FailureScenarioResult, er
 		replica.SetDeliverHook(func(uint64) { replica.Crash() })
 	}
 
-	res, err := cluster.Execute(0, core.Request{Ops: []workload.Op{
+	res, err := cluster.Execute(context.Background(), 0, core.Request{Ops: []workload.Op{
 		{Item: scenarioItem, Write: true, Value: scenarioValue},
 	}})
 	switch {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -103,7 +104,7 @@ func lostAfterDelegateCrash(level core.SafetyLevel, n int) (bool, error) {
 	}
 	defer cluster.Close()
 
-	res, err := cluster.Execute(0, probeRequest())
+	res, err := cluster.Execute(context.Background(), 0, probeRequest())
 	if err != nil {
 		return false, err
 	}
@@ -131,7 +132,7 @@ func lostAfterMinorityCrash(level core.SafetyLevel, n int) (bool, error) {
 	}
 	defer cluster.Close()
 
-	res, err := cluster.Execute(0, probeRequest())
+	res, err := cluster.Execute(context.Background(), 0, probeRequest())
 	if err != nil {
 		return false, err
 	}
@@ -245,7 +246,7 @@ func table3GroupFailsDelegateRecovers(level core.SafetyLevel) (bool, error) {
 		replica := cluster.Replica(i)
 		replica.SetDeliverHook(func(uint64) { replica.Crash() })
 	}
-	res, err := cluster.Execute(0, probeRequest())
+	res, err := cluster.Execute(context.Background(), 0, probeRequest())
 	if err != nil {
 		return false, err
 	}

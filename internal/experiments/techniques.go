@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -151,7 +152,7 @@ func runOneTechnique(cfg TechniqueComparisonConfig, tech core.TechniqueID) (Tech
 			for i := 0; i < cfg.TxnsPerClient; i++ {
 				req := core.RequestFromWorkload(gen.Next(0, delegate))
 				start := time.Now()
-				res, err := cluster.Execute(delegate, req)
+				res, err := cluster.Execute(context.Background(), delegate, req)
 				elapsed := time.Since(start)
 				if err != nil {
 					errCh <- err
@@ -175,7 +176,9 @@ func runOneTechnique(cfg TechniqueComparisonConfig, tech core.TechniqueID) (Tech
 	default:
 	}
 
-	consistent := cluster.WaitConsistent(10 * time.Second)
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	consistent := cluster.WaitConsistent(waitCtx) == nil
+	cancel()
 	sent, _ := cluster.Network().Stats()
 	completed := committed + aborted
 	result := TechniqueResult{

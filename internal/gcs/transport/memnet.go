@@ -29,6 +29,18 @@ type MemNetwork struct {
 	partition   map[string]int
 	partitioned atomic.Bool
 
+	// chains serialises delayed deliveries per (from, to) channel: each entry
+	// is the completion marker of the channel's most recently scheduled
+	// delivery, and the next delivery waits on it before touching the inbox.
+	// Without this, two AfterFunc timers with near-equal deadlines race for
+	// the destination mutex and can reorder a sender's messages — real LANs
+	// (and the TCP transport) are FIFO per channel, and the lazy-propagation
+	// protocol relies on that.  Jitter varies WHEN a channel's messages
+	// arrive, not their relative order; cross-channel interleaving stays
+	// unordered either way.
+	chainMu sync.Mutex
+	chains  map[chainKey]chan struct{}
+
 	// Hot counters: every Send touches these, so they are atomics rather
 	// than fields under the network mutex.
 	sent    atomic.Uint64
@@ -65,11 +77,17 @@ func NewMemNetwork(opts ...MemOption) *MemNetwork {
 		endpoints: make(map[string]*memEndpoint),
 		partition: make(map[string]int),
 		rng:       rand.New(rand.NewSource(1)),
+		chains:    make(map[chainKey]chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(n)
 	}
 	return n
+}
+
+// chainKey identifies one directed sender→receiver channel.
+type chainKey struct {
+	from, to string
 }
 
 // memEndpoint is an endpoint attached to a MemNetwork.
@@ -258,10 +276,29 @@ func (ep *memEndpoint) Send(to string, m Message) error {
 			n.dropped.Add(1)
 		}
 	}
-	if delay <= 0 {
+	if n.latency <= 0 && n.jitter <= 0 {
+		// Synchronous delivery in the caller's goroutine is trivially FIFO
+		// per channel.  The branch keys on the construction-time knobs, not
+		// the drawn delay: on a jitter-only network a zero draw must still
+		// go through the chain below, or it would overtake an earlier
+		// message of the same channel that drew a longer delay.
 		deliver()
 		return nil
 	}
-	time.AfterFunc(delay, deliver)
+	// Chain this delivery behind the channel's previous one: timers firing
+	// out of order must not reorder a sender's messages to one destination.
+	key := chainKey{from: ep.addr, to: to}
+	n.chainMu.Lock()
+	prev := n.chains[key]
+	done := make(chan struct{})
+	n.chains[key] = done
+	n.chainMu.Unlock()
+	time.AfterFunc(delay, func() {
+		defer close(done)
+		if prev != nil {
+			<-prev
+		}
+		deliver()
+	})
 	return nil
 }

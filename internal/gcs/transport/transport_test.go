@@ -108,6 +108,35 @@ func TestMemNetworkLatency(t *testing.T) {
 	}
 }
 
+// TestMemNetworkChannelFIFO: delayed deliveries must preserve per-channel
+// send order even when jitter gives later messages shorter delays — the
+// in-memory LAN models FIFO links (like the TCP transport), and the lazy
+// write-set propagation relies on it (an overtaking older write set would
+// silently diverge a secondary under last-writer-wins).
+// The jitter-only configuration (zero base latency) is the adversarial case:
+// a zero jitter draw takes a zero total delay, which must still queue behind
+// earlier draws of the same channel rather than delivering synchronously.
+func TestMemNetworkChannelFIFO(t *testing.T) {
+	n := NewMemNetwork(WithJitter(2*time.Millisecond), WithSeed(42))
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		if err := a.Send("b", Message{Type: "seq", Payload: []byte{byte(i), byte(i >> 8)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		m, ok := recvWithTimeout(t, b, 2*time.Second)
+		if !ok {
+			t.Fatalf("message %d not delivered", i)
+		}
+		if got := int(m.Payload[0]) | int(m.Payload[1])<<8; got != i {
+			t.Fatalf("delivery %d carried sequence %d: channel reordered", i, got)
+		}
+	}
+}
+
 func TestMemNetworkCrashAndRecover(t *testing.T) {
 	n := NewMemNetwork()
 	a := n.Endpoint("a")
