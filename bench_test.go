@@ -584,3 +584,130 @@ func itoa(v int) string {
 	}
 	return string(digits)
 }
+
+// benchmarkQueryVsUpdate measures one transaction class in isolation on the
+// full three-replica stack: "query" drives read-only snapshot transactions
+// (broadcast-free local path), "update" drives single-write transactions
+// through the total order.  The ns/op gap is the read path's win.
+func benchmarkQueryVsUpdate(b *testing.B, readOnly bool) {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		Replicas:      3,
+		Items:         8192,
+		Level:         core.GroupSafe,
+		DiskSyncDelay: 100 * time.Microsecond,
+		Pipeline:      tuning.Pipe(8, 200*time.Microsecond, 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	// Warm the stores so queries read real data.
+	for i := 0; i < 64; i++ {
+		if _, err := cluster.Execute(context.Background(), i%3, core.Request{
+			Ops: []workload.Op{{Item: i, Write: true, Value: int64(i)}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	sentBefore := uint64(0)
+	for _, r := range cluster.Replicas() {
+		sentBefore += r.BroadcastStats().MsgsSent
+	}
+
+	var clientSeq uint64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := atomic.AddUint64(&clientSeq, 1)
+		delegate := int(seed) % cluster.Size()
+		i := 0
+		for pb.Next() {
+			i++
+			var req core.Request
+			if readOnly {
+				req = core.Request{ReadOnly: true, Ops: []workload.Op{
+					{Item: (i * 31) % 8192}, {Item: (i*31 + 1) % 8192}, {Item: (i*31 + 2) % 8192},
+				}}
+			} else {
+				req = core.Request{Ops: []workload.Op{
+					{Item: (i * 31) % 8192, Write: true, Value: int64(i)},
+				}}
+			}
+			if _, err := cluster.Execute(context.Background(), delegate, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	var sent uint64
+	for _, r := range cluster.Replicas() {
+		sent += r.BroadcastStats().MsgsSent
+	}
+	b.ReportMetric(float64(sent-sentBefore)/float64(b.N), "msgs/txn")
+	b.ReportMetric(float64(cluster.TotalStats().Queries), "queries")
+}
+
+// BenchmarkQueryVsUpdate compares the broadcast-free snapshot read path with
+// the totally-ordered update path on the same cluster configuration.
+func BenchmarkQueryVsUpdate(b *testing.B) {
+	b.Run("query", func(b *testing.B) { benchmarkQueryVsUpdate(b, true) })
+	b.Run("update", func(b *testing.B) { benchmarkQueryVsUpdate(b, false) })
+}
+
+// benchmarkReadMix drives the full stack with the workload generator's
+// read-mix knob at a given read fraction and reports wire cost per
+// transaction plus the achieved class split.
+func benchmarkReadMix(b *testing.B, readFraction float64) {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		Replicas:      3,
+		Items:         8192,
+		Level:         core.GroupSafe,
+		DiskSyncDelay: 100 * time.Microsecond,
+		Pipeline:      tuning.Pipe(8, 200*time.Microsecond, 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var clientSeq uint64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := atomic.AddUint64(&clientSeq, 1)
+		delegate := int(seed) % cluster.Size()
+		gen := workload.NewGenerator(workload.Config{
+			Items: 8192, MinOps: 2, MaxOps: 4, WriteProb: 0.5,
+			ReadFraction: readFraction, QueryMinOps: 2, QueryMaxOps: 4,
+		}, int64(seed))
+		for pb.Next() {
+			if _, err := cluster.Execute(context.Background(), delegate, core.RequestFromWorkload(gen.Next(0, delegate))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	var sent uint64
+	for _, r := range cluster.Replicas() {
+		sent += r.BroadcastStats().MsgsSent
+	}
+	total := cluster.TotalStats()
+	b.ReportMetric(float64(sent)/float64(b.N), "msgs/txn")
+	if total.Executed > 0 {
+		b.ReportMetric(100*float64(total.Queries)/float64(total.Executed), "query-%")
+	}
+}
+
+// BenchmarkReadMix sweeps the query/update mix from the paper's write-heavy
+// Table 4 character to a read-heavy 90/10 web mix: wire cost per transaction
+// falls with the read fraction because queries never touch the broadcast.
+func BenchmarkReadMix(b *testing.B) {
+	b.Run("reads-0", func(b *testing.B) { benchmarkReadMix(b, 0) })
+	b.Run("reads-50", func(b *testing.B) { benchmarkReadMix(b, 0.5) })
+	b.Run("reads-90", func(b *testing.B) { benchmarkReadMix(b, 0.9) })
+}

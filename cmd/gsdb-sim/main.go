@@ -41,6 +41,8 @@ func run() int {
 	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables batching)")
 	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
 	applyWorkers := flag.Int("apply-workers", 0, "concurrent write-set installs per server (0: one per disk)")
+	readFraction := flag.Float64("read-fraction", 0, "fraction of transactions that are pure read-only queries (0: Table 4 mix)")
+	queryKeys := flag.Int("query-keys", 0, "keys read per query transaction (0: transaction-length bounds)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -67,6 +69,9 @@ func run() int {
 	cfg.BatchSize = *batch
 	cfg.BatchDelay = *batchDelay
 	cfg.ApplyWorkers = *applyWorkers
+	cfg.ReadFraction = *readFraction
+	cfg.QueryMinOps = *queryKeys
+	cfg.QueryMaxOps = *queryKeys
 	technique, err := gsdb.ParseTechnique(*techniqueFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -199,3 +199,77 @@ func TestDeadlineMatchesTimeoutAndContext(t *testing.T) {
 		t.Fatalf("deadline expiry should match ErrTimeout and DeadlineExceeded: %v", err)
 	}
 }
+
+func TestQueryMonotonicSessionReads(t *testing.T) {
+	ctx := context.Background()
+	client := openTest(t, gsdb.WithReplicas(3), gsdb.WithItems(128))
+
+	var session uint64 // largest freshness token seen so far
+	for i := 0; i < 10; i++ {
+		res, err := client.Execute(ctx, write(5, int64(100+i)), gsdb.Via(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Committed() {
+			continue
+		}
+		if res.Freshness == 0 {
+			t.Fatal("committed update without freshness token")
+		}
+		if res.Freshness > session {
+			session = res.Freshness
+		}
+		// Read-your-writes from a DIFFERENT replica via the session token.
+		read, err := client.Execute(ctx, gsdb.Query(5), gsdb.Via(1+i%2), gsdb.WithFreshness(session))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := read.ReadValues[5]; got != int64(100+i) {
+			t.Fatalf("session read = %d, want %d", got, 100+i)
+		}
+		if read.Stale {
+			t.Fatal("query flagged stale on certification cluster")
+		}
+		if read.Freshness > session {
+			session = read.Freshness
+		}
+	}
+	if q := client.TotalStats().Queries; q == 0 {
+		t.Fatal("Queries counter did not move")
+	}
+}
+
+func TestReadOnlyOptionRejectsWrites(t *testing.T) {
+	ctx := context.Background()
+	client := openTest(t, gsdb.WithReplicas(3))
+	_, err := client.Execute(ctx, write(1, 1), gsdb.ReadOnly())
+	if err == nil {
+		t.Fatal("write under ReadOnly() accepted")
+	}
+}
+
+func TestLazyQueryStaleFlag(t *testing.T) {
+	ctx := context.Background()
+	client := openTest(t, gsdb.WithReplicas(3), gsdb.WithTechnique(gsdb.TechLazyPrimary), gsdb.WithSafetyLevel(gsdb.Safety1Lazy))
+	if _, err := client.Execute(ctx, write(2, 22), gsdb.Via(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	if err := client.WaitConsistent(waitCtx); err != nil {
+		t.Fatal(err)
+	}
+	primary, err := client.Execute(ctx, gsdb.Query(2), gsdb.Via(0))
+	if err != nil || primary.Stale {
+		t.Fatalf("primary query: %+v, %v", primary, err)
+	}
+	secondary, err := client.Execute(ctx, gsdb.Query(2), gsdb.Via(1))
+	if err != nil || !secondary.Stale {
+		t.Fatalf("secondary query not flagged stale: %+v, %v", secondary, err)
+	}
+	// Freshness floors have no meaning without a total order.
+	_, err = client.Execute(ctx, gsdb.Query(2), gsdb.Via(1), gsdb.WithFreshness(1))
+	if !errors.Is(err, gsdb.ErrSafetyUnavailable) {
+		t.Fatalf("freshness on lazy cluster: %v", err)
+	}
+}

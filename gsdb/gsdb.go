@@ -34,6 +34,22 @@
 // levels needing machinery the cluster was not built with (2-safe on a
 // classical-broadcast cluster) fail with ErrSafetyUnavailable.
 //
+// # Local queries and freshness
+//
+// The paper's split between transaction classes is first-class: update
+// transactions ride the total-order broadcast, while read-only transactions
+// execute at a single replica on a local MVCC snapshot — no locks, no group
+// communication, no aborts — so every replica is a query server and query
+// capacity scales with the cluster:
+//
+//	res, err := client.Execute(ctx, gsdb.Query(1, 2, 3))
+//
+// Each result carries a Freshness token (the replica's position in the total
+// order).  Passing the largest token seen back via WithFreshness yields
+// monotonic session reads, including reading your own committed writes from
+// any replica.  Under lazy primary-copy, queries served by a secondary are
+// flagged Result.Stale instead (no comparable sequence exists).
+//
 // # Response versus durability
 //
 // Group-safety's central trade is answering the client at message delivery

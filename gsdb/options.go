@@ -111,8 +111,10 @@ func WithApplyWorkers(n int) Option {
 type TxnOption func(*txnOptions)
 
 type txnOptions struct {
-	delegate int
-	safety   *SafetyLevel
+	delegate  int
+	safety    *SafetyLevel
+	readOnly  bool
+	freshness uint64
 }
 
 func newTxnOptions(opts []TxnOption) txnOptions {
@@ -128,6 +130,12 @@ func (o *txnOptions) apply(req *Request) {
 	if o.safety != nil {
 		s := *o.safety
 		req.Safety = &s
+	}
+	if o.readOnly {
+		req.ReadOnly = true
+	}
+	if o.freshness > 0 {
+		req.MinFreshness = o.freshness
 	}
 }
 
@@ -157,6 +165,30 @@ func WithSafety(l SafetyLevel) TxnOption {
 // round-robin over live replicas.
 func Via(delegate int) TxnOption {
 	return func(o *txnOptions) { o.delegate = delegate }
+}
+
+// ReadOnly declares this transaction a query: it executes on a local MVCC
+// snapshot of one replica — no locks, no group communication, no aborts — and
+// its Result carries a Freshness token (see WithFreshness).  Requests without
+// writes take the same fast path automatically; the declaration makes the
+// intent explicit and fails the call with ErrReadOnlyWrites if a write (or a
+// Compute hook, which could emit one) sneaks in.  Under lazy primary-copy a
+// query served by a secondary is flagged Result.Stale.
+func ReadOnly() TxnOption {
+	return func(o *txnOptions) { o.readOnly = true }
+}
+
+// WithFreshness sets a freshness floor for a read-only transaction on the
+// totally-ordered techniques (certification, active): the serving replica
+// waits until it has applied at least the given broadcast sequence before
+// taking its snapshot.  Feeding back the largest Result.Freshness seen so far
+// gives monotonic session reads — including "read your own writes" across
+// replicas, since a committed update's Result.Freshness is its own position
+// in the total order.  On clusters without a comparable sequence (lazy
+// primary-copy, 0-safe, 1-safe-lazy) a non-zero floor fails with
+// ErrSafetyUnavailable.
+func WithFreshness(token uint64) TxnOption {
+	return func(o *txnOptions) { o.freshness = token }
 }
 
 // Pipe bundles the batching and apply-worker knobs into a Pipeline value,

@@ -13,3 +13,12 @@ type Sample = istats.Sample
 
 // NewSample returns an empty sample.
 func NewSample() *Sample { return istats.NewSample() }
+
+// Breakdown groups observations by transaction class (typically "query" vs
+// "update"), one Sample per class, so per-class latency percentiles come from
+// the same toolkit — the measurement side of the paper's local-queries versus
+// ordered-updates split.
+type Breakdown = istats.Breakdown
+
+// NewBreakdown returns an empty per-class collector.
+func NewBreakdown() *Breakdown { return istats.NewBreakdown() }

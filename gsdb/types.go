@@ -123,7 +123,23 @@ func NewWorkload(cfg WorkloadConfig, seed int64) *Workload {
 func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
 
 // RequestFromWorkload converts one generated workload transaction into an
-// executable Request.
+// executable Request (pure queries are marked ReadOnly and take the snapshot
+// fast path).
 func RequestFromWorkload(t Transaction) Request {
 	return core.RequestFromWorkload(t)
+}
+
+// Query builds a read-only request over the given items.  It executes
+// locally at one replica on an MVCC snapshot — zero group communication, no
+// locks, never aborts — and returns the values in Result.ReadValues plus a
+// Freshness token for monotonic session reads:
+//
+//	res, _ := client.Execute(ctx, gsdb.Query(1, 2, 3))
+//	later, _ := client.Execute(ctx, gsdb.Query(1), gsdb.WithFreshness(res.Freshness))
+func Query(items ...int) Request {
+	ops := make([]Op, len(items))
+	for i, it := range items {
+		ops[i] = Op{Item: it}
+	}
+	return Request{Ops: ops, ReadOnly: true}
 }

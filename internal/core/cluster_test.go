@@ -127,7 +127,8 @@ func TestCertificationAbortsConflictingTransaction(t *testing.T) {
 	waitConsistent(c, 2*time.Second)
 
 	// Build a request whose read version is captured now...
-	readVers := map[int]uint64{10: c.Replica(1).DB().Version(10)}
+	_, ver10, _ := c.Replica(1).DB().ReadVersioned(10)
+	readVers := map[int]uint64{10: ver10}
 	_ = readVers
 	// ...by issuing two read-modify-write transactions that both read item 10
 	// before either delivery: we emulate this by running the first write

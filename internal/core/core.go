@@ -233,7 +233,7 @@ func (c *Cluster) Value(i, item int) (int64, error) {
 	if r == nil {
 		return 0, fmt.Errorf("%w: index %d", ErrNotFound, i)
 	}
-	v, _, err := r.DB().ReadCommitted(item)
+	v, _, err := r.DB().ReadVersioned(item)
 	return v, err
 }
 
@@ -344,6 +344,7 @@ func (c *Cluster) TotalStats() ReplicaStats {
 		total.Aborted += s.Aborted
 		total.Delivered += s.Delivered
 		total.LazyApply += s.LazyApply
+		total.Queries += s.Queries
 		total.AcksSent += s.AcksSent
 	}
 	return total

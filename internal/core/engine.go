@@ -93,12 +93,14 @@ type stagedTxn struct {
 }
 
 // txnOutcome is what the apply goroutine hands back to a waiting Execute
-// call: the certified outcome, the local commit-record LSN, and, for
-// techniques that execute reads at delivery time (active replication), the
-// values read.
+// call: the certified outcome, the local commit-record LSN, the delivery
+// sequence (the transaction's own position in the total order, reported to
+// clients as the Result.Freshness token), and, for techniques that execute
+// reads at delivery time (active replication), the values read.
 type txnOutcome struct {
 	outcome Outcome
 	lsn     wal.LSN
+	seq     uint64
 	reads   map[int]int64
 }
 
@@ -350,9 +352,7 @@ func (r *Replica) externalize(staged []stagedTxn) {
 	notifyCh := make([]chan txnOutcome, len(staged))
 	for i, a := range staged {
 		r.stats.Delivered++
-		if a.item.seq > r.lastAppliedSeq {
-			r.lastAppliedSeq = a.item.seq
-		}
+		r.advanceAppliedSeqLocked(a.item.seq)
 		if ch, ok := r.pending[a.txnID]; ok {
 			notifyCh[i] = ch
 		}
@@ -362,7 +362,7 @@ func (r *Replica) externalize(staged []stagedTxn) {
 	for i, a := range staged {
 		if ch := notifyCh[i]; ch != nil {
 			select {
-			case ch <- txnOutcome{outcome: a.outcome, lsn: a.lsn, reads: a.reads}:
+			case ch <- txnOutcome{outcome: a.outcome, lsn: a.lsn, seq: a.item.seq, reads: a.reads}:
 			default:
 			}
 			r.countOutcome(a.outcome)
@@ -440,7 +440,9 @@ func (r *Replica) recordVerySafeAck(txnID uint64, replica string) {
 	}
 }
 
-// Execute a request built from a workload transaction.
+// Execute a request built from a workload transaction.  Transactions without
+// writes are declared ReadOnly, so they take the snapshot fast path and fail
+// loudly if a write ever sneaks into a generated query.
 func RequestFromWorkload(t workload.Transaction) Request {
-	return Request{ID: 0, Ops: t.Ops}
+	return Request{ID: 0, Ops: t.Ops, ReadOnly: t.ReadOnly()}
 }

@@ -222,7 +222,7 @@ func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
 func (r *Replica) installSnapshot(s StateSnapshot) {
 	r.dbase.RestoreState(s.Items, s.AppliedTxns)
 	r.mu.Lock()
-	r.lastAppliedSeq = s.LastAppliedSeq
+	r.advanceAppliedSeqLocked(s.LastAppliedSeq)
 	ab := r.ab
 	r.mu.Unlock()
 	if ab != nil {

@@ -35,6 +35,20 @@ type Request struct {
 	// with (e.g. 2-safe on a classical-broadcast cluster) are rejected with
 	// ErrSafetyUnavailable.  Nil means "use the cluster's configured level".
 	Safety *SafetyLevel
+	// ReadOnly declares the transaction a query: it executes on a local MVCC
+	// snapshot of the delegate replica — no locks, no group communication, no
+	// aborts.  A ReadOnly request whose Ops contain a write (or that carries a
+	// Compute hook, which could emit one) is rejected with ErrReadOnlyWrites.
+	// Requests without writes take the same snapshot fast path even when the
+	// flag is unset; the flag exists to make the intent explicit and fail
+	// loudly when a write sneaks into a query.
+	ReadOnly bool
+	// MinFreshness, meaningful for read-only execution on the totally-ordered
+	// techniques, makes the serving replica wait until it has applied at
+	// least this broadcast sequence before taking its snapshot.  Passing the
+	// Freshness token of an earlier Result yields monotonic session reads
+	// ("read your writes" across replicas).  Zero imposes no floor.
+	MinFreshness uint64
 }
 
 // Outcome is the terminal state of a replicated transaction.
@@ -79,6 +93,17 @@ type Result struct {
 	// durable only if Level forces on commit; Replica.WaitDurable(ctx, lsn)
 	// forces the gap on demand — the paper's response-vs-durability window.
 	CommitLSN uint64
+	// Freshness is the transaction's position in the cluster's total order:
+	// for a committed update, its own broadcast sequence; for a read-only
+	// transaction, the last sequence the serving replica had applied when the
+	// snapshot was taken.  Feeding the largest Freshness seen back into
+	// Request.MinFreshness gives monotonic session reads across replicas.
+	// Zero on techniques/levels without group communication.
+	Freshness uint64
+	// Stale marks a read-only result served from possibly-stale state with no
+	// freshness token to reason about it: a secondary replica of the lazy
+	// primary-copy technique (the paper's 1-safe query trade-off).
+	Stale bool
 }
 
 // Committed reports whether the transaction committed.

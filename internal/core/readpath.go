@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"context"
+)
+
+// This file is the replica's query fast path: read-only transactions execute
+// entirely at one replica on a local MVCC snapshot — no 2PL locks, no atomic
+// broadcast, no certification, no aborts (the paper's split between ordered
+// update transactions and local queries; Fig. 2/8 broadcast only transactions
+// with writes).  Every replica is therefore a query server, and query
+// throughput scales with the number of replicas while update throughput stays
+// bounded by the total order.
+//
+// Staleness is handled per technique: under certification and active
+// replication every replica applies the same total order, so a read carries a
+// freshness token (the last applied broadcast sequence) that clients feed
+// back via Request.MinFreshness for monotonic session reads.  Under lazy
+// primary-copy only the primary is authoritative; secondaries serve reads
+// flagged Stale.
+
+// ErrReadOnlyWrites is returned when a request declared ReadOnly contains a
+// write operation or a Compute hook (which could emit one).
+var ErrReadOnlyWrites = errors.New("core: read-only transaction contains write operations")
+
+// executeReadOnly serves one query at this replica from an MVCC snapshot.
+// The caller has already verified the request cannot write.
+func (r *Replica) executeReadOnly(ctx context.Context, req Request, crashCh chan struct{}) (Result, error) {
+	level, err := r.effectiveLevel(req)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx, cancel := r.withDefaultTimeout(ctx)
+	defer cancel()
+
+	if req.MinFreshness > 0 {
+		if !r.cfg.Level.UsesGroupCommunication() {
+			return Result{}, r.errNoFreshnessSequence()
+		}
+		if err := r.waitFreshness(ctx, req.MinFreshness, crashCh); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// The token is sampled BEFORE the snapshot: lastAppliedSeq only advances
+	// after a delivery's installs are visible, so the snapshot is guaranteed
+	// to contain every transaction the token claims.
+	token := r.LastAppliedSeq()
+	rt, err := r.dbase.BeginRead()
+	if err != nil {
+		return Result{}, ErrCrashed
+	}
+	defer rt.Close()
+
+	readVals := make(map[int]int64, len(req.Ops))
+	for _, op := range req.Ops {
+		v, err := rt.Read(op.Item)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: read item %d: %w", op.Item, err)
+		}
+		readVals[op.Item] = v
+	}
+
+	r.mu.Lock()
+	r.stats.Queries++
+	r.stats.Committed++ // queries always commit
+	r.mu.Unlock()
+	return Result{
+		TxnID:      req.ID,
+		Outcome:    OutcomeCommitted,
+		ReadValues: readVals,
+		Delegate:   r.cfg.ID,
+		Level:      level,
+		Freshness:  token,
+		Stale:      r.tech.ID() == TechLazyPrimary && !r.IsPrimary(),
+	}, nil
+}
+
+// errNoFreshnessSequence is the shared rejection for freshness floors on
+// paths without a totally-ordered, cross-replica-comparable sequence.
+func (r *Replica) errNoFreshnessSequence() error {
+	return fmt.Errorf("%w: freshness floors need a totally-ordered technique; %v at %v has no comparable sequence", ErrSafetyUnavailable, r.tech.ID(), r.cfg.Level)
+}
+
+// waitFreshness blocks until the replica has applied broadcast sequence min,
+// or until ctx/crash ends the wait.
+func (r *Replica) waitFreshness(ctx context.Context, min uint64, crashCh chan struct{}) error {
+	for {
+		r.mu.Lock()
+		applied := r.lastAppliedSeq
+		ch := r.seqAdvance
+		r.mu.Unlock()
+		if applied >= min {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-crashCh:
+			return ErrCrashed
+		case <-ctx.Done():
+			return ctxWaitError(ctx, 0, fmt.Sprintf("waiting for freshness %d (applied %d)", min, applied))
+		}
+	}
+}
+
+// advanceAppliedSeqLocked raises lastAppliedSeq (r.mu held) and wakes every
+// freshness waiter by rotating the broadcast channel.
+func (r *Replica) advanceAppliedSeqLocked(seq uint64) {
+	if seq <= r.lastAppliedSeq {
+		return
+	}
+	r.lastAppliedSeq = seq
+	close(r.seqAdvance)
+	r.seqAdvance = make(chan struct{})
+}

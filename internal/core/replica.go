@@ -116,6 +116,11 @@ type ReplicaStats struct {
 	Aborted   uint64
 	Delivered uint64
 	LazyApply uint64
+	// Queries counts read-only transactions served locally from an MVCC
+	// snapshot — no group communication, no locks, no aborts.  Queries also
+	// count into Executed and Committed; Delivered never includes them
+	// (nothing is broadcast).
+	Queries uint64
 	// AcksSent counts the very-safe per-replica acknowledgement messages this
 	// replica sent to remote delegates (its own local ack is not counted).
 	// The per-transaction safety tests use it to assert, by message count,
@@ -152,9 +157,12 @@ type Replica struct {
 	incarnation    int
 	applierStop    chan struct{}
 	lastAppliedSeq uint64
-	nextTxn        uint64
-	deliverHook    func(txnID uint64)
-	stats          ReplicaStats
+	// seqAdvance is closed and replaced whenever lastAppliedSeq advances;
+	// freshness-floored queries (Request.MinFreshness) wait on it.
+	seqAdvance  chan struct{}
+	nextTxn     uint64
+	deliverHook func(txnID uint64)
+	stats       ReplicaStats
 
 	// Ordered asynchronous write-set propagation of the lazy modes
 	// (technique_lazy.go).
@@ -179,13 +187,14 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("core: replica %q not in member list %v", cfg.ID, cfg.Members)
 	}
 	r := &Replica{
-		cfg:      cfg,
-		index:    index,
-		tech:     tech,
-		pending:  make(map[uint64]chan txnOutcome),
-		veryAcks: make(map[uint64]map[string]bool),
-		veryDone: make(map[uint64]chan struct{}),
-		crashCh:  make(chan struct{}),
+		cfg:        cfg,
+		index:      index,
+		tech:       tech,
+		pending:    make(map[uint64]chan txnOutcome),
+		veryAcks:   make(map[uint64]map[string]bool),
+		veryDone:   make(map[uint64]chan struct{}),
+		crashCh:    make(chan struct{}),
+		seqAdvance: make(chan struct{}),
 	}
 
 	r.dbLog = wal.NewMemLogWithDelay(cfg.DiskSyncDelay)
@@ -294,9 +303,17 @@ func (r *Replica) nextTxnID() uint64 {
 // transaction's waiter is deregistered; the transaction itself may still
 // commit group-wide — only the notification is abandoned.  A context without
 // a deadline gets the configured ExecTimeout as a default.
+//
+// Requests that cannot write (no write ops, no Compute hook) never reach the
+// replication technique at all: they execute on a local MVCC snapshot with no
+// group communication (executeReadOnly).  A request declared ReadOnly that
+// nevertheless carries a write fails with ErrReadOnlyWrites.
 func (r *Replica) Execute(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, ctxWaitError(ctx, req.ID, "before submission")
+	}
+	if req.ReadOnly && requestMayWrite(req) {
+		return Result{}, fmt.Errorf("%w: txn %d", ErrReadOnlyWrites, req.ID)
 	}
 	r.mu.Lock()
 	if r.crashed {
@@ -313,6 +330,9 @@ func (r *Replica) Execute(ctx context.Context, req Request) (Result, error) {
 	r.stats.Executed++
 	r.mu.Unlock()
 
+	if !requestMayWrite(req) {
+		return r.executeReadOnly(ctx, req, crashCh)
+	}
 	return r.tech.execute(ctx, r, req, crashCh)
 }
 

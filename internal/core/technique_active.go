@@ -47,28 +47,15 @@ func (activeTechnique) checkLevel(level SafetyLevel) (SafetyLevel, error) {
 }
 
 func (activeTechnique) execute(ctx context.Context, r *Replica, req Request, crashCh chan struct{}) (Result, error) {
+	// Pure queries never reach the technique — the engine serves them from a
+	// local MVCC snapshot with no broadcast (executeReadOnly, the standard
+	// active-replication read optimisation; Fig. 2/8 of the paper).
 	if req.Compute != nil {
 		return Result{}, ErrComputeNotReplicable
 	}
 	level, err := r.effectiveLevel(req)
 	if err != nil {
 		return Result{}, err
-	}
-
-	// Read-only transactions execute entirely at the delegate against its
-	// committed state (the standard active-replication optimisation; same
-	// rule as the certification technique, Fig. 2/8 of the paper).
-	if !requestMayWrite(req) {
-		readVals := make(map[int]int64)
-		for _, op := range req.Ops {
-			v, _, err := r.dbase.ReadCommitted(op.Item)
-			if err != nil {
-				return Result{}, fmt.Errorf("core: read item %d: %w", op.Item, err)
-			}
-			readVals[op.Item] = v
-		}
-		r.countOutcome(OutcomeCommitted)
-		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: level}, nil
 	}
 
 	payload := encodeOpsPayload(req.ID, r.cfg.ID, level, req.Ops)
@@ -80,7 +67,7 @@ func (activeTechnique) execute(ctx context.Context, r *Replica, req Request, cra
 	// when it executed the transaction at its delivery position — i.e. they
 	// are the reads of the serialisation point, not of an optimistic
 	// pre-execution.
-	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: out.reads, Delegate: r.cfg.ID, Level: level, CommitLSN: uint64(out.lsn)}, nil
+	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: out.reads, Delegate: r.cfg.ID, Level: level, CommitLSN: uint64(out.lsn), Freshness: out.seq}, nil
 }
 
 // applyBatch executes one drained batch of totally-ordered transactions.
@@ -147,7 +134,7 @@ func (activeTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}
 			v, seen := st.writeVals[op.Item]
 			if !seen {
 				var err error
-				if v, _, err = r.dbase.ReadCommitted(op.Item); err != nil {
+				if v, _, err = r.dbase.ReadVersioned(op.Item); err != nil {
 					ok = false
 					break
 				}

@@ -45,12 +45,41 @@ func (certTechnique) execute(ctx context.Context, r *Replica, req Request, crash
 // certExecuteReplicated implements the group-communication based levels
 // (group-safe, group-1-safe, 2-safe, very-safe): optimistic execution at the
 // delegate, atomic broadcast of the read versions and write set, deterministic
-// certification at every replica.
+// certification at every replica.  Pure queries never reach this function —
+// the engine serves them from an MVCC snapshot without any broadcast
+// (executeReadOnly); a request routed here has writes (or a Compute hook that
+// may emit some), and only its read phase runs on a snapshot.
 func certExecuteReplicated(ctx context.Context, r *Replica, req Request, crashCh chan struct{}) (Result, error) {
 	level, err := r.effectiveLevel(req)
 	if err != nil {
 		return Result{}, err
 	}
+	// A freshness floor applies to the read phase regardless of whether the
+	// transaction turns out to write (Compute-bearing requests land here
+	// even when their hook emits nothing).  The default ExecTimeout must
+	// bound this wait too — submitAndWait installs it only later, and a
+	// floor the replica never reaches would otherwise hang a deadline-less
+	// caller forever.
+	if req.MinFreshness > 0 {
+		boundedCtx, cancel := r.withDefaultTimeout(ctx)
+		err := r.waitFreshness(boundedCtx, req.MinFreshness, crashCh)
+		cancel()
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// The freshness token is sampled BEFORE the snapshot (see
+	// executeReadOnly): the snapshot then contains everything it claims.
+	token := r.LastAppliedSeq()
+	// The optimistic read phase runs on one MVCC snapshot: the read values
+	// form a consistent cut, and each recorded (item, version) pair comes
+	// from a single atomic versioned read — the certification read set can
+	// never pair a new value with an old version.
+	rt, err := r.dbase.BeginRead()
+	if err != nil {
+		return Result{}, ErrCrashed
+	}
+	defer rt.Close()
 	readVals := make(map[int]int64)
 	readVers := make(map[int]uint64)
 	writes := make(map[int]int64)
@@ -60,7 +89,7 @@ func certExecuteReplicated(ctx context.Context, r *Replica, req Request, crashCh
 				writes[op.Item] = op.Value
 				continue
 			}
-			v, ver, err := r.dbase.ReadCommitted(op.Item)
+			v, ver, err := rt.ReadVersioned(op.Item)
 			if err != nil {
 				return fmt.Errorf("core: read item %d: %w", op.Item, err)
 			}
@@ -80,11 +109,12 @@ func certExecuteReplicated(ctx context.Context, r *Replica, req Request, crashCh
 		}
 	}
 
-	// Read-only transactions execute entirely at the delegate (Fig. 2/8:
-	// only transactions with writes are broadcast).
+	// A Compute hook may turn out not to write after all; answer it from the
+	// snapshot like any other query (Fig. 2/8: only transactions with writes
+	// are broadcast).
 	if len(writes) == 0 {
 		r.countOutcome(OutcomeCommitted)
-		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: level}, nil
+		return Result{TxnID: req.ID, Outcome: OutcomeCommitted, ReadValues: readVals, Delegate: r.cfg.ID, Level: level, Freshness: token}, nil
 	}
 
 	payload := encodeTxnPayload(req.ID, r.cfg.ID, level, readVers, writes)
@@ -92,7 +122,7 @@ func certExecuteReplicated(ctx context.Context, r *Replica, req Request, crashCh
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: readVals, Delegate: r.cfg.ID, Level: level, CommitLSN: uint64(out.lsn)}, nil
+	return Result{TxnID: req.ID, Outcome: out.outcome, ReadValues: readVals, Delegate: r.cfg.ID, Level: level, CommitLSN: uint64(out.lsn), Freshness: out.seq}, nil
 }
 
 // applyBatch runs the certification apply pipeline on one drained batch of
@@ -255,7 +285,7 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 // computed by installing before certifying the next transaction.
 func certify(r *Replica, st *applyState, rec *txnRecord) Outcome {
 	for _, rv := range rec.Reads {
-		if r.dbase.Version(rv.Item)+st.certBumps[rv.Item] > rv.Ver {
+		if _, ver, _ := r.dbase.ReadVersioned(rv.Item); ver+st.certBumps[rv.Item] > rv.Ver {
 			return OutcomeAborted
 		}
 	}

@@ -83,6 +83,11 @@ func (r *Replica) executeLocal(ctx context.Context, req Request) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
+	// No totally-ordered sequence exists on the local paths, so a freshness
+	// floor cannot be honoured (same rule as executeReadOnly).
+	if req.MinFreshness > 0 {
+		return Result{}, r.errNoFreshnessSequence()
+	}
 	ctx, cancel := r.withDefaultTimeout(ctx)
 	defer cancel()
 	if err := ctx.Err(); err != nil {

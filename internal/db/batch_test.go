@@ -89,7 +89,7 @@ func TestBatchApplyDurableAfterCrash(t *testing.T) {
 		if !d.Applied(uint64(i)) {
 			t.Fatalf("txn %d lost after crash despite the batch force", i)
 		}
-		v, _, err := d.ReadCommitted(i)
+		v, _, err := d.ReadVersioned(i)
 		if err != nil || v != int64(10*i) {
 			t.Fatalf("item %d = (%d, %v), want %d", i, v, err, 10*i)
 		}

@@ -28,6 +28,7 @@ func (d *DB) CrashAndRecover() error {
 	d.applied = make(map[uint64]bool)
 	d.nextID = 1
 	d.closed = false
+	d.closedFlag.Store(false)
 	return d.recoverLocked()
 }
 

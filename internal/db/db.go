@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"groupsafe/internal/lock"
 	"groupsafe/internal/storage"
@@ -66,6 +67,9 @@ type Stats struct {
 	Deadlocks     uint64
 	AppliedRemote uint64
 	SkippedDup    uint64
+	// ReadTxns counts read-only snapshot transactions (BeginRead); they take
+	// no locks and never abort, so they appear in no other counter.
+	ReadTxns uint64
 }
 
 // DB is a single-node transactional database over integer items.
@@ -81,6 +85,11 @@ type DB struct {
 	nextID  uint64
 	closed  bool
 	stats   Stats
+
+	// closedFlag mirrors closed for the lock-free read-transaction hot path;
+	// readTxns counts BeginRead calls without taking mu.
+	closedFlag atomic.Bool
+	readTxns   atomic.Uint64
 }
 
 // Open creates a database from cfg and recovers committed state from its log.
@@ -171,6 +180,7 @@ func (d *DB) Stats() Stats {
 	defer d.mu.Unlock()
 	s := d.stats
 	s.Deadlocks = d.locks.Deadlocks()
+	s.ReadTxns = d.readTxns.Load()
 	return s
 }
 
@@ -183,15 +193,15 @@ func (d *DB) Applied(txnID uint64) bool {
 	return d.applied[txnID]
 }
 
-// ReadCommitted returns the committed value and version of an item without
-// acquiring locks; it is used by the optimistic read phase of the delegate
-// server in the certification-based replication protocol.
-func (d *DB) ReadCommitted(item int) (int64, uint64, error) {
+// ReadVersioned returns the newest committed value and version of an item as
+// one atomic observation (both fields come from the same version-chain entry,
+// so the pair can never mix a new value with an old version).  No locks are
+// acquired; it is the optimistic read primitive of the certification
+// protocol's delegate phase and of active replication's delivery-time
+// execution.  For a multi-item consistent cut use Snapshot or BeginRead.
+func (d *DB) ReadVersioned(item int) (int64, uint64, error) {
 	return d.store.Read(item)
 }
-
-// Version returns the committed version of an item.
-func (d *DB) Version(item int) uint64 { return d.store.Version(item) }
 
 // Flush forces the write-ahead log to stable storage.
 func (d *DB) Flush() error { return d.log.Sync() }
@@ -204,6 +214,7 @@ func (d *DB) Close() error {
 		return nil
 	}
 	d.closed = true
+	d.closedFlag.Store(true)
 	d.mu.Unlock()
 	return d.log.Close()
 }

@@ -52,7 +52,7 @@ func TestBasicCommit(t *testing.T) {
 	if err := txn.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ReadCommitted(5); v != 42 {
+	if v, _, _ := d.ReadVersioned(5); v != 42 {
 		t.Fatalf("committed value = %d", v)
 	}
 	if !d.Applied(txn.ID()) {
@@ -70,7 +70,7 @@ func TestAbortDiscardsWrites(t *testing.T) {
 	if err := txn.Abort(); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ReadCommitted(7); v != 0 {
+	if v, _, _ := d.ReadVersioned(7); v != 0 {
 		t.Fatalf("aborted write visible: %d", v)
 	}
 	if d.Stats().Aborts != 1 {
@@ -146,7 +146,7 @@ func TestApplyWriteSetExactlyOnce(t *testing.T) {
 	if err != nil || applied {
 		t.Fatalf("second apply = %v, %v; want skipped", applied, err)
 	}
-	if d.Version(1) != 1 || d.Version(2) != 1 {
+	if versionOf(d, 1) != 1 || versionOf(d, 2) != 1 {
 		t.Fatal("duplicate apply bumped versions twice")
 	}
 	st := d.Stats()
@@ -186,7 +186,7 @@ func TestCrashLosesUnsyncedCommits(t *testing.T) {
 	if err := d.CrashAndRecover(); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ReadCommitted(3); v != 0 {
+	if v, _, _ := d.ReadVersioned(3); v != 0 {
 		t.Fatalf("unsynced commit survived crash: %d", v)
 	}
 	if d.Applied(txn.ID()) {
@@ -207,18 +207,18 @@ func TestCrashKeepsSyncedCommits(t *testing.T) {
 	if err := d.CrashAndRecover(); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ReadCommitted(3); v != 33 {
+	if v, _, _ := d.ReadVersioned(3); v != 33 {
 		t.Fatalf("synced commit lost: item3=%d", v)
 	}
-	if v, _, _ := d.ReadCommitted(4); v != 44 {
+	if v, _, _ := d.ReadVersioned(4); v != 44 {
 		t.Fatalf("synced commit lost: item4=%d", v)
 	}
 	if !d.Applied(txn.ID()) || !d.Applied(txn2.ID()) {
 		t.Fatal("applied set not recovered")
 	}
 	// Versions are rebuilt deterministically.
-	if d.Version(3) != 1 || d.Version(4) != 1 {
-		t.Fatalf("versions after recovery = %d/%d", d.Version(3), d.Version(4))
+	if versionOf(d, 3) != 1 || versionOf(d, 4) != 1 {
+		t.Fatalf("versions after recovery = %d/%d", versionOf(d, 3), versionOf(d, 4))
 	}
 }
 
@@ -233,7 +233,7 @@ func TestAsyncCommitFlushMakesDurable(t *testing.T) {
 	if err := d.CrashAndRecover(); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ReadCommitted(9); v != 90 {
+	if v, _, _ := d.ReadVersioned(9); v != 90 {
 		t.Fatal("flushed commit lost by crash")
 	}
 }
@@ -282,7 +282,7 @@ func TestFileBackedDurabilityAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d2.Close()
-	if v, _, _ := d2.ReadCommitted(1); v != 111 {
+	if v, _, _ := d2.ReadVersioned(1); v != 111 {
 		t.Fatalf("value after reopen = %d", v)
 	}
 	if !d2.Applied(txn.ID()) {
@@ -297,7 +297,7 @@ func TestStateTransferHelpers(t *testing.T) {
 
 	dst := openTestDB(t, SyncOnCommit)
 	dst.RestoreState(src.SnapshotState(), src.AppliedTxns())
-	if v, _, _ := dst.ReadCommitted(1); v != 10 {
+	if v, _, _ := dst.ReadVersioned(1); v != 10 {
 		t.Fatal("state transfer did not copy values")
 	}
 	if !dst.Applied(1) || !dst.Applied(2) {
@@ -358,7 +358,7 @@ func TestConcurrentLocalTransactions(t *testing.T) {
 	// sum of final values equals the number of committed increments.
 	var sum int64
 	for i := 0; i < 10; i++ {
-		v, _, _ := d.ReadCommitted(i)
+		v, _, _ := d.ReadVersioned(i)
 		sum += v
 	}
 	var n int64
@@ -421,7 +421,7 @@ func TestQuickRecoveryPreservesCommitted(t *testing.T) {
 			return false
 		}
 		for item, value := range want {
-			got, _, err := d.ReadCommitted(item)
+			got, _, err := d.ReadVersioned(item)
 			if err != nil || got != value {
 				return false
 			}
@@ -431,4 +431,11 @@ func TestQuickRecoveryPreservesCommitted(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// versionOf reads the committed certification version of an item through the
+// atomic versioned-read API.
+func versionOf(d *DB, item int) uint64 {
+	_, ver, _ := d.ReadVersioned(item)
+	return ver
 }

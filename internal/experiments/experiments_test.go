@@ -254,3 +254,33 @@ func TestTechniqueComparisonRunsAllThreeTechniques(t *testing.T) {
 	}
 	t.Log("\n" + FormatTechniqueComparison(results))
 }
+
+func TestTechniqueComparisonReadMixSplitsClasses(t *testing.T) {
+	results, err := RunTechniqueComparison(TechniqueComparisonConfig{
+		Replicas:      3,
+		Items:         1024,
+		Clients:       2,
+		TxnsPerClient: 30,
+		ReadFraction:  0.7,
+		QueryKeys:     3,
+		DiskSyncDelay: 100 * time.Microsecond,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Queries == 0 || r.Updates == 0 {
+			t.Fatalf("%v: class counts query=%d update=%d, want both classes", r.Technique, r.Queries, r.Updates)
+		}
+		if r.QueryBroadcasts != 0 {
+			t.Fatalf("%v: %d broadcasts attributed to read-only transactions, want 0", r.Technique, r.QueryBroadcasts)
+		}
+		if r.QueryMeanMs <= 0 || r.UpdateMeanMs <= 0 {
+			t.Fatalf("%v: per-class response times missing: %+v", r.Technique, r)
+		}
+		if r.Technique != core.TechLazyPrimary && r.MsgsPerUpdate <= 0 {
+			t.Fatalf("%v: msgs-per-update = %v, want > 0", r.Technique, r.MsgsPerUpdate)
+		}
+	}
+}

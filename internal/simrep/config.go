@@ -27,6 +27,14 @@ type Config struct {
 	MinOps    int
 	MaxOps    int
 	WriteProb float64
+	// ReadFraction is the fraction of transactions that are pure read-only
+	// queries (they terminate at their delegate with no broadcast — the
+	// query-vs-update workload axis).  Zero reproduces the Table 4 mix.
+	ReadFraction float64
+	// QueryMinOps/QueryMaxOps bound the keys-per-query of the read-only
+	// transactions generated via ReadFraction (both zero: MinOps/MaxOps).
+	QueryMinOps int
+	QueryMaxOps int
 	// BufferHitRatio is the probability that an operation finds its page in
 	// the buffer and needs no disk access (Table 4: 0.2).
 	BufferHitRatio float64
@@ -100,6 +108,12 @@ func (c Config) Validate() error {
 	if c.WriteProb < 0 || c.WriteProb > 1 || c.BufferHitRatio < 0 || c.BufferHitRatio > 1 {
 		return fmt.Errorf("simrep: probabilities must be in [0,1]")
 	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		return fmt.Errorf("simrep: read fraction must be in [0,1]")
+	}
+	if (c.QueryMinOps != 0 || c.QueryMaxOps != 0) && (c.QueryMinOps < 1 || c.QueryMaxOps < c.QueryMinOps) {
+		return fmt.Errorf("simrep: invalid query op bounds [%d,%d]", c.QueryMinOps, c.QueryMaxOps)
+	}
 	if c.DiskAccessMin <= 0 || c.DiskAccessMax < c.DiskAccessMin {
 		return fmt.Errorf("simrep: invalid disk access times")
 	}
@@ -129,11 +143,18 @@ type Result struct {
 	Completed uint64
 	Committed uint64
 	Aborted   uint64
+	// Queries counts the completed read-only transactions (included in
+	// Completed and Committed; they execute locally and never abort).
+	Queries uint64
 	// ResponseMeanMs / ResponseP95Ms are response-time statistics in
 	// milliseconds (committed and aborted transactions alike, as observed by
 	// the client).
 	ResponseMeanMs float64
 	ResponseP95Ms  float64
+	// QueryMeanMs / UpdateMeanMs split the mean response time by transaction
+	// class (zero when the class did not occur).
+	QueryMeanMs  float64
+	UpdateMeanMs float64
 	// AbortRate is Aborted / Completed.
 	AbortRate float64
 	// ThroughputTPS is the measured completion rate.

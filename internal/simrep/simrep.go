@@ -78,9 +78,12 @@ type simulation struct {
 	genEnd    time.Duration
 
 	responses *stats.Sample
+	queryResp *stats.Sample
+	updResp   *stats.Sample
 	completed uint64
 	committed uint64
 	aborted   uint64
+	queries   uint64
 	lastDone  time.Duration
 }
 
@@ -94,14 +97,19 @@ func newSimulation(cfg Config, level core.SafetyLevel, loadTPS float64) *simulat
 		network:  sim.NewResource(eng, "lan", 1),
 		versions: make([]uint64, cfg.Items),
 		gen: workload.NewGenerator(workload.Config{
-			Items:     cfg.Items,
-			MinOps:    cfg.MinOps,
-			MaxOps:    cfg.MaxOps,
-			WriteProb: cfg.WriteProb,
+			Items:        cfg.Items,
+			MinOps:       cfg.MinOps,
+			MaxOps:       cfg.MaxOps,
+			WriteProb:    cfg.WriteProb,
+			ReadFraction: cfg.ReadFraction,
+			QueryMinOps:  cfg.QueryMinOps,
+			QueryMaxOps:  cfg.QueryMaxOps,
 		}, cfg.Seed),
 		warmupEnd: time.Duration(float64(cfg.Duration) * cfg.WarmupFraction),
 		genEnd:    cfg.Duration,
 		responses: stats.NewSample(),
+		queryResp: stats.NewSample(),
+		updResp:   stats.NewSample(),
 
 		batchSize:  cfg.BatchSize,
 		batchDelay: cfg.BatchDelay,
@@ -549,6 +557,12 @@ func (s *simulation) record(now time.Duration, t *simTxn, committed bool) {
 		s.aborted++
 	}
 	s.responses.AddDuration(now - t.start)
+	if len(t.writeOps) == 0 {
+		s.queries++
+		s.queryResp.AddDuration(now - t.start)
+	} else {
+		s.updResp.AddDuration(now - t.start)
+	}
 	if now > s.lastDone {
 		s.lastDone = now
 	}
@@ -562,8 +576,11 @@ func (s *simulation) result() Result {
 		Completed:      s.completed,
 		Committed:      s.committed,
 		Aborted:        s.aborted,
+		Queries:        s.queries,
 		ResponseMeanMs: s.responses.Mean(),
 		ResponseP95Ms:  s.responses.Percentile(95),
+		QueryMeanMs:    s.queryResp.Mean(),
+		UpdateMeanMs:   s.updResp.Mean(),
 	}
 	if s.completed > 0 {
 		r.AbortRate = float64(s.aborted) / float64(s.completed)

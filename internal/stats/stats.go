@@ -253,3 +253,57 @@ func (t *Throughput) PerSecond() float64 {
 	}
 	return float64(t.completed) / window.Seconds()
 }
+
+// Breakdown groups observations by transaction class (typically "query" vs
+// "update"), keeping one Sample and one completion counter per class, so
+// per-class latency percentiles fall out of the same toolkit as the overall
+// ones.  It is not safe for concurrent use; collect under the caller's lock
+// like a plain Sample.
+type Breakdown struct {
+	classes map[string]*Sample
+	order   []string
+}
+
+// NewBreakdown returns an empty per-class collector.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{classes: make(map[string]*Sample)}
+}
+
+// Sample returns the sample of the given class, creating it on first use.
+func (b *Breakdown) Sample(class string) *Sample {
+	s, ok := b.classes[class]
+	if !ok {
+		s = NewSample()
+		b.classes[class] = s
+		b.order = append(b.order, class)
+	}
+	return s
+}
+
+// Classes returns the class names in first-observation order.
+func (b *Breakdown) Classes() []string {
+	out := make([]string, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// N returns the total number of observations across classes.
+func (b *Breakdown) N() int {
+	n := 0
+	for _, s := range b.classes {
+		n += s.N()
+	}
+	return n
+}
+
+// String renders one summary line per class.
+func (b *Breakdown) String() string {
+	out := ""
+	for _, class := range b.order {
+		if out != "" {
+			out += "\n"
+		}
+		out += fmt.Sprintf("%-8s %s", class, b.classes[class].String())
+	}
+	return out
+}

@@ -85,8 +85,8 @@ func TestPercentileProperties(t *testing.T) {
 			}
 			s.Add(v)
 		}
-		p1 := float64(a%101)
-		p2 := float64(b%101)
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
 		if p1 > p2 {
 			p1, p2 = p2, p1
 		}
@@ -165,5 +165,25 @@ func TestThroughput(t *testing.T) {
 	}
 	if got := tp.PerSecond(); math.Abs(got-10) > 1e-9 {
 		t.Fatalf("rate = %v, want 10/s", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Sample("query").Add(1)
+	b.Sample("query").Add(3)
+	b.Sample("update").Add(10)
+	if got := b.Sample("query").Mean(); got != 2 {
+		t.Fatalf("query mean = %v", got)
+	}
+	if got := b.N(); got != 3 {
+		t.Fatalf("N = %d", got)
+	}
+	classes := b.Classes()
+	if len(classes) != 2 || classes[0] != "query" || classes[1] != "update" {
+		t.Fatalf("classes = %v", classes)
+	}
+	if b.String() == "" {
+		t.Fatal("empty String")
 	}
 }

@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapRepeatableReads(t *testing.T) {
+	s := NewStore(10)
+	if err := s.ApplyWriteSet(WriteSet{1: 10, 2: 20}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.AcquireSnap()
+	defer snap.Release()
+
+	if v, ver, err := snap.Read(1); err != nil || v != 10 || ver != 1 {
+		t.Fatalf("snap read item 1 = %d (v%d), %v", v, ver, err)
+	}
+	// Overwrite after the snapshot: the snapshot must keep seeing the old
+	// version, the store the new one.
+	if err := s.ApplyWriteSet(WriteSet{1: 11, 3: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := snap.Read(1); v != 10 {
+		t.Fatalf("snap saw overwrite: %d", v)
+	}
+	if v, _, _ := snap.Read(3); v != 0 {
+		t.Fatalf("snap saw item written after acquisition: %d", v)
+	}
+	if v, _, _ := s.Read(1); v != 11 {
+		t.Fatalf("store read = %d, want 11", v)
+	}
+	// A second read of the same item returns the same value (repeatable).
+	if v, _, _ := snap.Read(1); v != 10 {
+		t.Fatal("snap read not repeatable")
+	}
+}
+
+func TestSnapIgnoresHalfInstalledTransactions(t *testing.T) {
+	s := NewStore(8)
+	// Reserve a sequence and install only one of two writes: the visible
+	// prefix must not advance, so a snapshot taken now sees neither write.
+	seq := s.beginInstall()
+	s.writeOne(1, 100, seq)
+
+	snap := s.AcquireSnap()
+	if v, _, _ := snap.Read(1); v != 0 {
+		t.Fatalf("snapshot saw a write of a half-installed transaction: %d", v)
+	}
+	s.writeOne(2, 200, seq)
+	s.endInstall(seq)
+	// Still invisible to the old snapshot, visible to a fresh one.
+	if v, _, _ := snap.Read(2); v != 0 {
+		t.Fatalf("old snapshot saw post-acquisition commit: %d", v)
+	}
+	snap.Release()
+	fresh := s.AcquireSnap()
+	defer fresh.Release()
+	if v, _, _ := fresh.Read(1); v != 100 {
+		t.Fatalf("fresh snapshot missed committed write: %d", v)
+	}
+}
+
+func TestSnapOutOfOrderInstallCompletion(t *testing.T) {
+	s := NewStore(8)
+	a := s.beginInstall() // earlier sequence
+	b := s.beginInstall() // later sequence, completes first
+	s.writeOne(2, 2, b)
+	s.endInstall(b)
+	// b is installed but a (an earlier sequence) is not: the prefix is not
+	// gap-free, so nothing is visible yet.
+	snap := s.AcquireSnap()
+	if v, _, _ := snap.Read(2); v != 0 {
+		t.Fatalf("snapshot saw commit beyond a sequence gap: %d", v)
+	}
+	snap.Release()
+	s.writeOne(1, 1, a)
+	s.endInstall(a)
+	snap = s.AcquireSnap()
+	defer snap.Release()
+	if v, _, _ := snap.Read(1); v != 1 {
+		t.Fatalf("item 1 = %d after gap closed", v)
+	}
+	if v, _, _ := snap.Read(2); v != 2 {
+		t.Fatalf("item 2 = %d after gap closed", v)
+	}
+}
+
+func TestGCNeverPrunesLiveSnapshotVersions(t *testing.T) {
+	s := NewStore(4)
+	if err := s.ApplyWriteSet(WriteSet{0: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.AcquireSnap()
+	defer snap.Release()
+
+	// A storm of overwrites with a live snapshot pinned at version 1.
+	for i := 2; i <= 200; i++ {
+		if err := s.ApplyWriteSet(WriteSet{0: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.GC()
+	if v, ver, err := snap.Read(0); err != nil || v != 1 || ver != 1 {
+		t.Fatalf("GC pruned the snapshot's version: got %d (v%d), %v", v, ver, err)
+	}
+	if v, _, _ := s.Read(0); v != 200 {
+		t.Fatal("latest version lost")
+	}
+	// The chain must retain the pinned version plus the tail, but must have
+	// pruned the middle (it cannot hold all 200 versions).
+	if n := s.ChainLen(0); n >= 200 || n < 2 {
+		t.Fatalf("chain length = %d, want pruned but >= 2", n)
+	}
+
+	// After release the chain collapses to (at most a couple of) versions.
+	snap.Release()
+	if pruned := s.GC(); pruned == 0 {
+		t.Fatal("release did not unpin any version")
+	}
+	if n := s.ChainLen(0); n != 1 {
+		t.Fatalf("chain length after release+GC = %d, want 1", n)
+	}
+	if v, _, _ := s.Read(0); v != 200 {
+		t.Fatal("GC pruned the newest version")
+	}
+}
+
+func TestGCWatermarkTracksOldestSnapshot(t *testing.T) {
+	s := NewStore(2)
+	_ = s.ApplyWriteSet(WriteSet{0: 1})
+	old := s.AcquireSnap()
+	_ = s.ApplyWriteSet(WriteSet{0: 2})
+	young := s.AcquireSnap()
+	_ = s.ApplyWriteSet(WriteSet{0: 3})
+
+	s.GC()
+	if v, _, _ := old.Read(0); v != 1 {
+		t.Fatalf("old snapshot = %d, want 1", v)
+	}
+	if v, _, _ := young.Read(0); v != 2 {
+		t.Fatalf("young snapshot = %d, want 2", v)
+	}
+
+	// Releasing the old snapshot allows its version (only) to be pruned.
+	old.Release()
+	s.GC()
+	if v, _, _ := young.Read(0); v != 2 {
+		t.Fatal("pruning the old snapshot's version hit the young snapshot")
+	}
+	young.Release()
+	s.GC()
+	if n := s.ChainLen(0); n != 1 {
+		t.Fatalf("chain length = %d after all snapshots released", n)
+	}
+}
+
+func TestSnapConcurrentWriteStorm(t *testing.T) {
+	s := NewStore(64)
+	for i := 0; i < 64; i++ {
+		if _, err := s.Write(i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.ApplyWriteSet(WriteSet{(w*13 + i) % 64: int64(1000 + i)})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for k := 0; k < 50; k++ {
+				snap := s.AcquireSnap()
+				// Within one snapshot every double-read must agree.
+				for i := 0; i < 64; i++ {
+					v1, ver1, err1 := snap.Read(i)
+					v2, ver2, err2 := snap.Read(i)
+					if err1 != nil || err2 != nil || v1 != v2 || ver1 != ver2 {
+						t.Errorf("non-repeatable snapshot read: item %d %d/%d v%d/v%d (%v/%v)",
+							i, v1, v2, ver1, ver2, err1, err2)
+						snap.Release()
+						return
+					}
+				}
+				snap.Release()
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if got := s.LiveSnaps(); got != 0 {
+		t.Fatalf("live snapshots leaked: %d", got)
+	}
+}
+
+func TestRestoreCollapsesChainsAndKeepsVersions(t *testing.T) {
+	a := NewStore(4)
+	_ = a.ApplyWriteSet(WriteSet{0: 1, 1: 10})
+	_ = a.ApplyWriteSet(WriteSet{0: 2})
+	b := NewStore(4)
+	b.Restore(a.Snapshot())
+	if !a.Equal(b) {
+		t.Fatal("restore lost state")
+	}
+	if v, ver, _ := b.Read(0); v != 2 || ver != 2 {
+		t.Fatalf("restored item 0 = %d (v%d)", v, ver)
+	}
+	// Restored chains are single-version.
+	if n := b.ChainLen(0); n != 1 {
+		t.Fatalf("restored chain length = %d", n)
+	}
+	// New snapshots on the restored store see the restored state.
+	snap := b.AcquireSnap()
+	defer snap.Release()
+	if v, _, _ := snap.Read(1); v != 10 {
+		t.Fatalf("snapshot on restored store = %d", v)
+	}
+}

@@ -1,9 +1,13 @@
 // Package storage implements the versioned item store used by the local
 // database component.  The store is a fixed-size array of items (the paper's
-// database has 10'000 items, Table 4).  Each item carries a version counter
-// used by the certification step of the replicated database (first-updater
-// wins), a page mapping (items are clustered into pages), and an LRU buffer
-// pool that models which pages are memory-resident.
+// database has 10'000 items, Table 4).  Each item keeps a short multi-version
+// chain: every committed write appends a new version stamped with the
+// store-wide apply sequence of its transaction (monotonic per replica) and
+// with the item's certification version counter (first-updater wins).  The
+// newest version is the committed state seen by the 2PL write path; read-only
+// snapshots (Snap) read the newest version at or below their snapshot
+// sequence without taking any item locks and never abort.  A watermark-driven
+// garbage collector prunes chain prefixes no live snapshot can see.
 //
 // The store is striped: items are partitioned over a fixed set of RWMutexes
 // so that write sets touching disjoint stripes install concurrently.  The
@@ -16,12 +20,14 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrItemOutOfRange is returned when an item index does not exist.
 var ErrItemOutOfRange = fmt.Errorf("storage: item out of range")
 
-// Item is the value and version of a single database item.
+// Item is the newest committed value and version of a single database item
+// (the representation used by state-transfer checkpoints).
 type Item struct {
 	Value   int64
 	Version uint64
@@ -35,13 +41,54 @@ type Write struct {
 	Value int64
 }
 
+// version is one entry of an item's multi-version chain.
+type version struct {
+	// seq is the store-wide apply sequence of the transaction that installed
+	// this version; a snapshot at sequence S sees the newest version with
+	// seq <= S.
+	seq uint64
+	// ver is the item's certification version counter after this write.
+	ver   uint64
+	value int64
+}
+
+// chain is the version history of one item, oldest first.  An empty chain is
+// the implicit initial version {value 0, ver 0, seq 0}.
+type chain struct {
+	versions []version
+}
+
 // numStripes is the number of lock stripes (power of two).
 const numStripes = 64
 
-// Store is a concurrency-safe, versioned, in-memory item store.
+// Store is a concurrency-safe, multi-version, in-memory item store.
 type Store struct {
 	stripes [numStripes]sync.RWMutex
-	items   []Item
+	items   []chain
+
+	// seqMu guards the install-sequence bookkeeping.  Install sequences are
+	// reserved per transaction (beginInstall) and may complete out of order
+	// when disjoint write sets install in parallel; visible only advances
+	// over a gap-free prefix, so a snapshot at sequence S observes every
+	// transaction with sequence <= S in full — writes of a half-installed
+	// transaction are never visible to snapshots.
+	seqMu   sync.Mutex
+	nextSeq uint64
+	done    map[uint64]struct{}
+	// visible is the watermark of the gap-free installed prefix; updates
+	// happen under seqMu, reads are lock-free.
+	visible atomic.Uint64
+
+	// snapMu guards the live-snapshot registry (seq -> refcount).
+	snapMu sync.Mutex
+	snaps  map[uint64]int
+	// pins caches the sorted live snapshot sequences ([]uint64) for the
+	// lock-free garbage-collection check on the install hot path; it is
+	// rebuilt under snapMu whenever the registry changes.
+	pins atomic.Value
+
+	// pruned counts versions removed by the garbage collector.
+	pruned atomic.Uint64
 }
 
 // NewStore creates a store with n items, all initialised to value 0,
@@ -50,7 +97,11 @@ func NewStore(n int) *Store {
 	if n < 1 {
 		n = 1
 	}
-	return &Store{items: make([]Item, n)}
+	return &Store{
+		items: make([]chain, n),
+		done:  make(map[uint64]struct{}),
+		snaps: make(map[uint64]int),
+	}
 }
 
 func (s *Store) stripe(i int) *sync.RWMutex {
@@ -80,10 +131,81 @@ func (s *Store) NumItems() int {
 	return n
 }
 
-// Read returns the current value and version of item i.  The bounds check
-// happens under the stripe lock: Restore (which holds every stripe) may
+// --- install sequencing ---
+
+// beginInstall reserves the next apply sequence for one transaction's writes.
+func (s *Store) beginInstall() uint64 {
+	s.seqMu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.seqMu.Unlock()
+	return seq
+}
+
+// endInstall marks a reserved sequence fully installed and advances the
+// visible prefix over completed sequences.
+func (s *Store) endInstall(seq uint64) {
+	s.seqMu.Lock()
+	s.done[seq] = struct{}{}
+	vis := s.visible.Load()
+	for {
+		if _, ok := s.done[vis+1]; !ok {
+			break
+		}
+		delete(s.done, vis+1)
+		vis++
+	}
+	s.visible.Store(vis)
+	s.seqMu.Unlock()
+}
+
+// VisibleSeq returns the newest snapshot sequence: every transaction with an
+// apply sequence at or below it is fully installed.
+func (s *Store) VisibleSeq() uint64 { return s.visible.Load() }
+
+// addPinLocked registers one snapshot sequence (snapMu held) and republishes
+// the sorted pin list only when the sequence set actually changed.  Acquire
+// sequences are monotonic (each is the visible watermark at acquire time), so
+// a new sequence always appends at the tail — no sort needed.
+func (s *Store) addPinLocked(seq uint64) {
+	s.snaps[seq]++
+	if s.snaps[seq] > 1 {
+		return // set unchanged, another snapshot already pins this sequence
+	}
+	old, _ := s.pins.Load().([]uint64)
+	pins := make([]uint64, len(old), len(old)+1)
+	copy(pins, old)
+	pins = append(pins, seq)
+	// Defensive: keep sortedness even if a smaller sequence ever appears.
+	for i := len(pins) - 1; i > 0 && pins[i] < pins[i-1]; i-- {
+		pins[i], pins[i-1] = pins[i-1], pins[i]
+	}
+	s.pins.Store(pins)
+}
+
+// dropPinLocked deregisters one snapshot sequence (snapMu held).
+func (s *Store) dropPinLocked(seq uint64) {
+	if n := s.snaps[seq]; n > 1 {
+		s.snaps[seq] = n - 1
+		return
+	}
+	delete(s.snaps, seq)
+	old, _ := s.pins.Load().([]uint64)
+	pins := make([]uint64, 0, len(old))
+	for _, p := range old {
+		if p != seq {
+			pins = append(pins, p)
+		}
+	}
+	s.pins.Store(pins)
+}
+
+// --- reads ---
+
+// Read returns the newest committed value and version of item i.  The bounds
+// check happens under the stripe lock: Restore (which holds every stripe) may
 // replace the items slice, so the slice header must not be read lock-free.
-func (s *Store) Read(i int) (value int64, version uint64, err error) {
+func (s *Store) Read(i int) (value int64, ver uint64, err error) {
 	if i < 0 {
 		return 0, 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 	}
@@ -93,53 +215,191 @@ func (s *Store) Read(i int) (value int64, version uint64, err error) {
 		mu.RUnlock()
 		return 0, 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 	}
-	it := s.items[i]
+	if vs := s.items[i].versions; len(vs) > 0 {
+		v := vs[len(vs)-1]
+		mu.RUnlock()
+		return v.value, v.ver, nil
+	}
 	mu.RUnlock()
-	return it.Value, it.Version, nil
+	return 0, 0, nil
 }
 
-// Version returns the current version of item i (0 if out of range).
+// ReadAt returns the value and version of item i as visible to a snapshot at
+// the given apply sequence: the newest version with seq <= at.  Versions the
+// snapshot cannot see are protected from GC only for sequences obtained from
+// a live Snap handle.
+func (s *Store) ReadAt(i int, at uint64) (value int64, ver uint64, err error) {
+	if i < 0 {
+		return 0, 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
+	}
+	mu := s.stripe(i)
+	mu.RLock()
+	if i >= len(s.items) {
+		mu.RUnlock()
+		return 0, 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
+	}
+	vs := s.items[i].versions
+	for k := len(vs) - 1; k >= 0; k-- {
+		if vs[k].seq <= at {
+			v := vs[k]
+			mu.RUnlock()
+			return v.value, v.ver, nil
+		}
+	}
+	mu.RUnlock()
+	// No version at or below the snapshot: the item still has its implicit
+	// initial state at that sequence.
+	return 0, 0, nil
+}
+
+// Version returns the newest committed version of item i (0 if out of range).
 func (s *Store) Version(i int) uint64 {
+	_, ver, err := s.Read(i)
+	if err != nil {
+		return 0
+	}
+	return ver
+}
+
+// ChainLen returns the current length of item i's version chain (0 if out of
+// range); it is a GC observability hook for tests and stats.
+func (s *Store) ChainLen(i int) int {
 	if i < 0 {
 		return 0
 	}
 	mu := s.stripe(i)
 	mu.RLock()
-	var v uint64
+	n := 0
 	if i < len(s.items) {
-		v = s.items[i].Version
+		n = len(s.items[i].versions)
 	}
 	mu.RUnlock()
-	return v
+	return n
 }
 
-// Write installs a new value for item i and bumps its version, returning the
-// new version.
+// PrunedVersions returns the cumulative number of versions removed by GC.
+func (s *Store) PrunedVersions() uint64 { return s.pruned.Load() }
+
+// --- writes ---
+
+// appendLocked appends a new version to item i's chain (stripe already held),
+// bumping the certification version counter, and opportunistically prunes the
+// versions no live or future snapshot can reach.
+func (s *Store) appendLocked(i int, value int64, seq uint64) {
+	c := &s.items[i]
+	var ver uint64
+	if n := len(c.versions); n > 0 {
+		ver = c.versions[n-1].ver
+	}
+	c.versions = append(c.versions, version{seq: seq, ver: ver + 1, value: value})
+	s.pruneChainLocked(c)
+}
+
+// pruneChainLocked removes every version of the chain that no reader can
+// reach (the item's stripe is held).  A version is reachable iff it is
+//
+//   - at or above the newest version with seq <= visible (what the latest
+//     state and every future snapshot read), or
+//   - the newest version with seq <= p for some live snapshot sequence p.
+//
+// Safety of the lock-free reads: visible is monotonic and is loaded BEFORE
+// the pin list.  A snapshot missing from the loaded pin list must have
+// registered after the list was published, which happened after our visible
+// load — so its sequence is >= our visible bound and its version lies in the
+// kept suffix.  A stale (larger) pin list only keeps more.
+func (s *Store) pruneChainLocked(c *chain) {
+	vs := c.versions
+	if len(vs) <= 1 {
+		return
+	}
+	vis := s.visible.Load()
+	// kbase is the newest version every future snapshot can reach; the whole
+	// suffix [kbase..] is kept.
+	kbase := -1
+	for k := len(vs) - 1; k >= 0; k-- {
+		if vs[k].seq <= vis {
+			kbase = k
+			break
+		}
+	}
+	if kbase <= 0 {
+		return
+	}
+	pins, _ := s.pins.Load().([]uint64)
+	// Merge walk: version k (< kbase) survives iff some pin p makes it the
+	// newest version <= p, i.e. vs[k].seq <= p < vs[k+1].seq.
+	w := 0
+	pi := 0
+	for k := 0; k < kbase; k++ {
+		for pi < len(pins) && pins[pi] < vs[k].seq {
+			pi++
+		}
+		if pi < len(pins) && pins[pi] < vs[k+1].seq {
+			vs[w] = vs[k]
+			w++
+		}
+	}
+	if w == kbase {
+		return
+	}
+	n := copy(vs[w:], vs[kbase:])
+	c.versions = vs[:w+n]
+	s.pruned.Add(uint64(kbase - w))
+}
+
+// GC sweeps every item chain once, returning the number of versions pruned by
+// the sweep.  Installs already prune the chains they touch; the sweep exists
+// for idle stores and for tests.
+func (s *Store) GC() uint64 {
+	before := s.pruned.Load()
+	n := s.NumItems()
+	for i := 0; i < n; i++ {
+		mu := s.stripe(i)
+		mu.Lock()
+		if i < len(s.items) {
+			s.pruneChainLocked(&s.items[i])
+		}
+		mu.Unlock()
+	}
+	return s.pruned.Load() - before
+}
+
+// Write installs a new value for item i as a single-item transaction and
+// bumps its version, returning the new version.  Like ApplyWriteSet,
+// concurrent writes to the SAME item must be ordered by the caller.
 func (s *Store) Write(i int, value int64) (uint64, error) {
 	if i < 0 {
 		return 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 	}
+	seq := s.beginInstall()
 	mu := s.stripe(i)
 	mu.Lock()
 	if i >= len(s.items) {
 		mu.Unlock()
+		s.endInstall(seq)
 		return 0, fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 	}
-	s.items[i].Value = value
-	s.items[i].Version++
-	v := s.items[i].Version
+	s.appendLocked(i, value, seq)
+	v := s.items[i].versions[len(s.items[i].versions)-1].ver
 	mu.Unlock()
+	s.endInstall(seq)
 	return v, nil
 }
 
 // WriteSet is the set of item updates installed by one transaction.
 type WriteSet map[int]int64
 
-// ApplyWriteSet installs all updates of ws and bumps the version of each
-// written item.  Updates to the same item by different write sets are
-// serialised by the item's stripe lock.  The write set is validated before
-// anything is installed, so a write set with an out-of-range item is
-// rejected without partial application.
+// ApplyWriteSet installs all updates of ws as one transaction, appending a
+// new version of each written item under a single apply sequence.  Write sets
+// touching a common item must be ordered by the CALLER (the database layer's
+// 2PL locks or the apply scheduler's conflict graph provide this): version
+// chains append in call order, and a same-item install racing between another
+// transaction's sequence reservation and its append would interleave the
+// chains' sequence order.  The stripe locks only serialise chain mutation
+// against concurrent readers and against installs of disjoint transactions
+// sharing a stripe.  The write set is validated before anything is installed,
+// so a write set with an out-of-range item is rejected without partial
+// application.
 func (s *Store) ApplyWriteSet(ws WriteSet) error {
 	n := s.NumItems()
 	for i := range ws {
@@ -147,19 +407,20 @@ func (s *Store) ApplyWriteSet(ws WriteSet) error {
 			return fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
 		}
 	}
+	seq := s.beginInstall()
 	for i, v := range ws {
-		if err := s.writeOne(i, v); err != nil {
-			return err
-		}
+		s.writeOne(i, v, seq)
 	}
+	s.endInstall(seq)
 	return nil
 }
 
 // ApplyWrites installs one transaction's write set in the slice
-// representation, bumping the version of each written item.  It is the
-// allocation-free install path used by the parallel apply scheduler; writes
-// must not contain duplicate items.  Validation-before-install matches
-// ApplyWriteSet.
+// representation, appending a new version of each written item under a single
+// apply sequence.  It is the install path used by the parallel apply
+// scheduler; writes must not contain duplicate items, and conflicting write
+// sets must be ordered by the caller (see ApplyWriteSet).
+// Validation-before-install matches ApplyWriteSet.
 func (s *Store) ApplyWrites(writes []Write) error {
 	n := s.NumItems()
 	for _, w := range writes {
@@ -167,71 +428,149 @@ func (s *Store) ApplyWrites(writes []Write) error {
 			return fmt.Errorf("%w: %d", ErrItemOutOfRange, w.Item)
 		}
 	}
+	seq := s.beginInstall()
 	for _, w := range writes {
-		if err := s.writeOne(w.Item, w.Value); err != nil {
-			return err
-		}
+		s.writeOne(w.Item, w.Value, seq)
 	}
+	s.endInstall(seq)
 	return nil
 }
 
-// writeOne installs a single update under its stripe lock, bounds-checking
-// inside the lock so a concurrent Restore cannot race the slice header.
-func (s *Store) writeOne(i int, v int64) error {
-	if i < 0 {
-		return fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
-	}
+// writeOne appends a single version under its stripe lock, bounds-checking
+// inside the lock so a concurrent Restore cannot race the slice header.  A
+// racing size-shrinking Restore makes the write a no-op; the write set was
+// validated against the pre-restore size.
+func (s *Store) writeOne(i int, v int64, seq uint64) {
 	mu := s.stripe(i)
 	mu.Lock()
-	if i >= len(s.items) {
-		mu.Unlock()
-		return fmt.Errorf("%w: %d", ErrItemOutOfRange, i)
+	if i >= 0 && i < len(s.items) {
+		s.appendLocked(i, v, seq)
 	}
-	s.items[i].Value = v
-	s.items[i].Version++
 	mu.Unlock()
-	return nil
 }
 
-// Snapshot returns a deep copy of the store contents, used for state transfer
-// when a recovering replica rejoins the group (checkpoint-based recovery in
-// the dynamic crash no-recovery model).
+// --- snapshots (read-only transactions) ---
+
+// Snap is a live read-only snapshot of the store: it reads the newest version
+// of each item at or below its sequence, takes no item locks, and never
+// aborts.  While a Snap is live the GC keeps every version it can see;
+// Release it when done.  A Snap does not survive whole-store Restore/Reset
+// (the crash model invalidates outstanding snapshots).
+type Snap struct {
+	s        *Store
+	seq      uint64
+	released bool
+}
+
+// AcquireSnap registers and returns a snapshot at the current visible
+// sequence.  The sequence read and the registry insertion happen atomically
+// under seqMu: an install that advances visible past the snapshot's sequence
+// must either run before the read or observe the registered pin.
+func (s *Store) AcquireSnap() *Snap {
+	snap := s.AcquireSnapVal()
+	return &snap
+}
+
+// AcquireSnapVal is AcquireSnap returning the handle by value, for callers
+// that embed it (the database's read-transaction hot path allocates once for
+// the transaction instead of twice).
+func (s *Store) AcquireSnapVal() Snap {
+	s.seqMu.Lock()
+	seq := s.visible.Load()
+	s.snapMu.Lock()
+	s.addPinLocked(seq)
+	s.snapMu.Unlock()
+	s.seqMu.Unlock()
+	return Snap{s: s, seq: seq}
+}
+
+// Seq returns the snapshot's apply sequence.
+func (p *Snap) Seq() uint64 { return p.seq }
+
+// Read returns the value and version of item i as of the snapshot.
+func (p *Snap) Read(i int) (int64, uint64, error) { return p.s.ReadAt(i, p.seq) }
+
+// Release deregisters the snapshot, allowing GC to prune the versions only it
+// could see.  Release is idempotent; like the reads, it must not be called
+// concurrently with other methods of the same Snap.
+func (p *Snap) Release() {
+	if p.released {
+		return
+	}
+	p.released = true
+	s := p.s
+	s.snapMu.Lock()
+	s.dropPinLocked(p.seq)
+	s.snapMu.Unlock()
+}
+
+// LiveSnaps returns the number of live (unreleased) snapshots.
+func (s *Store) LiveSnaps() int {
+	s.snapMu.Lock()
+	n := 0
+	for _, c := range s.snaps {
+		n += c
+	}
+	s.snapMu.Unlock()
+	return n
+}
+
+// --- whole-store operations (state transfer, crash model) ---
+
+// Snapshot returns a deep copy of the newest committed state, used for state
+// transfer when a recovering replica rejoins the group (checkpoint-based
+// recovery in the dynamic crash no-recovery model).
 func (s *Store) Snapshot() []Item {
 	s.lockAll()
 	defer s.unlockAll()
 	cp := make([]Item, len(s.items))
-	copy(cp, s.items)
+	for i := range s.items {
+		if vs := s.items[i].versions; len(vs) > 0 {
+			v := vs[len(vs)-1]
+			cp[i] = Item{Value: v.value, Version: v.ver}
+		}
+	}
 	return cp
 }
 
-// Restore replaces the store contents with the given snapshot.  When the
-// snapshot has the store's own size (the only case arising from state
-// transfer between equally-sized replicas) the copy happens in place; a
-// size-changing restore swaps the slice header, which is safe because every
-// reader performs its bounds check under a stripe lock and Restore holds all
-// stripes.
+// Restore replaces the store contents with the given snapshot: every item's
+// chain collapses to the single restored version, stamped with a fresh apply
+// sequence.  Outstanding Snaps are invalidated (their reads see the implicit
+// zero state below the restore point); the crash/state-transfer model never
+// keeps read-only transactions alive across a restore.
 func (s *Store) Restore(snapshot []Item) {
+	seq := s.beginInstall()
 	s.lockAll()
-	defer s.unlockAll()
-	if len(snapshot) == len(s.items) {
-		copy(s.items, snapshot)
-		return
+	if len(snapshot) != len(s.items) {
+		s.items = make([]chain, len(snapshot))
 	}
-	s.items = make([]Item, len(snapshot))
-	copy(s.items, snapshot)
-}
-
-// Reset sets every item back to value 0, version 0.
-func (s *Store) Reset() {
-	s.lockAll()
-	defer s.unlockAll()
 	for i := range s.items {
-		s.items[i] = Item{}
+		it := snapshot[i]
+		if it == (Item{}) {
+			s.items[i].versions = nil
+			continue
+		}
+		s.items[i].versions = append(s.items[i].versions[:0],
+			version{seq: seq, ver: it.Version, value: it.Value})
 	}
+	s.unlockAll()
+	s.endInstall(seq)
 }
 
-// Equal reports whether two stores hold identical values and versions.  It is
-// used by the consistency checks of the integration tests (one-copy
+// Reset sets every item back to value 0, version 0 and drops all version
+// history.
+func (s *Store) Reset() {
+	seq := s.beginInstall()
+	s.lockAll()
+	for i := range s.items {
+		s.items[i].versions = nil
+	}
+	s.unlockAll()
+	s.endInstall(seq)
+}
+
+// Equal reports whether two stores hold identical newest values and versions.
+// It is used by the consistency checks of the integration tests (one-copy
 // equivalence across replicas).
 func (s *Store) Equal(other *Store) bool {
 	if s == other {

@@ -91,6 +91,17 @@ type Config struct {
 	// for contention experiments).
 	HotSpotFraction float64
 	HotSpotProb     float64
+	// ReadFraction is the probability that a transaction is a pure read-only
+	// query (the paper's query-vs-update workload axis: queries execute
+	// locally at one replica with no group communication, updates ride the
+	// total order).  Zero reproduces the classic Table 4 mix, where
+	// transaction class is emergent from WriteProb alone.
+	ReadFraction float64
+	// QueryMinOps/QueryMaxOps bound the keys-per-query of read-only
+	// transactions generated via ReadFraction; both zero falls back to
+	// MinOps/MaxOps.
+	QueryMinOps int
+	QueryMaxOps int
 }
 
 // DefaultConfig returns the Table 4 workload parameters.
@@ -116,6 +127,14 @@ func (c Config) Validate() error {
 	}
 	if c.HotSpotFraction < 0 || c.HotSpotFraction > 1 || c.HotSpotProb < 0 || c.HotSpotProb > 1 {
 		return fmt.Errorf("workload: hot-spot parameters out of range")
+	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		return fmt.Errorf("workload: ReadFraction must be in [0,1], got %v", c.ReadFraction)
+	}
+	if c.QueryMinOps != 0 || c.QueryMaxOps != 0 {
+		if c.QueryMinOps <= 0 || c.QueryMaxOps < c.QueryMinOps {
+			return fmt.Errorf("workload: invalid query op bounds [%d,%d]", c.QueryMinOps, c.QueryMaxOps)
+		}
 	}
 	return nil
 }
@@ -144,19 +163,26 @@ func NewGenerator(cfg Config, seed int64) *Generator {
 func (g *Generator) Config() Config { return g.cfg }
 
 // Next produces the next transaction for the given client and delegate
-// server.
+// server.  With probability ReadFraction it is a pure query (QueryMinOps to
+// QueryMaxOps read operations); otherwise the classic mix, each operation a
+// write with probability WriteProb.
 func (g *Generator) Next(client, delegate int) Transaction {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	n := g.cfg.MinOps
-	if g.cfg.MaxOps > g.cfg.MinOps {
-		n += g.rng.Intn(g.cfg.MaxOps - g.cfg.MinOps + 1)
+	query := g.cfg.ReadFraction > 0 && g.rng.Float64() < g.cfg.ReadFraction
+	lo, hi := g.cfg.MinOps, g.cfg.MaxOps
+	if query && g.cfg.QueryMinOps > 0 {
+		lo, hi = g.cfg.QueryMinOps, g.cfg.QueryMaxOps
+	}
+	n := lo
+	if hi > lo {
+		n += g.rng.Intn(hi - lo + 1)
 	}
 	ops := make([]Op, n)
 	for i := range ops {
 		ops[i] = Op{
 			Item:  g.pickItem(),
-			Write: g.rng.Float64() < g.cfg.WriteProb,
+			Write: !query && g.rng.Float64() < g.cfg.WriteProb,
 			Value: g.rng.Int63(),
 		}
 	}

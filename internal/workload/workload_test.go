@@ -173,3 +173,53 @@ func TestQuickGeneratorAlwaysValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReadMixKnob(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadFraction = 0.9
+	cfg.QueryMinOps = 2
+	cfg.QueryMaxOps = 4
+	g := NewGenerator(cfg, 42)
+	queries, updates := 0, 0
+	for i := 0; i < 2000; i++ {
+		txn := g.Next(0, 0)
+		if txn.ReadOnly() {
+			queries++
+			if n := len(txn.Ops); n < 2 || n > 4 {
+				t.Fatalf("query length %d outside [2,4]", n)
+			}
+		} else {
+			updates++
+			if n := len(txn.Ops); n < 10 || n > 20 {
+				t.Fatalf("update length %d outside [10,20]", n)
+			}
+		}
+	}
+	frac := float64(queries) / float64(queries+updates)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction = %v, want ~0.9", frac)
+	}
+	// Query bounds fall back to MinOps/MaxOps when unset.
+	cfg.QueryMinOps, cfg.QueryMaxOps = 0, 0
+	g = NewGenerator(cfg, 42)
+	for i := 0; i < 100; i++ {
+		txn := g.Next(0, 0)
+		if n := len(txn.Ops); n < 10 || n > 20 {
+			t.Fatalf("fallback query length %d outside [10,20]", n)
+		}
+	}
+}
+
+func TestReadMixValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadFraction = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("ReadFraction > 1 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.QueryMinOps = 5
+	cfg.QueryMaxOps = 2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("inverted query bounds accepted")
+	}
+}
