@@ -40,6 +40,7 @@ func TestImportBoundary(t *testing.T) {
 		"gsdb/stats":       {"groupsafe/internal/stats"},
 		"gsdb/experiments": {"groupsafe/internal/experiments"},
 		"gsdb/sim":         {"groupsafe/internal/simrep"},
+		"gsdb/fuzz":        {"groupsafe/internal/sim/fuzz"},
 	}
 	for pkgDir, whitelist := range allowed {
 		walkGoFiles(t, filepath.Join(root, pkgDir), func(file string, imports []string) {

@@ -1,0 +1,73 @@
+// Package fuzz is the public face of the deterministic fault-injection
+// scenario fuzzer (internal/sim/fuzz): seed-driven adversary schedules over a
+// simulated cluster, a post-run invariant suite for the paper's safety
+// claims, a ddmin schedule shrinker, and a replayable trace codec.  The
+// gsdb-fuzz command is a thin shell over this package.
+package fuzz
+
+import (
+	internal "groupsafe/internal/sim/fuzz"
+)
+
+// Core types, re-exported by alias so gsdb-fuzz and external harnesses can
+// use them without reaching into internal/.
+type (
+	// Config parameterises one fuzz run; the zero Config plus a Seed is the
+	// common case (everything else derives from the seed).
+	Config = internal.Config
+	// Scenario is a resolved config plus the adversary schedule.
+	Scenario = internal.Scenario
+	// Step is one entry of the adversary schedule.
+	Step = internal.Step
+	// StepKind enumerates the schedule's step types.
+	StepKind = internal.StepKind
+	// RunRecord is everything a finished run recorded for the checkers.
+	RunRecord = internal.RunRecord
+	// TxnRec is the record of one submitted transaction.
+	TxnRec = internal.TxnRec
+	// CrashEvent records one injected crash with its durable frontier.
+	CrashEvent = internal.CrashEvent
+	// FaultSummary lists the destructive fault classes a schedule contains.
+	FaultSummary = internal.FaultSummary
+	// Violation is one invariant failure.
+	Violation = internal.Violation
+	// ShrinkResult is the outcome of a schedule minimisation.
+	ShrinkResult = internal.ShrinkResult
+)
+
+// TraceExt is the corpus trace file extension.
+const TraceExt = internal.TraceExt
+
+// Profiles lists the supported adversary profiles.
+func Profiles() []string { return internal.Profiles() }
+
+// Generate expands a config into its scenario (a pure function of the
+// resolved config).
+func Generate(cfg Config) (*Scenario, error) { return internal.Generate(cfg) }
+
+// Run executes a scenario against a real in-process cluster.
+func Run(sc *Scenario) (*RunRecord, error) { return internal.Run(sc) }
+
+// CheckAll runs the invariant suite over a finished run.
+func CheckAll(rec *RunRecord) []Violation { return internal.CheckAll(rec) }
+
+// Shrink minimises a failing schedule while the invariant suite keeps
+// failing.
+func Shrink(sc *Scenario, violations []Violation, maxRuns int) *ShrinkResult {
+	return internal.Shrink(sc, violations, maxRuns)
+}
+
+// ReportViolations renders a violation list for logs.
+func ReportViolations(vs []Violation) string { return internal.ReportViolations(vs) }
+
+// ParseScenario parses a marshalled trace.
+func ParseScenario(data []byte) (*Scenario, error) { return internal.ParseScenario(data) }
+
+// ReadTrace parses the trace file at path.
+func ReadTrace(path string) (*Scenario, error) { return internal.ReadTrace(path) }
+
+// WriteTrace writes a scenario's canonical trace to path.
+func WriteTrace(path string, sc *Scenario) error { return internal.WriteTrace(path, sc) }
+
+// CorpusTraces lists the trace files under dir.
+func CorpusTraces(dir string) ([]string, error) { return internal.CorpusTraces(dir) }

@@ -37,6 +37,9 @@ type ClusterConfig struct {
 	// LazyPropagationDelay postpones lazy write-set propagation (failure
 	// injection experiments).
 	LazyPropagationDelay time.Duration
+	// RecordApplied turns on the per-replica applied-transaction log (see
+	// ReplicaConfig.RecordApplied and Replica.AppliedLog).
+	RecordApplied bool
 	// StartDetectors runs heartbeat failure detectors on every replica.
 	StartDetectors bool
 	// Detector tunes the failure detectors.
@@ -95,6 +98,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			DiskSyncDelay:        cfg.DiskSyncDelay,
 			ExecTimeout:          cfg.ExecTimeout,
 			LazyPropagationDelay: cfg.LazyPropagationDelay,
+			RecordApplied:        cfg.RecordApplied,
 			StartDetector:        cfg.StartDetectors,
 			Detector:             cfg.Detector,
 			Pipeline:             cfg.Pipeline,
@@ -198,19 +202,27 @@ func (c *Cluster) Recover(i int) (int, error) {
 }
 
 // liveDonor returns the non-crashed replica (other than the one at index i)
-// that has applied the longest prefix of the delivery order, or nil when none
-// is available.  Using the most advanced donor minimises the window of
-// messages the recovering replica can no longer obtain from the group
-// (checkpoint-based recovery has no message replay; that is exactly the
-// limitation the paper's end-to-end atomic broadcast removes).
+// with the most advanced committed state, or nil when none is available.
+// Using the most advanced donor minimises the window of messages the
+// recovering replica can no longer obtain from the group (checkpoint-based
+// recovery has no message replay; that is exactly the limitation the paper's
+// end-to-end atomic broadcast removes).  Advancement is measured by the
+// total committed write count, not LastAppliedSeq: the broadcast sequence is
+// volatile bookkeeping that restarts on recovery, so after a crash storm a
+// fully recovered replica can carry the longest state at a near-zero
+// sequence number.  LastAppliedSeq breaks ties.
 func (c *Cluster) liveDonor(i int) *Replica {
 	var donor *Replica
+	var donorWrites uint64
 	for j, r := range c.replicas {
 		if j == i || r.Crashed() {
 			continue
 		}
-		if donor == nil || r.LastAppliedSeq() > donor.LastAppliedSeq() {
+		w := r.DB().CommittedWriteCount()
+		if donor == nil || w > donorWrites ||
+			(w == donorWrites && r.LastAppliedSeq() > donor.LastAppliedSeq()) {
 			donor = r
+			donorWrites = w
 		}
 	}
 	return donor

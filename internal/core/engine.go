@@ -353,6 +353,11 @@ func (r *Replica) externalize(staged []stagedTxn) {
 	for i, a := range staged {
 		r.stats.Delivered++
 		r.advanceAppliedSeqLocked(a.item.seq)
+		if r.cfg.RecordApplied {
+			r.appliedLog = append(r.appliedLog, AppliedRecord{
+				Seq: a.item.seq, TxnID: a.txnID, Outcome: a.outcome, Level: a.level,
+			})
+		}
 		if ch, ok := r.pending[a.txnID]; ok {
 			notifyCh[i] = ch
 		}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"groupsafe/internal/workload"
+)
+
+func lazyCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{Replicas: 3, Items: 64, Technique: TechLazyPrimary, ExecTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestLazyFreshnessFloorRejected: the lazy paths have no totally-ordered,
+// cross-replica-comparable sequence, so a freshness floor cannot be honoured
+// — it must be rejected loudly with ErrSafetyUnavailable, on the primary and
+// on secondaries alike, rather than silently served stale.  The same applies
+// to the certification technique's lazy levels.
+func TestLazyFreshnessFloorRejected(t *testing.T) {
+	ctx := context.Background()
+	c := lazyCluster(t)
+	for i := 0; i < c.Size(); i++ {
+		_, err := c.Execute(ctx, i, Request{
+			Ops:          []workload.Op{{Item: 1}},
+			ReadOnly:     true,
+			MinFreshness: 1,
+		})
+		if !errors.Is(err, ErrSafetyUnavailable) {
+			t.Errorf("replica %d: floored query on lazy primary-copy: err=%v, want ErrSafetyUnavailable", i, err)
+		}
+	}
+
+	cl, err := NewCluster(ClusterConfig{Replicas: 3, Items: 64, Technique: TechCertification, Level: Safety1Lazy, ExecTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Execute(ctx, 1, Request{Ops: []workload.Op{{Item: 1}}, ReadOnly: true, MinFreshness: 1}); !errors.Is(err, ErrSafetyUnavailable) {
+		t.Errorf("certification at 1-safe-lazy: floored query err=%v, want ErrSafetyUnavailable", err)
+	}
+	// An update with a floor takes the local execution path and must be
+	// rejected the same way.
+	if _, err := cl.Execute(ctx, 1, Request{Ops: []workload.Op{{Item: 1, Write: true, Value: 7}}, MinFreshness: 1}); !errors.Is(err, ErrSafetyUnavailable) {
+		t.Errorf("certification at 1-safe-lazy: floored update err=%v, want ErrSafetyUnavailable", err)
+	}
+}
+
+// TestLazyStaleFlagAcrossPrimaryCrash walks the Stale flag through the
+// primary's crash and recovery: secondaries always mark their reads Stale
+// (there is no token to reason about), the primary never does, updates are
+// refused while the primary is down, and the flags keep their meaning after
+// recovery.
+func TestLazyStaleFlagAcrossPrimaryCrash(t *testing.T) {
+	ctx := context.Background()
+	c := lazyCluster(t)
+
+	res, err := c.Execute(ctx, 1, Request{Ops: []workload.Op{{Item: 3, Write: true, Value: 42}}})
+	if err != nil || !res.Committed() {
+		t.Fatalf("update via secondary: res=%+v err=%v", res, err)
+	}
+	if res.Delegate != "s1" {
+		t.Fatalf("update served by %s, want routing to the primary s1", res.Delegate)
+	}
+	if res.Stale {
+		t.Fatal("update result marked Stale")
+	}
+
+	// Let the asynchronous propagation reach the secondaries.
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	err = c.WaitConsistent(wctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("propagation did not drain: %v", err)
+	}
+
+	query := Request{Ops: []workload.Op{{Item: 3}}, ReadOnly: true}
+	res, err = c.Execute(ctx, 0, query)
+	if err != nil || res.Stale {
+		t.Fatalf("primary read: stale=%t err=%v, want fresh", res.Stale, err)
+	}
+	res, err = c.Execute(ctx, 2, query)
+	if err != nil || !res.Stale {
+		t.Fatalf("secondary read: stale=%t err=%v, want Stale", res.Stale, err)
+	}
+	if res.ReadValues[3] != 42 {
+		t.Fatalf("secondary read value %d, want 42", res.ReadValues[3])
+	}
+
+	// Primary down: queries keep working on secondaries (flagged Stale, the
+	// 1-safe trade-off), updates have nowhere authoritative to go.
+	c.Crash(0)
+	res, err = c.Execute(ctx, 2, query)
+	if err != nil || !res.Stale || res.ReadValues[3] != 42 {
+		t.Fatalf("secondary read with primary down: res=%+v err=%v", res, err)
+	}
+	if _, err := c.Execute(ctx, 2, Request{Ops: []workload.Op{{Item: 4, Write: true, Value: 1}}}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("update with primary down: err=%v, want ErrCrashed", err)
+	}
+
+	// Recovery restores the split: the primary serves fresh reads and
+	// updates again, secondaries stay Stale.
+	if _, err := c.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Execute(ctx, 0, query)
+	if err != nil || res.Stale || res.ReadValues[3] != 42 {
+		t.Fatalf("primary read after recovery: res=%+v err=%v", res, err)
+	}
+	res, err = c.Execute(ctx, 1, Request{Ops: []workload.Op{{Item: 5, Write: true, Value: 9}}})
+	if err != nil || !res.Committed() || res.Delegate != "s1" {
+		t.Fatalf("update after recovery: res=%+v err=%v", res, err)
+	}
+	wctx, cancel = context.WithTimeout(ctx, 5*time.Second)
+	err = c.WaitConsistent(wctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("propagation after recovery did not drain: %v", err)
+	}
+	res, err = c.Execute(ctx, 1, Request{Ops: []workload.Op{{Item: 5}}, ReadOnly: true})
+	if err != nil || !res.Stale || res.ReadValues[5] != 9 {
+		t.Fatalf("secondary read after recovery: res=%+v err=%v", res, err)
+	}
+}

@@ -220,7 +220,31 @@ func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
 }
 
 func (r *Replica) installSnapshot(s StateSnapshot) {
-	r.dbase.RestoreState(s.Items, s.AppliedTxns)
+	// State transfer must never regress the recovering replica below what its
+	// own durable log already rebuilt.  The donor is only the most advanced
+	// LIVE replica: after a total failure it can itself be behind this
+	// replica's durable prefix (it crashed earlier, or recovered first from a
+	// shorter log).  Every replica applies prefixes of the same total order
+	// and an item's version counts its committed writes, so taking the
+	// higher-versioned copy of each item yields exactly the union of the two
+	// prefixes; on equal versions the donor's copy is kept (the behaviour of
+	// plain replacement, which matters only for the lazy modes where
+	// conflicting same-version values can exist and converging on the donor
+	// is the point of the transfer).  Re-deliveries past the merged frontier
+	// are idempotent: the applied-transaction set rides along.
+	items := s.Items
+	if own := r.dbase.SnapshotState(); len(own) == len(items) {
+		merged := make([]storage.Item, len(items))
+		for i := range items {
+			if own[i].Version > items[i].Version {
+				merged[i] = own[i]
+			} else {
+				merged[i] = items[i]
+			}
+		}
+		items = merged
+	}
+	r.dbase.RestoreState(items, s.AppliedTxns)
 	r.mu.Lock()
 	r.advanceAppliedSeqLocked(s.LastAppliedSeq)
 	ab := r.ab

@@ -1,0 +1,8 @@
+//go:build !simmutation
+
+package core
+
+// mutationSkip2SafeForce is the off switch of the fuzzer's mutation
+// self-test (see mutation_simmutation.go).  In normal builds it is a
+// compile-time false, so the guard it appears in folds away entirely.
+const mutationSkip2SafeForce = false

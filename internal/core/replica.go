@@ -69,6 +69,13 @@ type ReplicaConfig struct {
 	// in which a delegate crash loses the transaction (used by the Table 2
 	// experiments).
 	LazyPropagationDelay time.Duration
+	// RecordApplied keeps an in-memory log of every transaction this replica
+	// externalises, in apply order (see AppliedLog).  Off by default; the
+	// scenario fuzzer turns it on to reconstruct the committed history for
+	// its invariant checks.  The log is a harness-side observer: it survives
+	// the simulated crash of the replica (unlike volatile state) and may
+	// contain duplicate sequence numbers after an end-to-end replay.
+	RecordApplied bool
 	// StartDetector runs a heartbeat failure detector wired to the atomic
 	// broadcast's Suspect mechanism.
 	StartDetector bool
@@ -163,6 +170,7 @@ type Replica struct {
 	nextTxn     uint64
 	deliverHook func(txnID uint64)
 	stats       ReplicaStats
+	appliedLog  []AppliedRecord
 
 	// Ordered asynchronous write-set propagation of the lazy modes
 	// (technique_lazy.go).
@@ -283,6 +291,17 @@ func (r *Replica) Suspect(peer string) {
 	r.mu.Unlock()
 	if ab != nil {
 		ab.Suspect(peer)
+	}
+}
+
+// Unsuspect reverses a Suspect: the peer is believed alive again (used by
+// scenario drivers when a crashed replica recovers).
+func (r *Replica) Unsuspect(peer string) {
+	r.mu.Lock()
+	ab := r.ab
+	r.mu.Unlock()
+	if ab != nil {
+		ab.Unsuspect(peer)
 	}
 }
 

@@ -233,7 +233,7 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 				if lsn > maxLSN {
 					maxLSN = lsn
 				}
-				if rec.Level.SyncOnCommit() {
+				if rec.Level.SyncOnCommit() && !(mutationSkip2SafeForce && rec.Level == Safety2) {
 					needSync = true
 				}
 				for _, w := range rec.Writes {

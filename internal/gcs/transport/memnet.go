@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -9,17 +10,22 @@ import (
 
 // MemNetwork is an in-memory network connecting endpoints by address.  It
 // supports failure injection: per-message latency, message loss, network
-// partitions, and endpoint crashes (a crashed endpoint loses every message
-// sent to it and cannot send).
+// partitions, one-way link blocking, and endpoint crashes (a crashed endpoint
+// loses every message sent to it and cannot send).  Latency, jitter and loss
+// can be changed at runtime — the scenario fuzzer flips them mid-run — without
+// ever violating the FIFO-per-channel delivery contract.
 type MemNetwork struct {
-	// mu guards the endpoint table and the partition map.  The hot send path
-	// only takes it in read mode; latency/jitter/loss are set at construction
-	// and read without locking.
+	// mu guards the endpoint table, the partition map and the blocked-link
+	// set.  The hot send path only takes it in read mode, and only when a
+	// partition or link block is actually installed.
 	mu        sync.RWMutex
 	endpoints map[string]*memEndpoint
-	latency   time.Duration
-	jitter    time.Duration
-	lossProb  float64
+	// latency/jitter are duration nanoseconds and loss is math.Float64bits;
+	// all three are atomics so SetLatency/SetJitter/SetLoss can retune a
+	// running network without stalling senders.
+	latency atomic.Int64
+	jitter  atomic.Int64
+	loss    atomic.Uint64
 	// rngMu guards rng; it is only touched when loss or jitter is configured,
 	// so a plain send on a perfect network takes no random-source lock.
 	rngMu sync.Mutex
@@ -28,6 +34,10 @@ type MemNetwork struct {
 	// partitions cannot communicate.  An empty map means no partition.
 	partition   map[string]int
 	partitioned atomic.Bool
+	// blocked holds one-way blocked links (finer-grained than a partition:
+	// from→to drops while to→from still flows).
+	blocked    map[chainKey]bool
+	anyBlocked atomic.Bool
 
 	// chains serialises delayed deliveries per (from, to) channel: each entry
 	// is the completion marker of the channel's most recently scheduled
@@ -40,6 +50,11 @@ type MemNetwork struct {
 	// unordered either way.
 	chainMu sync.Mutex
 	chains  map[chainKey]chan struct{}
+	// chained latches true once any delivery has gone through the chain.
+	// From then on every send chains, even with the delay knobs back at
+	// zero: a fresh synchronous delivery must not overtake an async one
+	// still sitting in a timer for the same channel.
+	chained atomic.Bool
 
 	// Hot counters: every Send touches these, so they are atomics rather
 	// than fields under the network mutex.
@@ -53,17 +68,17 @@ type MemOption func(*MemNetwork)
 // WithLatency sets the one-way message latency (default 0: synchronous,
 // order-preserving delivery).
 func WithLatency(d time.Duration) MemOption {
-	return func(n *MemNetwork) { n.latency = d }
+	return func(n *MemNetwork) { n.latency.Store(int64(d)) }
 }
 
 // WithJitter adds a uniform random component in [0, d] to the latency.
 func WithJitter(d time.Duration) MemOption {
-	return func(n *MemNetwork) { n.jitter = d }
+	return func(n *MemNetwork) { n.jitter.Store(int64(d)) }
 }
 
 // WithLoss sets the probability that any message is silently dropped.
 func WithLoss(p float64) MemOption {
-	return func(n *MemNetwork) { n.lossProb = p }
+	return func(n *MemNetwork) { n.loss.Store(math.Float64bits(p)) }
 }
 
 // WithSeed seeds the network's random source (loss and jitter decisions).
@@ -76,6 +91,7 @@ func NewMemNetwork(opts ...MemOption) *MemNetwork {
 	n := &MemNetwork{
 		endpoints: make(map[string]*memEndpoint),
 		partition: make(map[string]int),
+		blocked:   make(map[chainKey]bool),
 		rng:       rand.New(rand.NewSource(1)),
 		chains:    make(map[chainKey]chan struct{}),
 	}
@@ -191,14 +207,58 @@ func (n *MemNetwork) Heal() {
 	n.partitioned.Store(false)
 }
 
-// Stats returns the number of messages sent and dropped (loss, partitions and
-// crashed destinations all count as drops).  The counters are atomics, so a
-// concurrent Stats never stalls senders.
+// SetLatency changes the one-way message latency at runtime.  In-flight
+// messages keep the delay they drew; the FIFO-per-channel contract holds
+// across the change.
+func (n *MemNetwork) SetLatency(d time.Duration) { n.latency.Store(int64(d)) }
+
+// SetJitter changes the uniform random latency component at runtime.
+func (n *MemNetwork) SetJitter(d time.Duration) { n.jitter.Store(int64(d)) }
+
+// SetLoss changes the message-loss probability at runtime.
+func (n *MemNetwork) SetLoss(p float64) { n.loss.Store(math.Float64bits(p)) }
+
+// BlockLink blocks the one-way link from→to: messages sent over it are
+// dropped while the reverse direction keeps flowing.  Idempotent.
+func (n *MemNetwork) BlockLink(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[chainKey{from: from, to: to}] = true
+	n.anyBlocked.Store(true)
+}
+
+// UnblockLink reverses one BlockLink.
+func (n *MemNetwork) UnblockLink(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, chainKey{from: from, to: to})
+	n.anyBlocked.Store(len(n.blocked) > 0)
+}
+
+// UnblockAllLinks removes every one-way link block.
+func (n *MemNetwork) UnblockAllLinks() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[chainKey]bool)
+	n.anyBlocked.Store(false)
+}
+
+// Stats returns the number of messages sent and dropped (loss, partitions,
+// blocked links and crashed destinations all count as drops).  The counters
+// are atomics, so a concurrent Stats never stalls senders.
 func (n *MemNetwork) Stats() (sent, dropped uint64) {
 	return n.sent.Load(), n.dropped.Load()
 }
 
 func (n *MemNetwork) reachable(from, to string) bool {
+	if n.anyBlocked.Load() {
+		n.mu.RLock()
+		b := n.blocked[chainKey{from: from, to: to}]
+		n.mu.RUnlock()
+		if b {
+			return false
+		}
+	}
 	if !n.partitioned.Load() {
 		return true
 	}
@@ -242,13 +302,15 @@ func (ep *memEndpoint) Send(to string, m Message) error {
 	n.mu.RLock()
 	dst, ok := n.endpoints[to]
 	n.mu.RUnlock()
-	delay := n.latency
+	delay := time.Duration(n.latency.Load())
+	jitter := time.Duration(n.jitter.Load())
+	lossProb := math.Float64frombits(n.loss.Load())
 	var loss bool
-	if n.lossProb > 0 || n.jitter > 0 {
+	if lossProb > 0 || jitter > 0 {
 		n.rngMu.Lock()
-		loss = n.lossProb > 0 && n.rng.Float64() < n.lossProb
-		if n.jitter > 0 {
-			delay += time.Duration(n.rng.Int63n(int64(n.jitter) + 1))
+		loss = lossProb > 0 && n.rng.Float64() < lossProb
+		if jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(jitter) + 1))
 		}
 		n.rngMu.Unlock()
 	}
@@ -276,17 +338,21 @@ func (ep *memEndpoint) Send(to string, m Message) error {
 			n.dropped.Add(1)
 		}
 	}
-	if n.latency <= 0 && n.jitter <= 0 {
+	if delay <= 0 && jitter <= 0 && !n.chained.Load() {
 		// Synchronous delivery in the caller's goroutine is trivially FIFO
-		// per channel.  The branch keys on the construction-time knobs, not
-		// the drawn delay: on a jitter-only network a zero draw must still
-		// go through the chain below, or it would overtake an earlier
-		// message of the same channel that drew a longer delay.
+		// per channel.  The branch keys on the current knobs, not just the
+		// drawn delay: on a jitter-only network a zero draw must still go
+		// through the chain below, or it would overtake an earlier message
+		// of the same channel that drew a longer delay.  And once ANY
+		// delivery has chained (n.chained), every later send chains too —
+		// a sender's zero-delay message issued right after SetLatency(0)
+		// must queue behind its own still-delayed traffic.
 		deliver()
 		return nil
 	}
 	// Chain this delivery behind the channel's previous one: timers firing
 	// out of order must not reorder a sender's messages to one destination.
+	n.chained.Store(true)
 	key := chainKey{from: ep.addr, to: to}
 	n.chainMu.Lock()
 	prev := n.chains[key]

@@ -37,7 +37,7 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() interface{} {
 	old := *h
@@ -53,6 +53,7 @@ type Engine struct {
 	now     time.Duration
 	queue   eventHeap
 	seq     uint64
+	seed    int64
 	rng     *rand.Rand
 	blocked chan struct{}
 	procs   int
@@ -62,6 +63,7 @@ type Engine struct {
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
+		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 		blocked: make(chan struct{}),
 	}
@@ -69,6 +71,10 @@ func NewEngine(seed int64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Seed returns the seed the engine was created with, so harnesses built on
+// the kernel can report it on failure and replay the run deterministically.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }

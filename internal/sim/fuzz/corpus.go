@@ -1,0 +1,55 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The corpus is a directory of marshalled traces (corpus/*.trace).  Each file
+// is a complete, self-contained scenario: replaying it needs no seed
+// bookkeeping beyond the file itself.  Traces found by a fuzz sweep are
+// written with WriteTrace; committed corpus entries replay as ordinary
+// regression cases in TestCorpusReplay.
+
+// TraceExt is the corpus file extension.
+const TraceExt = ".trace"
+
+// WriteTrace writes the scenario's canonical trace to path.
+func WriteTrace(path string, sc *Scenario) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("fuzz: write trace: %w", err)
+	}
+	return os.WriteFile(path, sc.Marshal(), 0o644)
+}
+
+// ReadTrace parses the trace file at path.
+func ReadTrace(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: read trace: %w", err)
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// CorpusTraces lists the trace files under dir, sorted by name.
+func CorpusTraces(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), TraceExt) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

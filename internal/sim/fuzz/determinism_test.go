@@ -1,0 +1,89 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestScenarioDeterminism is the replayability contract: the same seed always
+// expands to the byte-identical trace, and the trace codec round-trips.
+func TestScenarioDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		a, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ta, tb := a.Marshal(), b.Marshal()
+		if !bytes.Equal(ta, tb) {
+			t.Fatalf("seed %d: two generations disagree:\n--- first\n%s\n--- second\n%s", seed, ta, tb)
+		}
+		parsed, err := ParseScenario(ta)
+		if err != nil {
+			t.Fatalf("seed %d: parse own trace: %v", seed, err)
+		}
+		if got := parsed.Marshal(); !bytes.Equal(got, ta) {
+			t.Fatalf("seed %d: codec round-trip not stable:\n--- marshalled\n%s\n--- reparsed\n%s", seed, ta, got)
+		}
+	}
+}
+
+// TestScenarioProfiles: every profile generates, and pinning cluster fields
+// leaves them pinned after resolution.
+func TestScenarioProfiles(t *testing.T) {
+	for _, profile := range Profiles() {
+		sc, err := Generate(Config{Seed: 7, Profile: profile})
+		if err != nil {
+			t.Fatalf("profile %s: %v", profile, err)
+		}
+		if len(sc.Steps) < sc.Cfg.Steps {
+			t.Fatalf("profile %s: %d steps generated, want at least %d", profile, len(sc.Steps), sc.Cfg.Steps)
+		}
+	}
+	sc, err := Generate(Config{Seed: 7, Technique: "certification", Level: "2-safe", Replicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cfg.Technique != "certification" || sc.Cfg.Level != "2-safe" || sc.Cfg.Replicas != 4 {
+		t.Fatalf("pinned fields changed during resolution: %+v", sc.Cfg)
+	}
+}
+
+// TestShrinkerTeeth drives the ddmin loop with a synthetic predicate (fails
+// whenever the schedule still contains a crash step) and checks it reduces a
+// full storm schedule to a single step.
+func TestShrinkerTeeth(t *testing.T) {
+	sc, err := Generate(Config{Seed: 3, Profile: "storm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := 0
+	for _, s := range sc.Steps {
+		if s.Kind == StepCrash {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("storm schedule generated no crash steps")
+	}
+	pred := func(cand *Scenario) ([]Violation, error) {
+		for _, s := range cand.Steps {
+			if s.Kind == StepCrash {
+				return []Violation{{Invariant: "synthetic", Detail: "still crashes"}}, nil
+			}
+		}
+		return nil, nil
+	}
+	seedViolations := []Violation{{Invariant: "synthetic", Detail: "original"}}
+	res := shrinkWith(sc, seedViolations, 4096, pred)
+	if len(res.Scenario.Steps) != 1 || res.Scenario.Steps[0].Kind != StepCrash {
+		t.Fatalf("shrinker kept %d steps (want exactly the one crash step): %s",
+			len(res.Scenario.Steps), res.Scenario.Marshal())
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("shrinker lost the violation record")
+	}
+}

@@ -1,0 +1,45 @@
+// Package fuzz is a deterministic fault-injection scenario fuzzer for the
+// replicated database engine (internal/core).
+//
+// A single 64-bit seed deterministically expands into a complete scenario:
+// the cluster shape (replica count, replication technique, safety level), a
+// mixed read/write workload split over client sessions with per-session
+// freshness floors, and an adversary schedule of network partitions and
+// heals, message delay/loss within the transport's FIFO-per-channel
+// contract, one-way link blocks, crash-recover storms and replica churn.
+// The scenario — not the execution — is the unit of determinism: the same
+// seed always yields the byte-identical trace (Scenario.Marshal), and the
+// invariant suite is written to hold for EVERY goroutine interleaving of a
+// scenario, so a replayed trace re-checks the same claims even though the
+// wall-clock interleaving differs.
+//
+// After a run the invariant suite (invariants.go) checks the paper's
+// correctness claims mechanically:
+//
+//   - one-copy serializability of the committed history, by replaying the
+//     write sets in the total order recorded by a never-crashed replica and
+//     comparing values and versions against its final store;
+//   - no committed-and-acknowledged transaction lost at its safety level:
+//     2-safe/very-safe survive any number of crashes, the group-safe levels
+//     may lose a responded transaction only when every replica that applied
+//     it crashed afterwards (exactly the paper's boundary), the lazy levels
+//     only when the delegate crashed;
+//   - freshness-token sanity per session: floored queries never answer below
+//     their floor, tokens of a session's updates are monotone, and every
+//     value read under a floor appears in the item's committed timeline at
+//     or after the token;
+//   - the Stale flag is set exactly on lazy secondary reads;
+//   - post-heal convergence: after the rescue phase every live replica holds
+//     identical state (WaitConsistent), for the lazy technique only when the
+//     scenario contained no message-destroying fault.
+//
+// On a violation the greedy shrinker (shrink.go) minimises the adversary
+// schedule while the violation reproduces, and the result is written as a
+// replayable seed+trace file.  Committed traces under corpus/ replay as
+// ordinary `go test` regression cases (corpus.go).
+//
+// The mutation self-test (mutation_test.go, build tag simmutation) proves
+// the harness has teeth: built with -tags simmutation the engine skips the
+// 2-safe commit force, and the test asserts the fuzzer catches the lost
+// acknowledged transaction within a bounded seed sweep.
+package fuzz

@@ -1,0 +1,171 @@
+//go:build !simmutation
+
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// sweepConfig is the PR-sized sweep shape: short transactions keep a fully
+// partitioned or crashed cluster from stretching the run, and 36 steps are
+// enough for several fault/heal cycles.
+func sweepConfig(seed int64) Config {
+	return Config{Seed: seed, Steps: 36, TxnTimeout: 150 * time.Millisecond}
+}
+
+// checkRun runs one scenario through the invariant suite; on a violation it
+// shrinks the schedule and writes a replayable trace artifact before failing
+// the test with the seed.
+func checkRun(t *testing.T, sc *Scenario) {
+	t.Helper()
+	t.Logf("fuzz: seed=%d technique=%s level=%s replicas=%d profile=%s",
+		sc.Cfg.Seed, sc.Cfg.Technique, sc.Cfg.Level, sc.Cfg.Replicas, sc.Cfg.Profile)
+	rec, err := Run(sc)
+	if err != nil {
+		t.Fatalf("seed %d: run: %v", sc.Cfg.Seed, err)
+	}
+	violations := CheckAll(rec)
+	if len(violations) == 0 {
+		return
+	}
+	res := Shrink(sc, violations, 24)
+	path := failureArtifact(t, res.Scenario)
+	t.Fatalf("seed %d: %d invariant violation(s):\n%sminimised to %d steps (%d shrink runs), replayable trace: %s",
+		sc.Cfg.Seed, len(violations), ReportViolations(res.Violations), len(res.Scenario.Steps), res.Runs, path)
+}
+
+// failureArtifact writes a failing trace where CI can pick it up
+// ($FUZZ_ARTIFACT_DIR, or the system temp directory).
+func failureArtifact(t *testing.T, sc *Scenario) string {
+	t.Helper()
+	dir := os.Getenv("FUZZ_ARTIFACT_DIR")
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fuzz-failure-seed%d%s", sc.Cfg.Seed, TraceExt))
+	if err := WriteTrace(path, sc); err != nil {
+		t.Logf("could not write failure trace: %v", err)
+		return "(trace write failed)"
+	}
+	return path
+}
+
+// TestFuzzSweep runs a small seed sweep with fully derived configurations —
+// the PR-gate slice of the nightly sweep.  FUZZ_SEED_START/FUZZ_SEED_COUNT
+// widen it without a code change.
+func TestFuzzSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short mode")
+	}
+	start, count := int64(1), int64(4)
+	if v := os.Getenv("FUZZ_SEED_START"); v != "" {
+		fmt.Sscanf(v, "%d", &start)
+	}
+	if v := os.Getenv("FUZZ_SEED_COUNT"); v != "" {
+		fmt.Sscanf(v, "%d", &count)
+	}
+	for seed := start; seed < start+count; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc, err := Generate(sweepConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRun(t, sc)
+		})
+	}
+}
+
+// TestFuzzPinned pins one configuration per technique family so every
+// replication path is exercised on every test run regardless of what the
+// derived sweep drew.
+func TestFuzzPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short mode")
+	}
+	cases := []struct {
+		technique, level, profile string
+		seed                      int64
+	}{
+		{"certification", "group-safe", "mixed", 11},
+		{"certification", "2-safe", "storm", 12},
+		{"certification", "very-safe", "partition", 13},
+		{"active", "group-safe", "mixed", 14},
+		{"lazy-primary", "", "mixed", 15},
+	}
+	for _, c := range cases {
+		c := c
+		name := c.technique + "-" + c.level + "-" + c.profile
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := sweepConfig(c.seed)
+			cfg.Technique, cfg.Level, cfg.Profile = c.technique, c.level, c.profile
+			sc, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRun(t, sc)
+		})
+	}
+}
+
+// TestLazyCalmConvergence: on a fault-free schedule the lazy primary-copy
+// propagation must drain to identical replicas — the convergence invariant is
+// asserted, not just tolerated, on this path.
+func TestLazyCalmConvergence(t *testing.T) {
+	cfg := sweepConfig(21)
+	cfg.Technique, cfg.Profile = "lazy-primary", "calm"
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckAll(rec); len(v) > 0 {
+		t.Fatalf("invariant violations on calm lazy run:\n%s", ReportViolations(v))
+	}
+	if !rec.Converged {
+		t.Fatalf("calm lazy run did not converge: %v", rec.ConvergeErr)
+	}
+}
+
+// TestCorpusReplay replays every committed trace as a regression case: the
+// trace must regenerate byte-identically from its seed (the determinism
+// contract, end to end) and the run must satisfy every invariant.
+func TestCorpusReplay(t *testing.T) {
+	traces, err := CorpusTraces("corpus")
+	if err != nil {
+		t.Fatalf("corpus directory: %v", err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("corpus is empty — the regression net is gone")
+	}
+	for _, path := range traces {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			sc, err := ReadTrace(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Generated {
+				regen, err := Generate(sc.Cfg)
+				if err != nil {
+					t.Fatalf("regenerate: %v", err)
+				}
+				if !bytes.Equal(regen.Marshal(), sc.Marshal()) {
+					t.Fatalf("%s does not regenerate byte-identically from seed %d — the generator drifted; regenerate the corpus deliberately or fix the drift", path, sc.Cfg.Seed)
+				}
+			}
+			checkRun(t, sc)
+		})
+	}
+}

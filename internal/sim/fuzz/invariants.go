@@ -1,0 +1,347 @@
+package fuzz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"groupsafe/internal/core"
+)
+
+// The invariant suite checks a finished run against the paper's correctness
+// claims.  Every check is written to hold for EVERY interleaving of the
+// schedule: it never assumes a particular timing, only the event-counter
+// ordering and the durable frontiers the runner recorded.  A check that
+// cannot be decided soundly for a run (no never-crashed reference replica,
+// sequence numbers made incomparable by a total failure) is skipped, never
+// guessed.
+
+// Violation is one invariant failure.
+type Violation struct {
+	// Invariant names the failed check ("durability", "one-copy", ...).
+	Invariant string
+	// Detail is a human-readable account of the failure.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+func violationf(list *[]Violation, invariant, format string, args ...interface{}) {
+	*list = append(*list, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// CheckAll runs the full invariant suite over a run record.
+func CheckAll(rec *RunRecord) []Violation {
+	var out []Violation
+	checkDurability(rec, &out)
+	checkRefDurability(rec, &out)
+	checkOneCopy(rec, &out)
+	checkFreshness(rec, &out)
+	checkTimeline(rec, &out)
+	checkStale(rec, &out)
+	checkConvergence(rec, &out)
+	return out
+}
+
+// replicaIndex parses a replica address ("s3" -> 2); -1 when unknown.
+func replicaIndex(id string) int {
+	if !strings.HasPrefix(id, "s") {
+		return -1
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 1 {
+		return -1
+	}
+	return n - 1
+}
+
+// checkDurability is the no-lost-acknowledged-transaction invariant, with the
+// loss window graded exactly by safety level (the core claim of the paper):
+//
+//   - 2-safe and very-safe: an acknowledged committed update survives ANY
+//     combination of crashes, total failure included.
+//   - group-safe and group-1-safe: loss is excused only when every replica
+//     that externalised the transaction crashed afterwards (the
+//     responded-but-not-durable window group-safety deliberately leaves open).
+//   - 0-safe, lazy (1-safe) and lazy primary-copy: loss is excused only when
+//     the delegate crashed after acknowledging.
+//
+// "Lost" means: applied at no live replica after the rescue phase.
+func checkDurability(rec *RunRecord, out *[]Violation) {
+	for _, t := range allTxns(rec) {
+		if !t.Committed() || !t.Update() {
+			continue
+		}
+		if presentAnywhere(rec, t.TxnID) {
+			continue
+		}
+		delegate := replicaIndex(t.DelegateID)
+		delegateCrashed := delegate >= 0 && delegate < len(rec.EverCrashed) && rec.EverCrashed[delegate]
+		switch t.Level {
+		case core.Safety2, core.VerySafe:
+			violationf(out, "durability",
+				"txn %#x (session %d, step %d, level %v) was acknowledged committed but is applied at no live replica",
+				t.TxnID, t.Session, t.StepIdx, t.Level)
+		case core.GroupSafe, core.Group1Safe:
+			if delegateCrashed && allHoldersCrashed(rec, t.TxnID) {
+				continue // the group-safe loss window: every holder died
+			}
+			violationf(out, "durability",
+				"txn %#x (session %d, level %v) lost although a replica that externalised it never crashed",
+				t.TxnID, t.Session, t.Level)
+		default: // Safety0, Safety1Lazy (certification-lazy and lazy primary-copy)
+			if delegateCrashed {
+				continue // the 1-safe window: the delegate died before propagating
+			}
+			violationf(out, "durability",
+				"txn %#x (session %d, level %v) lost although its delegate %s never crashed",
+				t.TxnID, t.Session, t.Level, t.DelegateID)
+		}
+	}
+}
+
+func allTxns(rec *RunRecord) []*TxnRec {
+	var all []*TxnRec
+	for _, s := range rec.Sessions {
+		all = append(all, s...)
+	}
+	return all
+}
+
+func presentAnywhere(rec *RunRecord, txnID uint64) bool {
+	for i, applied := range rec.FinalApplied {
+		if !rec.FinalCrashed[i] && applied[txnID] {
+			return true
+		}
+	}
+	return false
+}
+
+// allHoldersCrashed reports whether every replica whose applied log contains
+// txnID crashed at some point.  The applied logs are harness-side observers
+// that survive crashes, so a replica that externalised the transaction and
+// never crashed must still hold it — if it does not, the loss is real.
+func allHoldersCrashed(rec *RunRecord, txnID uint64) bool {
+	for i, log := range rec.AppliedLogs {
+		for _, e := range log {
+			if e.TxnID == txnID && !rec.EverCrashed[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkRefDurability: a replica that never crashed can never lose anything —
+// every transaction it externalised as committed must be in its applied set.
+func checkRefDurability(rec *RunRecord, out *[]Violation) {
+	if rec.RefReplica < 0 {
+		return
+	}
+	applied := rec.FinalApplied[rec.RefReplica]
+	for _, e := range rec.RefLog {
+		if e.Outcome == core.OutcomeCommitted && !applied[e.TxnID] {
+			violationf(out, "durability",
+				"replica %d never crashed but txn %#x (committed at seq %d in its own applied log) is missing from its applied set",
+				rec.RefReplica, e.TxnID, e.Seq)
+		}
+	}
+}
+
+// refHistory is the deduplicated committed history of the reference replica:
+// for each transaction, its FIRST externalisation (re-deliveries after a
+// peer's end-to-end replay are idempotent — only the first occurrence
+// installed writes).
+func refHistory(rec *RunRecord) []core.AppliedRecord {
+	seen := make(map[uint64]bool)
+	var hist []core.AppliedRecord
+	for _, e := range rec.RefLog {
+		if seen[e.TxnID] {
+			continue
+		}
+		seen[e.TxnID] = true
+		if e.Outcome == core.OutcomeCommitted {
+			hist = append(hist, e)
+		}
+	}
+	return hist
+}
+
+// checkOneCopy replays the committed write sets in the total order a
+// never-crashed replica recorded and compares the resulting one-copy database
+// (values AND versions) against that replica's actual final store.  This is
+// one-copy serializability made mechanical: every certification decision the
+// cluster took must be explainable by the serial execution of the committed
+// history.
+func checkOneCopy(rec *RunRecord, out *[]Violation) {
+	if rec.RefReplica < 0 || len(rec.RefLog) == 0 {
+		return
+	}
+	items := len(rec.FinalItems[rec.RefReplica])
+	values := make([]int64, items)
+	versions := make([]uint64, items)
+	for _, e := range refHistory(rec) {
+		t := rec.TxnByID[e.TxnID]
+		if t == nil {
+			// A transaction the harness did not submit: nothing to replay
+			// against, so the check would be guessing.
+			return
+		}
+		for item, v := range t.Writes {
+			if item < items {
+				values[item] = v
+				versions[item]++
+			}
+		}
+	}
+	final := rec.FinalItems[rec.RefReplica]
+	for i := 0; i < items; i++ {
+		if final[i].Value != values[i] || final[i].Version != versions[i] {
+			violationf(out, "one-copy",
+				"replica %d item %d: serial replay of its committed history gives value=%d version=%d, store holds value=%d version=%d",
+				rec.RefReplica, i, values[i], versions[i], final[i].Value, final[i].Version)
+		}
+	}
+}
+
+// tfBetween reports whether a total failure was stamped in (a, b): across
+// such a point the broadcast sequence may have restarted, so freshness tokens
+// on either side are not comparable.
+func tfBetween(rec *RunRecord, a, b uint64) bool {
+	for _, tf := range rec.TotalFailures {
+		if tf > a && tf < b {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFreshness checks the session-freshness claims: a floored query is
+// never answered below its floor, and the freshness tokens of one session's
+// committed updates are strictly monotone (each update is a distinct position
+// in the total order, and the session submits them one at a time).
+func checkFreshness(rec *RunRecord, out *[]Violation) {
+	for _, session := range rec.Sessions {
+		var prev *TxnRec
+		for _, t := range session {
+			if !t.Acked {
+				continue
+			}
+			if t.Floor > 0 && t.Freshness < t.Floor {
+				violationf(out, "freshness-floor",
+					"session %d txn %#x asked for freshness >= %d but was served token %d",
+					t.Session, t.TxnID, t.Floor, t.Freshness)
+			}
+			if t.Committed() && t.Update() && t.Freshness > 0 {
+				if prev != nil && !tfBetween(rec, prev.AckIdx, t.AckIdx) && t.Freshness <= prev.Freshness {
+					violationf(out, "freshness-monotonic",
+						"session %d: update %#x has token %d, not above the session's earlier update %#x at token %d",
+						t.Session, t.TxnID, t.Freshness, prev.TxnID, prev.Freshness)
+				}
+				prev = t
+			}
+		}
+	}
+}
+
+// checkTimeline validates every floored read value against the item's
+// committed timeline: the value must be one the item actually held in some
+// state at or after the query's token.  Needs the reference history (which
+// also implies the run had no total failure, so tokens are comparable
+// cluster-wide).  The check is per item on purpose: two live replicas may
+// install disjoint transactions in different real-time order around the
+// snapshot cut, so a cross-item prefix intersection would reject legal MVCC
+// snapshots.
+func checkTimeline(rec *RunRecord, out *[]Violation) {
+	if rec.RefReplica < 0 || len(rec.RefLog) == 0 {
+		return
+	}
+	type write struct {
+		seq uint64
+		val int64
+	}
+	timelines := make(map[int][]write)
+	for _, e := range refHistory(rec) {
+		t := rec.TxnByID[e.TxnID]
+		if t == nil {
+			return
+		}
+		for item, v := range t.Writes {
+			timelines[item] = append(timelines[item], write{seq: e.Seq, val: v})
+		}
+	}
+	for _, t := range allTxns(rec) {
+		if !t.Acked || t.Floor == 0 {
+			continue
+		}
+		token := t.Freshness
+		for item, v := range t.ReadValues {
+			tl := timelines[item]
+			valid := false
+			if v == 0 && (len(tl) == 0 || tl[0].seq > token) {
+				valid = true // the initial value, still visible at the token
+			}
+			for k, w := range tl {
+				if w.val != v {
+					continue
+				}
+				if k == len(tl)-1 || tl[k+1].seq > token {
+					valid = true // value held in [w.seq, next.seq), which reaches past the token
+					break
+				}
+			}
+			if !valid {
+				violationf(out, "timeline",
+					"session %d txn %#x read item %d = %d at token %d, but the committed timeline never holds that value at or after the token",
+					t.Session, t.TxnID, item, v, token)
+			}
+		}
+	}
+}
+
+// checkStale: the Stale flag is set exactly on lazy primary-copy reads served
+// by a secondary, and never anywhere else.  "Read" means the request carried
+// no writes: a nominal update whose operations all turned out to be reads
+// takes the same snapshot fast path as a declared query.
+func checkStale(rec *RunRecord, out *[]Violation) {
+	lazy := rec.Technique == core.TechLazyPrimary
+	for _, t := range allTxns(rec) {
+		if !t.Acked {
+			continue
+		}
+		want := lazy && !t.Update() && replicaIndex(t.DelegateID) != 0
+		if t.Stale != want {
+			violationf(out, "stale-flag",
+				"txn %#x (query=%t, served by %s, technique %v): Stale=%t, want %t",
+				t.TxnID, t.Query, t.DelegateID, rec.Technique, t.Stale, want)
+		}
+	}
+}
+
+// checkConvergence: after the rescue phase healed every fault and recovered
+// every replica, the group-communication configurations must reach identical
+// stores (delivery in one total order plus checkpoint state transfer leaves
+// no legitimate way to stay apart).  Lazy primary-copy has a single update
+// site and therefore also converges, but only for runs whose schedule
+// destroyed no message (a lost propagation diverges forever — exactly the
+// trade-off the paper charges 1-safety with).  The multi-master lazy
+// baselines (certification at 0-safe/1-safe-lazy) are never asserted:
+// conflicting commits at different delegates can legally diverge even on a
+// fault-free run.
+func checkConvergence(rec *RunRecord, out *[]Violation) {
+	groupComm := rec.Level.UsesGroupCommunication()
+	destructive := rec.Faults.Crash || rec.Faults.Partition || rec.Faults.Loss || rec.Faults.Block
+	switch {
+	case groupComm:
+		// always asserted
+	case rec.Technique == core.TechLazyPrimary && !destructive:
+		// single-master lazy on an undisturbed network must converge
+	default:
+		return
+	}
+	if !rec.Converged {
+		violationf(out, "convergence",
+			"live replicas did not converge after the rescue phase (technique %v, level %v): %v",
+			rec.Technique, rec.Level, rec.ConvergeErr)
+	}
+}

@@ -1,0 +1,100 @@
+package fuzz
+
+import "fmt"
+
+// The shrinker minimises a failing schedule with the classic ddmin chunk
+// strategy: try dropping ever-smaller contiguous chunks of steps, keep a
+// candidate whenever the invariant suite still fails on it.  The runner
+// tolerates ill-formed schedules (recovering a live replica, healing an open
+// network), so dropped steps never make a candidate unrunnable.
+//
+// Violations are interleaving-dependent — a reduced schedule may fail only
+// sometimes.  The shrinker is deliberately conservative about that: a chunk
+// is only dropped when the reduced schedule failed on an actual re-run, so
+// the result is always a schedule that was OBSERVED to fail, never an
+// extrapolation.
+
+// ShrinkResult is the outcome of a shrink.
+type ShrinkResult struct {
+	// Scenario is the smallest schedule observed to fail.
+	Scenario *Scenario
+	// Violations is the invariant output of the last failing run of Scenario.
+	Violations []Violation
+	// Runs is the number of runs spent.
+	Runs int
+}
+
+// Shrink minimises sc's schedule while CheckAll keeps failing, spending at
+// most maxRuns runs.  sc itself must already be failing (pass the violations
+// of the original run); if maxRuns <= 0 a default budget of 48 runs is used.
+func Shrink(sc *Scenario, violations []Violation, maxRuns int) *ShrinkResult {
+	return shrinkWith(sc, violations, maxRuns, func(cand *Scenario) ([]Violation, error) {
+		rec, err := Run(cand)
+		if err != nil {
+			return nil, err
+		}
+		return CheckAll(rec), nil
+	})
+}
+
+// shrinkWith is Shrink with the failure predicate injected (the shrinker's
+// own tests use a synthetic predicate instead of a real cluster run).
+func shrinkWith(sc *Scenario, violations []Violation, maxRuns int, fails func(*Scenario) ([]Violation, error)) *ShrinkResult {
+	if maxRuns <= 0 {
+		maxRuns = 48
+	}
+	res := &ShrinkResult{Scenario: sc, Violations: violations}
+	steps := sc.Steps
+	n := 2
+	for len(steps) > 1 && n <= len(steps) && res.Runs < maxRuns {
+		chunk := (len(steps) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(steps) && res.Runs < maxRuns; start += chunk {
+			end := start + chunk
+			if end > len(steps) {
+				end = len(steps)
+			}
+			candidate := make([]Step, 0, len(steps)-(end-start))
+			candidate = append(candidate, steps[:start]...)
+			candidate = append(candidate, steps[end:]...)
+			if len(candidate) == 0 {
+				continue
+			}
+			cs := &Scenario{Cfg: sc.Cfg, Generated: false, Steps: candidate}
+			res.Runs++
+			v, err := fails(cs)
+			if err != nil {
+				continue // unrunnable candidate: keep the chunk
+			}
+			if len(v) > 0 {
+				steps = candidate
+				res.Scenario = cs
+				res.Violations = v
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if chunk == 1 {
+				break // already at single-step granularity with nothing droppable
+			}
+			n *= 2
+			if n > len(steps) {
+				n = len(steps)
+			}
+		}
+	}
+	return res
+}
+
+// ReportViolations renders a violation list for logs and failure artifacts.
+func ReportViolations(vs []Violation) string {
+	out := ""
+	for i, v := range vs {
+		out += fmt.Sprintf("  [%d] %s\n", i+1, v.String())
+	}
+	return out
+}

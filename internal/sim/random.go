@@ -39,3 +39,27 @@ func UniformInt(rng *rand.Rand, lo, hi int) int {
 	}
 	return lo + rng.Intn(hi-lo+1)
 }
+
+// SplitMix64 advances a SplitMix64 generator state in place and returns the
+// next 64-bit output.  It is the standard seed-expansion mixer (Steele,
+// Lea & Flood): tiny, stateless apart from the caller-owned word, and good
+// enough to decorrelate derived streams.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed derives an independent child seed from a root seed and a stream
+// label, so one user-facing 64-bit seed can deterministically seed many
+// sub-generators (scenario generation, per-session workloads, the network)
+// without handing them correlated streams.  Deterministic: the same
+// (root, stream) pair always yields the same child seed.
+func DeriveSeed(root int64, stream uint64) int64 {
+	state := uint64(root)
+	SplitMix64(&state) // decorrelate nearby roots before mixing the label in
+	state ^= (stream + 1) * 0x9e3779b97f4a7c15
+	return int64(SplitMix64(&state))
+}

@@ -136,6 +136,9 @@ func (c Config) Validate() error {
 type Result struct {
 	Level     core.SafetyLevel
 	Technique core.TechniqueID
+	// Seed is the configuration seed the run was driven by, carried into the
+	// result so a surprising row can be replayed deterministically.
+	Seed int64
 	// LoadTPS is the offered load in transactions per second.
 	LoadTPS float64
 	// Completed, Committed and Aborted count terminated transactions after

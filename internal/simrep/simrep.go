@@ -572,6 +572,7 @@ func (s *simulation) result() Result {
 	r := Result{
 		Level:          s.level,
 		Technique:      s.cfg.Technique,
+		Seed:           s.cfg.Seed,
 		LoadTPS:        s.load,
 		Completed:      s.completed,
 		Committed:      s.committed,

@@ -127,6 +127,17 @@ func (l *MemLog) DurableLen() int {
 	return l.synced
 }
 
+// DurableLSN returns the LSN of the last durable (synced) record, zero when
+// nothing is durable yet.  It is what a crash at this instant would preserve.
+func (l *MemLog) DurableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.synced == 0 {
+		return 0
+	}
+	return l.records[l.synced-1].LSN
+}
+
 // Syncs returns the number of Sync calls, used by the group-commit tests.
 func (l *MemLog) Syncs() uint64 {
 	l.mu.Lock()

@@ -143,7 +143,8 @@ func (c Config) Validate() error {
 // concurrent use: several clients may share one generator (the interleaving,
 // not the stream, is then scheduling-dependent).
 type Generator struct {
-	cfg Config
+	cfg  Config
+	seed int64
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -156,11 +157,15 @@ func NewGenerator(cfg Config, seed int64) *Generator {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed)), nextID: 1}
+	return &Generator{cfg: cfg, seed: seed, rng: rand.New(rand.NewSource(seed)), nextID: 1}
 }
 
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
+
+// Seed returns the seed the generator was created with.  Randomized tests
+// log it on failure so the exact transaction stream can be replayed.
+func (g *Generator) Seed() int64 { return g.seed }
 
 // Next produces the next transaction for the given client and delegate
 // server.  With probability ReadFraction it is a pure query (QueryMinOps to
