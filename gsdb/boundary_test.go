@@ -36,7 +36,9 @@ func TestImportBoundary(t *testing.T) {
 			"groupsafe/internal/workload",
 			"groupsafe/internal/tuning",
 			"groupsafe/internal/gcs/fd",
+			"groupsafe/internal/netproto",
 		},
+		"gsdb/server":      {"groupsafe/internal/server"},
 		"gsdb/stats":       {"groupsafe/internal/stats"},
 		"gsdb/experiments": {"groupsafe/internal/experiments"},
 		"gsdb/sim":         {"groupsafe/internal/simrep"},

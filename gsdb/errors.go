@@ -38,6 +38,11 @@ var (
 	// a level this cluster's technique or machinery cannot provide.
 	ErrSafetyUnavailable = core.ErrSafetyUnavailable
 	// ErrComputeNotReplicable is returned by active replication for
-	// requests carrying a Compute hook (closures cannot be broadcast).
+	// requests carrying a Compute hook (closures cannot be broadcast), and
+	// by RemoteClient.Execute for any Compute hook (closures cannot cross
+	// the network).
 	ErrComputeNotReplicable = core.ErrComputeNotReplicable
+	// ErrReadOnlyWrites is returned when a request declared ReadOnly
+	// carries a write operation (or a Compute hook, which could emit one).
+	ErrReadOnlyWrites = core.ErrReadOnlyWrites
 )

@@ -1,0 +1,389 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"groupsafe/gsdb"
+)
+
+// TestChaosKillMinusNineAcrossProcesses is the multi-process proof of the
+// robustness contract: it builds the real gsdb-server binary, launches a
+// three-replica 2-safe cluster as child OS processes, drives concurrent load
+// through gsdb.Dial, kills one replica with SIGKILL mid-batch, restarts it,
+// and asserts across the process boundary that
+//
+//   - no transaction acknowledged at 2-safe was lost (per-item values are
+//     written strictly increasing, so the final value must be >= the last
+//     acknowledged one),
+//   - the survivors' membership views excluded the dead replica and
+//     re-admitted it after restart,
+//   - freshness tokens never regressed for any sequential client session,
+//   - all three replicas converge to identical store contents, and
+//   - SIGTERM shuts every process down cleanly (exit code 0).
+//
+// Child stdout/stderr go to per-replica log files; set CHAOS_ARTIFACT_DIR to
+// keep them (CI uploads that directory on failure).  Set GSDB_CHAOS_RACE=1 to
+// build the server binary with -race.
+func TestChaosKillMinusNineAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos test skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bin := buildServerBinary(t, ctx)
+	artifactDir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if artifactDir == "" {
+		artifactDir = t.TempDir()
+	} else if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3
+	peerAddrs := freePorts(t, n)
+	clientAddrs := freePorts(t, n)
+	walDirs := make([]string, n)
+	for i := range walDirs {
+		walDirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("r%d", i))
+	}
+
+	procs := make([]*replicaProc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = launchReplica(t, ctx, bin, artifactDir, i, peerAddrs, clientAddrs[i], walDirs[i])
+	}
+	defer func() {
+		for _, p := range procs {
+			p.killIfRunning()
+		}
+	}()
+
+	client, err := gsdb.Dial(ctx, clientAddrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	waitServing(t, ctx, client, clientAddrs)
+
+	// Load: one sequential session per item, writing strictly increasing
+	// values.  Each session records its last acknowledged value and asserts
+	// its freshness tokens never regress.
+	const writers = 4
+	var (
+		wg        sync.WaitGroup
+		stopLoad  = make(chan struct{})
+		lastAcked [writers]atomic.Int64
+		loadErr   atomic.Value
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(item int) {
+			defer wg.Done()
+			var value int64
+			var freshness uint64
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				value++
+				tctx, tcancel := context.WithTimeout(ctx, 30*time.Second)
+				// Read-modify-write, not a blind write: the read version
+				// makes certification abort a zombie retry (a txn this
+				// client gave up on that is still in flight), so committed
+				// values per item are monotone and final >= last-acked is a
+				// sound loss check.  Blind writes would allow a zombie to
+				// legally re-install an older value after a newer acked one.
+				res, err := client.Execute(tctx, gsdb.Request{Ops: []gsdb.Op{
+					{Item: item},
+					{Item: item, Write: true, Value: value},
+				}})
+				tcancel()
+				if err != nil || !res.Committed() {
+					// A retry-exhausted or aborted transaction was never
+					// acknowledged — not a safety violation.  (Aborts can
+					// happen even with one writer per item: a re-issued
+					// transaction may conflict with its own zombie
+					// predecessor that committed after the client gave up.)
+					// Re-issue the same value; the store stays monotone.
+					value--
+					continue
+				}
+				if res.Freshness < freshness {
+					loadErr.Store(fmt.Errorf("writer %d: freshness regressed %d -> %d", item, freshness, res.Freshness))
+					return
+				}
+				freshness = res.Freshness
+				lastAcked[item].Store(value)
+			}
+		}(w)
+	}
+
+	waitAcked := func(min int64) {
+		t.Helper()
+		for {
+			ready := true
+			for w := 0; w < writers; w++ {
+				if lastAcked[w].Load() < min {
+					ready = false
+				}
+			}
+			if ready {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				t.Fatalf("load never reached %d acked writes per item: %v", min, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: healthy cluster commits.
+	waitAcked(5)
+
+	// Phase 2: kill -9 one replica mid-batch.  The survivors must exclude
+	// it from their view and keep serving the load.
+	victim := 2
+	procs[victim].kill(t)
+	t.Logf("killed replica %d (pid %d) with SIGKILL", victim, procs[victim].cmd.Process.Pid)
+	waitInfo(t, ctx, client, clientAddrs[0], func(info gsdb.ServerInfo) bool {
+		return len(info.ViewMembers) == n-1
+	}, "survivor never excluded the killed replica from its view")
+	ackedAtKill := snapshotAcked(&lastAcked)
+	waitAcked(ackedAtKill[0] + 5) // progress continues without the victim
+
+	// Phase 3: restart the victim — same WAL dir, same ports, a genuinely
+	// new OS process.  It must be re-admitted and catch up.
+	procs[victim] = launchReplica(t, ctx, bin, artifactDir, victim, peerAddrs, clientAddrs[victim], walDirs[victim])
+	waitInfo(t, ctx, client, clientAddrs[0], func(info gsdb.ServerInfo) bool {
+		return len(info.ViewMembers) == n
+	}, "survivors never re-admitted the restarted replica")
+	waitAcked(snapshotAcked(&lastAcked)[0] + 5)
+
+	// Stop the load and let in-flight transactions settle.
+	close(stopLoad)
+	wg.Wait()
+	if err, _ := loadErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	finalAcked := snapshotAcked(&lastAcked)
+
+	// Phase 4: all three replicas must converge to identical stores, and no
+	// acknowledged write may be lost: values per item are strictly
+	// increasing, so final >= last acked proves zero acked-txn loss through
+	// a kill -9 at 2-safe.
+	waitInfo(t, ctx, client, clientAddrs[victim], func(info gsdb.ServerInfo) bool {
+		return len(info.Items) > 0
+	}, "restarted replica never answered Info")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		infos := make([]gsdb.ServerInfo, n)
+		ok := true
+		for i, addr := range clientAddrs {
+			info, err := client.Info(ctx, addr)
+			if err != nil {
+				ok = false
+				break
+			}
+			infos[i] = info
+		}
+		if ok && storesEqual(infos) {
+			for w := 0; w < writers; w++ {
+				if got, want := infos[0].Items[w].Value, finalAcked[w]; got < want {
+					t.Fatalf("acked-txn loss on item %d: final value %d < last acked %d", w, got, want)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			for i := range infos {
+				t.Logf("replica %d: seq=%d items[:4]=%v", i, infos[i].LastAppliedSeq, infos[i].Items[:writers])
+			}
+			t.Fatal("replicas did not converge after restart")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Phase 5: graceful shutdown — SIGTERM, exit 0, within the deadline.
+	for i, p := range procs {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM replica %d: %v", i, err)
+		}
+	}
+	for i, p := range procs {
+		if err := p.waitExit(30 * time.Second); err != nil {
+			t.Errorf("replica %d did not shut down cleanly: %v", i, err)
+		}
+	}
+}
+
+// replicaProc is one child gsdb-server process.
+type replicaProc struct {
+	cmd    *exec.Cmd
+	logF   *os.File
+	done   chan error
+	killed atomic.Bool
+}
+
+func buildServerBinary(t *testing.T, ctx context.Context) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gsdb-server")
+	args := []string{"build"}
+	if os.Getenv("GSDB_CHAOS_RACE") == "1" {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "groupsafe/cmd/gsdb-server")
+	cmd := exec.CommandContext(ctx, "go", args...)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build gsdb-server: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if dir == filepath.Dir(dir) {
+			t.Fatalf("go.mod not found above %s", wd)
+		}
+	}
+}
+
+func launchReplica(t *testing.T, ctx context.Context, bin, artifactDir string, idx int, peers []string, clientAddr, walDir string) *replicaProc {
+	t.Helper()
+	logPath := filepath.Join(artifactDir, fmt.Sprintf("replica%d.pid%d.log", idx, os.Getpid()))
+	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerList := ""
+	for i, p := range peers {
+		if i > 0 {
+			peerList += ","
+		}
+		peerList += p
+	}
+	cmd := exec.Command(bin,
+		"-listen", peers[idx],
+		"-client-listen", clientAddr,
+		"-peers", peerList,
+		"-wal-dir", walDir,
+		"-level", "2-safe",
+		"-items", "64",
+		"-fd-interval", "25ms",
+		"-fd-timeout", "150ms",
+		"-resync-interval", "250ms",
+	)
+	cmd.Stdout = logF
+	cmd.Stderr = logF
+	if err := cmd.Start(); err != nil {
+		logF.Close()
+		t.Fatalf("start replica %d: %v", idx, err)
+	}
+	p := &replicaProc{cmd: cmd, logF: logF, done: make(chan error, 1)}
+	go func() {
+		p.done <- cmd.Wait()
+		logF.Close()
+	}()
+	t.Logf("replica %d: pid %d, peers %s, clients %s, log %s", idx, cmd.Process.Pid, peers[idx], clientAddr, logPath)
+	return p
+}
+
+// kill sends SIGKILL — the point of the exercise.
+func (p *replicaProc) kill(t *testing.T) {
+	t.Helper()
+	p.killed.Store(true)
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	<-p.done
+}
+
+func (p *replicaProc) killIfRunning() {
+	select {
+	case <-p.done:
+	default:
+		p.killed.Store(true)
+		p.cmd.Process.Kill()
+	}
+}
+
+// waitExit waits for the process to exit cleanly (exit code 0).
+func (p *replicaProc) waitExit(d time.Duration) error {
+	select {
+	case err := <-p.done:
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("still running after %v", d)
+	}
+}
+
+func snapshotAcked(acked *[4]atomic.Int64) [4]int64 {
+	var out [4]int64
+	for i := range out {
+		out[i] = acked[i].Load()
+	}
+	return out
+}
+
+// waitServing polls until every replica answers Info.
+func waitServing(t *testing.T, ctx context.Context, client *gsdb.RemoteClient, addrs []string) {
+	t.Helper()
+	for _, addr := range addrs {
+		waitInfo(t, ctx, client, addr, func(gsdb.ServerInfo) bool { return true },
+			"replica never started serving")
+	}
+}
+
+func waitInfo(t *testing.T, ctx context.Context, client *gsdb.RemoteClient, addr string, ok func(gsdb.ServerInfo) bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ictx, icancel := context.WithTimeout(ctx, 3*time.Second)
+		info, err := client.Info(ictx, addr)
+		icancel()
+		if err == nil && ok(info) {
+			return
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			t.Fatalf("%s (%s): lastErr=%v", msg, addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// storesEqual reports whether all replicas expose identical item states.
+func storesEqual(infos []gsdb.ServerInfo) bool {
+	ref := infos[0].Items
+	if len(ref) == 0 {
+		return false
+	}
+	for _, info := range infos[1:] {
+		if len(info.Items) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if info.Items[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -194,4 +194,3 @@ func TestSchedulerPropagatesError(t *testing.T) {
 		t.Fatalf("only %d of %d tasks installed after error", installed.Load(), len(tasks))
 	}
 }
-

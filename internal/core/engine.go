@@ -128,7 +128,9 @@ func (r *Replica) applyLoopClassical(st *applyState, ab *abcast.Broadcaster, sto
 			for i, dd := range ds {
 				batch[i] = applyItem{seq: dd.Seq, payload: dd.Payload}
 			}
+			r.applyMu.Lock()
 			r.tech.applyBatch(r, st, stop, batch)
+			r.applyMu.Unlock()
 		}
 	}
 }
@@ -151,7 +153,9 @@ func (r *Replica) applyLoopE2E(st *applyState, b *e2e.Broadcaster, stop chan str
 			for i, dd := range ds {
 				batch[i] = r.e2eItem(b, dd)
 			}
+			r.applyMu.Lock()
 			r.tech.applyBatch(r, st, stop, batch)
+			r.applyMu.Unlock()
 		}
 	}
 }

@@ -42,7 +42,7 @@ func (r *Replica) startGroupCommunication() error {
 			Self:        r.cfg.ID,
 			Members:     r.cfg.Members,
 			Batching:    r.cfg.Batching,
-			Incarnation: uint64(r.incarnation),
+			Incarnation: r.cfg.IncarnationBase + uint64(r.incarnation),
 		}, router)
 		if err != nil {
 			return err
@@ -59,11 +59,15 @@ func (r *Replica) startGroupCommunication() error {
 		if r.cfg.StartDetector {
 			det = fd.New(r.cfg.ID, r.cfg.Members, router, r.cfg.Detector)
 			router.Handle(fd.MsgHeartbeat, det.OnMessage)
+			onEvent := r.cfg.OnDetectorEvent
 			det.OnEvent(func(ev fd.Event) {
 				if ev.Suspected {
 					ab.Suspect(ev.Peer)
 				} else {
 					ab.Unsuspect(ev.Peer)
+				}
+				if onEvent != nil {
+					onEvent(ev)
 				}
 			})
 		}
@@ -152,8 +156,16 @@ type StateSnapshot struct {
 	LastAppliedSeq uint64
 }
 
-// Snapshot produces a state-transfer checkpoint of this replica.
+// Snapshot produces a state-transfer checkpoint of this replica.  It takes
+// the apply barrier so the capture sits between delivered batches: items,
+// applied-transaction set and applied sequence form a consistent cut even on
+// a live, loaded donor.  (Without the barrier a snapshot could ship a
+// transaction id marked applied by deferred staging whose writes had not yet
+// been installed — the receiver would then skip its own delivery of that
+// transaction and permanently miss its writes.)
 func (r *Replica) Snapshot() StateSnapshot {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
 	return StateSnapshot{
 		Items:          r.dbase.SnapshotState(),
 		AppliedTxns:    r.dbase.AppliedTxns(),
@@ -184,9 +196,11 @@ func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
 	if err := r.dbase.CrashAndRecover(); err != nil {
 		return 0, fmt.Errorf("core: database recovery: %w", err)
 	}
-	// The group communication message log also loses its unsynced tail.
-	if r.msgLog != nil {
-		r.msgLog.Crash()
+	// The group communication message log also loses its unsynced tail (the
+	// in-process crash model only exists for in-memory logs; a file-backed
+	// log's process dies for real and is reopened by a fresh Replica).
+	if mem, ok := r.msgLog.(*wal.MemLog); ok {
+		mem.Crash()
 	}
 
 	r.cfg.Network.Recover(r.cfg.ID)
@@ -252,6 +266,52 @@ func (r *Replica) installSnapshot(s StateSnapshot) {
 	if ab != nil {
 		ab.SkipTo(s.LastAppliedSeq + 1)
 	}
+}
+
+// MergeSnapshot merges a state-transfer checkpoint into a LIVE replica,
+// concurrently with the apply pipeline: items are taken per-item only where
+// the snapshot is strictly newer-versioned (an atomic conditional append in
+// the store, so a racing local install can never be reverted), the applied
+// transaction set is unioned, and the applied sequence and the broadcaster's
+// delivery cursor only ever advance.  The server layer calls this from its
+// periodic resync, where snapshots routinely arrive stale or concurrently
+// with fresh deliveries.  Returns the number of items taken.
+func (r *Replica) MergeSnapshot(s StateSnapshot) int {
+	merged := r.dbase.MergeNewerState(s.Items, s.AppliedTxns)
+	r.mu.Lock()
+	r.advanceAppliedSeqLocked(s.LastAppliedSeq)
+	ab := r.ab
+	r.mu.Unlock()
+	if ab != nil {
+		ab.SkipTo(s.LastAppliedSeq + 1)
+	}
+	return merged
+}
+
+// Router exposes the replica's message router so embedding layers (the
+// server process) can register additional message types — state transfer
+// requests, for example — on the same transport endpoint and incarnation the
+// replication stack uses.  The router changes on recovery; callers must
+// re-fetch it after Recover.
+func (r *Replica) Router() *gcs.Router {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.router
+}
+
+// ReplayLoggedMessages re-delivers every logged-but-unacknowledged end-to-end
+// broadcast message to the apply loop, returning the number replayed.  A
+// restarting server process calls it once after constructing the replica over
+// its surviving file-backed message log; clusters without the end-to-end
+// layer replay nothing.
+func (r *Replica) ReplayLoggedMessages() (int, error) {
+	r.mu.Lock()
+	e2eb := r.e2eb
+	r.mu.Unlock()
+	if e2eb == nil {
+		return 0, nil
+	}
+	return e2eb.Recover()
 }
 
 // Close shuts the replica down.

@@ -1,6 +1,9 @@
 package core
 
-import "groupsafe/internal/storage"
+import (
+	"groupsafe/internal/storage"
+	"groupsafe/internal/wal"
+)
 
 // This file holds the observability hooks the deterministic fault-injection
 // fuzzer (internal/sim/fuzz) uses to extract the committed history and the
@@ -39,9 +42,15 @@ func (r *Replica) AppliedLog() []AppliedRecord {
 // DurableLSN returns the local database log's durable frontier: the LSN of
 // the last record that would survive a crash at this instant.  The fuzzer
 // samples it just before injecting a crash to decide which acknowledged
-// transactions a group-safe cluster was still allowed to lose.
+// transactions a group-safe cluster was still allowed to lose.  Logs that do
+// not track an explicit sync frontier (wal.FileLog appends are on disk as
+// soon as the write syscall returns; only the OS cache is at risk) report
+// their last appended LSN.
 func (r *Replica) DurableLSN() uint64 {
-	return uint64(r.dbLog.DurableLSN())
+	if l, ok := r.dbLog.(interface{ DurableLSN() wal.LSN }); ok {
+		return uint64(l.DurableLSN())
+	}
+	return uint64(r.dbLog.LastLSN())
 }
 
 // StoreItems returns a copy of the replica's committed store contents

@@ -58,8 +58,31 @@ type ReplicaConfig struct {
 	// needs a group-communication level (the zero level is promoted to
 	// group-safe), lazy primary-copy is inherently 1-safe.
 	Technique TechniqueID
-	// Network is the shared in-memory network.
-	Network *transport.MemNetwork
+	// Network attaches the replica to its peers: the shared in-memory
+	// network in simulated clusters, a transport.TCPNode in one-process-per-
+	// replica deployments.
+	Network transport.Network
+	// DBLog overrides the database component's write-ahead log.  Nil selects
+	// an in-memory log with DiskSyncDelay (the simulated-cluster default);
+	// server processes pass a file-backed wal.FileLog so committed state
+	// survives a real process kill.
+	DBLog wal.Log
+	// MsgLog overrides the end-to-end broadcast's message log the same way.
+	// Only consulted when Level.RequiresEndToEnd().
+	MsgLog wal.Log
+	// IncarnationBase offsets the abcast incarnation numbers AND the
+	// transaction-id counter of this process.  The in-process crash model
+	// bumps incarnations within one Replica value; a restarted OS process
+	// constructs a brand-new Replica whose counters restart at 1, so a
+	// server persists a monotone base across restarts — otherwise the
+	// sequencer would silently ignore the reborn replica's messages as
+	// duplicates of its previous life, and (worse) a reborn delegate would
+	// reuse transaction ids from its previous life, which every replica's
+	// applied set already contains: the reissued transaction would certify,
+	// acknowledge, and then be skipped at install everywhere as a presumed
+	// re-delivery — silent loss of an acknowledged transaction.  The base
+	// leaves 2^20 ids per incarnation before the next life's range begins.
+	IncarnationBase uint64
 	// DiskSyncDelay emulates the latency of forcing a log to disk.
 	DiskSyncDelay time.Duration
 	// ExecTimeout bounds how long Execute waits for an outcome (default 10s).
@@ -81,6 +104,10 @@ type ReplicaConfig struct {
 	StartDetector bool
 	// Detector tunes the failure detector when StartDetector is set.
 	Detector fd.Config
+	// OnDetectorEvent, when set with StartDetector, additionally receives
+	// every failure detector transition (after the broadcaster has been
+	// informed).  The server layer uses it to drive membership view changes.
+	OnDetectorEvent func(fd.Event)
 	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay,
 	// ApplyWorkers); see the tuning package for their semantics.
 	tuning.Pipeline
@@ -148,10 +175,20 @@ type Replica struct {
 	// loop's deliver hook must not interleave with a concurrent Recover.
 	lifeMu sync.Mutex
 
+	// applyMu is the apply barrier: held for the duration of every delivered
+	// batch (and every lazy write-set install), and by Snapshot.  A state
+	// snapshot taken mid-batch would be poisoned — deferred staging marks a
+	// transaction applied before its writes reach the store, so a snapshot
+	// cut between the two ships an applied id without its writes, and the
+	// receiver then skips its own delivery of that transaction and loses the
+	// writes for good.  Snapshot therefore waits for the in-flight batch and
+	// captures between batches.
+	applyMu sync.Mutex
+
 	mu             sync.Mutex
 	dbase          *db.DB
-	dbLog          *wal.MemLog
-	msgLog         *wal.MemLog
+	dbLog          wal.Log
+	msgLog         wal.Log
 	router         *gcs.Router
 	ab             *abcast.Broadcaster
 	e2eb           *e2e.Broadcaster
@@ -203,9 +240,14 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		veryDone:   make(map[uint64]chan struct{}),
 		crashCh:    make(chan struct{}),
 		seqAdvance: make(chan struct{}),
+		nextTxn:    cfg.IncarnationBase,
 	}
 
-	r.dbLog = wal.NewMemLogWithDelay(cfg.DiskSyncDelay)
+	r.dbLog = cfg.DBLog
+	if r.dbLog == nil {
+		r.dbLog = wal.NewMemLogWithDelay(cfg.DiskSyncDelay)
+	}
+	r.msgLog = cfg.MsgLog
 	policy := db.AsyncCommit
 	if cfg.Level.SyncOnCommit() {
 		policy = db.SyncOnCommit
@@ -306,7 +348,12 @@ func (r *Replica) Unsuspect(peer string) {
 }
 
 // nextTxnID assigns a globally unique transaction identifier: the replica
-// index occupies the high bits, a local counter the low bits.
+// index occupies the high bits, a local counter the low bits.  The counter
+// starts at IncarnationBase, not zero: transaction ids must be unique across
+// process restarts too, because every replica's applied-transaction set
+// treats a familiar id as an idempotent re-delivery and silently skips the
+// install — a reborn delegate reusing an id from its previous life would get
+// its transaction certified and acknowledged but never applied anywhere.
 func (r *Replica) nextTxnID() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()

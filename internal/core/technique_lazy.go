@@ -279,7 +279,10 @@ func (r *Replica) onLazy(m transport.Message) {
 	if err := decodePayload(m.Payload, &p); err != nil {
 		return
 	}
-	if _, err := r.dbase.ApplyWriteSet(p.TxnID, writeSetOf(p.Writes)); err != nil {
+	r.applyMu.Lock()
+	_, err := r.dbase.ApplyWriteSet(p.TxnID, writeSetOf(p.Writes))
+	r.applyMu.Unlock()
+	if err != nil {
 		return
 	}
 	r.mu.Lock()

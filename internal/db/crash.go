@@ -61,6 +61,24 @@ func (d *DB) RestoreState(snapshot []storage.Item, appliedTxns []uint64) {
 	}
 }
 
+// MergeNewerState merges a state-transfer snapshot into a running database:
+// items are taken per-item only where the snapshot's version is strictly
+// newer (storage.Store.MergeNewer), and the given transactions are added to
+// the applied set.  Unlike RestoreState this is safe while transactions are
+// being applied concurrently — it can only add missing state, never revert a
+// concurrent install.  Returns the number of items taken.
+func (d *DB) MergeNewerState(snapshot []storage.Item, appliedTxns []uint64) int {
+	d.mu.Lock()
+	for _, id := range appliedTxns {
+		d.applied[id] = true
+		if id >= d.nextID {
+			d.nextID = id + 1
+		}
+	}
+	d.mu.Unlock()
+	return d.store.MergeNewer(snapshot)
+}
+
 // AppliedTxns returns the identifiers of every transaction applied so far
 // (sorted order is not guaranteed); it is shipped along with state snapshots
 // so that the receiving replica can keep enforcing exactly-once application.

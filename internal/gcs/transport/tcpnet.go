@@ -1,47 +1,172 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// TCPEndpoint is an Endpoint backed by real TCP connections.  Messages are
-// gob-encoded on persistent, lazily-established connections.  It is used by
-// the cmd/gsdb-cluster binary; the in-memory network is preferred for tests.
+// TCPEndpoint is an Endpoint backed by real TCP connections, hardened for
+// production multi-process clusters:
+//
+//   - messages are varint-framed (see wire.go) behind a magic/version
+//     handshake, so mismatched binaries fail fast instead of mis-decoding;
+//   - each peer has a dedicated sender goroutine draining a bounded FIFO
+//     queue over one persistent connection, so the per-link FIFO contract of
+//     MemNetwork (which the replication protocols rely on) holds across
+//     reconnects: a broken connection is re-dialled with exponential backoff
+//     plus jitter while queued messages wait in order;
+//   - writes carry a deadline, so a silently dead connection (power loss,
+//     partition — no RST) is detected promptly instead of blocking the link;
+//   - sending to an unreachable peer is not an error until the queue fills;
+//     then Send surfaces a typed, retryable *PeerError wrapping
+//     ErrSendQueueFull rather than silently dropping the message;
+//   - the inbox is bounded with an explicit drop policy (count and discard,
+//     like an overloaded receiver on a lossy LAN) and inbound reads carry an
+//     idle deadline so leaked connections do not accumulate.
+//
+// Like MemNetwork, delivery is at-most-once: a message in flight on a
+// connection that breaks may be lost (it is counted as dropped, never
+// retransmitted, so no duplicates and no reordering).
 type TCPEndpoint struct {
+	cfg      TCPConfig
 	addr     string
 	listener net.Listener
 	inbox    chan Message
 
 	mu      sync.Mutex
-	conns   map[string]*outConn
+	peers   map[string]*tcpPeer
 	inConns map[net.Conn]struct{}
 	closed  bool
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // accept loop and read loops
+
+	sent         atomic.Uint64
+	dropped      atomic.Uint64
+	inboxDropped atomic.Uint64
+	reconnects   atomic.Uint64
+	badHandshake atomic.Uint64
 }
 
-type outConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
+// TCPConfig tunes a TCPEndpoint.  The zero value gives LAN-appropriate
+// defaults; see docs/OPERATIONS.md for WAN guidance.
+type TCPConfig struct {
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-message write deadline; a write that cannot
+	// complete within it declares the connection dead (default 3s).
+	WriteTimeout time.Duration
+	// ReadIdleTimeout closes an inbound connection that has been silent for
+	// this long (default 5 minutes; clusters running a failure detector
+	// heartbeat far more often).  Negative disables the idle deadline.
+	ReadIdleTimeout time.Duration
+	// ReconnectMin/ReconnectMax bound the exponential redial backoff
+	// (defaults 20ms and 1s); actual sleeps are jittered ±50%.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// SendQueue is the per-peer outbound queue capacity (default 4096).
+	// When a peer is down, up to SendQueue messages wait in FIFO order;
+	// beyond that Send fails fast with ErrSendQueueFull.
+	SendQueue int
+	// Inbox is the inbound delivery channel capacity (default 4096).
+	Inbox int
+	// Logf, when set, receives diagnostic messages (reconnects, handshake
+	// failures, dropped frames).  Nil silences them.
+	Logf func(format string, args ...interface{})
 }
 
-const tcpInboxSize = 4096
+func (c *TCPConfig) applyDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 3 * time.Second
+	}
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = 5 * time.Minute
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = 20 * time.Millisecond
+	}
+	if c.ReconnectMax < c.ReconnectMin {
+		c.ReconnectMax = time.Second
+	}
+	if c.SendQueue <= 0 {
+		c.SendQueue = 4096
+	}
+	if c.Inbox <= 0 {
+		c.Inbox = 4096
+	}
+}
 
-// ListenTCP creates an endpoint listening on addr (e.g. "127.0.0.1:7001").
-// The endpoint's address is the listener's actual address, which allows
-// addr to use port 0 for tests.
+func (c *TCPConfig) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// ErrSendQueueFull is wrapped by the *PeerError a Send returns when a peer's
+// bounded outbound queue is exhausted (the peer is down or too slow).  The
+// condition is transient: accepted messages keep their FIFO positions and the
+// caller may retry once the queue drains.
+var ErrSendQueueFull = errors.New("transport: peer send queue full")
+
+// PeerError is the typed, retryable error of the TCP send path: it names the
+// peer and wraps the underlying condition, so callers can errors.Is against
+// ErrSendQueueFull (backpressure) or ErrBadHandshake (incompatible peer).
+type PeerError struct {
+	Peer string
+	Err  error
+}
+
+// Error implements error.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("transport: peer %s: %v", e.Peer, e.Err)
+}
+
+// Unwrap exposes the underlying condition to errors.Is/errors.As.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// TCPStats are cumulative counters of one endpoint.
+type TCPStats struct {
+	// Sent counts frames successfully written to a connection.
+	Sent uint64
+	// Dropped counts messages lost on the send path: queue overflow and
+	// frames that failed mid-write on a breaking connection.
+	Dropped uint64
+	// InboxDropped counts inbound frames discarded because the inbox was
+	// full (receiver overload).
+	InboxDropped uint64
+	// Reconnects counts outbound connections re-established after a failure.
+	Reconnects uint64
+	// BadHandshakes counts connections rejected for magic/version mismatch.
+	BadHandshakes uint64
+}
+
+// ListenTCP creates an endpoint listening on addr (e.g. "127.0.0.1:7001")
+// with default tuning.  The endpoint's address is the listener's actual
+// address, which allows addr to use port 0 for tests.
 func ListenTCP(addr string) (*TCPEndpoint, error) {
+	return ListenTCPConfig(addr, TCPConfig{})
+}
+
+// ListenTCPConfig creates an endpoint with explicit tuning.
+func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPEndpoint, error) {
+	cfg.applyDefaults()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	ep := &TCPEndpoint{
+		cfg:      cfg,
 		addr:     l.Addr().String(),
 		listener: l,
-		inbox:    make(chan Message, tcpInboxSize),
-		conns:    make(map[string]*outConn),
+		inbox:    make(chan Message, cfg.Inbox),
+		peers:    make(map[string]*tcpPeer),
 		inConns:  make(map[net.Conn]struct{}),
 	}
 	ep.wg.Add(1)
@@ -77,10 +202,34 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 		delete(ep.inConns, conn)
 		ep.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+
+	// Bidirectional handshake: announce ourselves, then validate the peer
+	// before decoding anything.  A mismatch is logged and the connection
+	// dropped — fail fast beats mis-decoding.
+	conn.SetDeadline(time.Now().Add(ep.cfg.WriteTimeout + ep.cfg.DialTimeout))
+	if err := writeHandshake(conn); err != nil {
+		return
+	}
+	if err := readHandshake(conn); err != nil {
+		ep.badHandshake.Add(1)
+		ep.cfg.logf("transport %s: rejected inbound connection from %s: %v", ep.addr, conn.RemoteAddr(), err)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var scratch []byte
 	for {
+		if ep.cfg.ReadIdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(ep.cfg.ReadIdleTimeout))
+		}
 		var m Message
-		if err := dec.Decode(&m); err != nil {
+		var err error
+		m, scratch, err = readFrame(r, scratch)
+		if err != nil {
+			if errors.Is(err, errFrameTooLarge) || errors.Is(err, errBadFrame) {
+				ep.cfg.logf("transport %s: closing connection from %s: %v", ep.addr, conn.RemoteAddr(), err)
+			}
 			return
 		}
 		ep.mu.Lock()
@@ -92,7 +241,10 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 		select {
 		case ep.inbox <- m:
 		default:
-			// Receiver overloaded; drop, as a lossy network would.
+			// Bounded inbox, explicit drop policy: an overloaded receiver
+			// sheds load like a lossy network; protocols already tolerate
+			// loss (retransmission/majority logic above the transport).
+			ep.inboxDropped.Add(1)
 		}
 	}
 }
@@ -103,46 +255,51 @@ func (ep *TCPEndpoint) Addr() string { return ep.addr }
 // Recv implements Endpoint.
 func (ep *TCPEndpoint) Recv() <-chan Message { return ep.inbox }
 
-// Send implements Endpoint.  Connection failures are reported but also leave
-// the cached connection cleared, so a later retry re-dials.
+// Stats returns a snapshot of the endpoint's counters.
+func (ep *TCPEndpoint) Stats() TCPStats {
+	return TCPStats{
+		Sent:          ep.sent.Load(),
+		Dropped:       ep.dropped.Load(),
+		InboxDropped:  ep.inboxDropped.Load(),
+		Reconnects:    ep.reconnects.Load(),
+		BadHandshakes: ep.badHandshake.Load(),
+	}
+}
+
+// Send implements Endpoint.  The message is appended to the peer's FIFO
+// queue and written by the peer's sender goroutine; Send itself never blocks
+// on the network.  A full queue (peer down past the buffering horizon, or
+// severely backlogged) fails fast with a *PeerError wrapping
+// ErrSendQueueFull — typed and retryable, never a silent drop.
 func (ep *TCPEndpoint) Send(to string, m Message) error {
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
 		return ErrClosed
 	}
+	p, ok := ep.peers[to]
+	if !ok {
+		p = &tcpPeer{
+			ep:    ep,
+			addr:  to,
+			queue: make(chan Message, ep.cfg.SendQueue),
+			stop:  make(chan struct{}),
+			done:  make(chan struct{}),
+		}
+		ep.peers[to] = p
+		go p.loop()
+	}
+	ep.mu.Unlock()
+
 	m.From = ep.addr
 	m.To = to
-	oc, ok := ep.conns[to]
-	ep.mu.Unlock()
-
-	if !ok {
-		conn, err := net.Dial("tcp", to)
-		if err != nil {
-			return fmt.Errorf("transport: dial %s: %w", to, err)
-		}
-		oc = &outConn{conn: conn, enc: gob.NewEncoder(conn)}
-		ep.mu.Lock()
-		if existing, raced := ep.conns[to]; raced {
-			conn.Close()
-			oc = existing
-		} else {
-			ep.conns[to] = oc
-		}
-		ep.mu.Unlock()
+	select {
+	case p.queue <- m:
+		return nil
+	default:
+		ep.dropped.Add(1)
+		return &PeerError{Peer: to, Err: ErrSendQueueFull}
 	}
-
-	ep.mu.Lock()
-	err := oc.enc.Encode(m)
-	if err != nil {
-		oc.conn.Close()
-		delete(ep.conns, to)
-	}
-	ep.mu.Unlock()
-	if err != nil {
-		return fmt.Errorf("transport: send to %s: %w", to, err)
-	}
-	return nil
 }
 
 // Close implements Endpoint.
@@ -153,16 +310,113 @@ func (ep *TCPEndpoint) Close() error {
 		return nil
 	}
 	ep.closed = true
-	for _, oc := range ep.conns {
-		oc.conn.Close()
+	peers := make([]*tcpPeer, 0, len(ep.peers))
+	for _, p := range ep.peers {
+		peers = append(peers, p)
 	}
-	ep.conns = make(map[string]*outConn)
+	ep.peers = make(map[string]*tcpPeer)
 	for conn := range ep.inConns {
 		conn.Close()
 	}
 	ep.mu.Unlock()
+
+	for _, p := range peers {
+		close(p.stop)
+	}
+	for _, p := range peers {
+		<-p.done
+	}
 	err := ep.listener.Close()
 	ep.wg.Wait()
 	close(ep.inbox)
 	return err
+}
+
+// tcpPeer is the outbound half of one link: a bounded FIFO queue drained by
+// a single goroutine over one persistent connection.
+type tcpPeer struct {
+	ep    *TCPEndpoint
+	addr  string
+	queue chan Message
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func (p *tcpPeer) loop() {
+	defer close(p.done)
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := p.ep.cfg.ReconnectMin
+	var buf []byte
+	for {
+		select {
+		case <-p.stop:
+			return
+		case m := <-p.queue:
+			if conn == nil {
+				conn = p.dial(&backoff)
+				if conn == nil {
+					return // stopped while backing off
+				}
+			}
+			buf = appendFrame(buf[:0], m)
+			conn.SetWriteDeadline(time.Now().Add(p.ep.cfg.WriteTimeout))
+			if _, err := conn.Write(buf); err != nil {
+				// The frame may have partially reached the peer: treat it as
+				// lost (at-most-once — no retransmission, so no duplicates
+				// and no reordering) and re-dial for the rest of the queue.
+				conn.Close()
+				conn = nil
+				p.ep.dropped.Add(1)
+				p.ep.reconnects.Add(1)
+				p.ep.cfg.logf("transport %s: connection to %s broke (%v); reconnecting", p.ep.addr, p.addr, err)
+				continue
+			}
+			p.ep.sent.Add(1)
+		}
+	}
+}
+
+// dial establishes a handshaken connection, retrying with jittered
+// exponential backoff until it succeeds or the endpoint stops.  Returns nil
+// only when stopped.
+func (p *tcpPeer) dial(backoff *time.Duration) net.Conn {
+	cfg := &p.ep.cfg
+	for {
+		conn, err := net.DialTimeout("tcp", p.addr, cfg.DialTimeout)
+		if err == nil {
+			conn.SetDeadline(time.Now().Add(cfg.WriteTimeout + cfg.DialTimeout))
+			hsErr := writeHandshake(conn)
+			if hsErr == nil {
+				hsErr = readHandshake(conn)
+			}
+			if hsErr == nil {
+				conn.SetDeadline(time.Time{})
+				*backoff = cfg.ReconnectMin
+				return conn
+			}
+			conn.Close()
+			if errors.Is(hsErr, ErrBadHandshake) {
+				p.ep.badHandshake.Add(1)
+			}
+			cfg.logf("transport %s: handshake with %s failed: %v", p.ep.addr, p.addr, hsErr)
+		} else {
+			cfg.logf("transport %s: dial %s: %v (retrying in ~%v)", p.ep.addr, p.addr, err, *backoff)
+		}
+		// Jittered exponential backoff: sleep backoff ±50%, then double.
+		sleep := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff)))
+		*backoff *= 2
+		if *backoff > cfg.ReconnectMax {
+			*backoff = cfg.ReconnectMax
+		}
+		select {
+		case <-p.stop:
+			return nil
+		case <-time.After(sleep):
+		}
+	}
 }

@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests mirror the MemNetwork contract suite over real sockets: the
+// replication protocols above the transport (lazy FIFO propagation, abcast,
+// the fuzzer's adversary schedules) rely on per-link FIFO with at-most-once
+// delivery, and those guarantees must hold across connection loss, peer
+// death and reconnection — not only on the in-memory network.
+
+// collect drains ep until either want messages arrived or the deadline
+// passed, returning the payload sequence numbers in arrival order.
+func collectSeqs(ep Endpoint, want int, d time.Duration) []int {
+	var got []int
+	deadline := time.After(d)
+	for len(got) < want {
+		select {
+		case m, ok := <-ep.Recv():
+			if !ok {
+				return got
+			}
+			got = append(got, int(m.Payload[0])|int(m.Payload[1])<<8)
+		case <-deadline:
+			return got
+		}
+	}
+	return got
+}
+
+func seqMsg(i int) Message {
+	return Message{Type: "seq", Payload: []byte{byte(i), byte(i >> 8)}}
+}
+
+// TestTCPChannelFIFO is the TCP twin of TestMemNetworkChannelFIFO: a burst of
+// messages over one link must arrive in send order.
+func TestTCPChannelFIFO(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const msgs = 500
+	for i := 0; i < msgs; i++ {
+		if err := a.Send(b.Addr(), seqMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectSeqs(b, msgs, 5*time.Second)
+	if len(got) != msgs {
+		t.Fatalf("received %d of %d messages", len(got), msgs)
+	}
+	for i, s := range got {
+		if s != i {
+			t.Fatalf("delivery %d carried sequence %d: link reordered", i, s)
+		}
+	}
+}
+
+// TestTCPFIFOAcrossPeerRestart kills the receiving endpoint mid-stream
+// (partition), restarts it on the same address (heal), and asserts the
+// delivered sequence is an in-order subsequence with no duplicates: messages
+// may be lost while the peer is down (at-most-once), but what arrives — on
+// either side of the outage — must respect send order.
+func TestTCPFIFOAcrossPeerRestart(t *testing.T) {
+	a, err := ListenTCPConfig("127.0.0.1:0", TCPConfig{ReconnectMin: 5 * time.Millisecond, WriteTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+
+	const phase = 100
+	for i := 0; i < phase; i++ {
+		if err := a.Send(addr, seqMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := collectSeqs(b, phase, 5*time.Second)
+	if len(first) != phase {
+		t.Fatalf("phase 1: received %d of %d", len(first), phase)
+	}
+
+	// Partition: the peer endpoint dies.
+	b.Close()
+	for i := phase; i < 2*phase; i++ {
+		// Sends while the peer is down queue (or drop on overflow) — they
+		// must never error in a way that loses later messages' positions.
+		if err := a.Send(addr, seqMsg(i)); err != nil && !errors.Is(err, ErrSendQueueFull) {
+			t.Fatalf("send while peer down: %v", err)
+		}
+	}
+
+	// Heal: a new process takes over the same address.
+	b2, err := ListenTCP(addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	defer b2.Close()
+	for i := 2 * phase; i < 3*phase; i++ {
+		if err := a.Send(addr, seqMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The post-restart endpoint must see an in-order, duplicate-free
+	// subsequence that includes every post-heal message.
+	got := collectSeqs(b2, 2*phase, 3*time.Second)
+	last := -1
+	for _, s := range got {
+		if s <= last {
+			t.Fatalf("sequence %d arrived after %d: reordered or duplicated across reconnect", s, last)
+		}
+		last = s
+	}
+	if last != 3*phase-1 {
+		t.Fatalf("last delivered sequence = %d, want %d (post-heal tail lost)", last, 3*phase-1)
+	}
+}
+
+// TestTCPDeadPeerBackpressure pins the satellite contract: a peer that stays
+// down fills the bounded send queue, after which Send fails fast with a
+// typed, retryable error that names the peer — never a silent drop, never an
+// unbounded block.
+func TestTCPDeadPeerBackpressure(t *testing.T) {
+	a, err := ListenTCPConfig("127.0.0.1:0", TCPConfig{
+		SendQueue:    8,
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// A TCP listener that never accepts still completes connections (kernel
+	// backlog), so use a port nothing listens on.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	var overflow error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send(dead, Message{Type: "x"}); err != nil {
+			overflow = err
+			break
+		}
+	}
+	if overflow == nil {
+		t.Fatal("send queue to a dead peer never filled")
+	}
+	if !errors.Is(overflow, ErrSendQueueFull) {
+		t.Fatalf("overflow error = %v, want ErrSendQueueFull", overflow)
+	}
+	var pe *PeerError
+	if !errors.As(overflow, &pe) || pe.Peer != dead {
+		t.Fatalf("overflow error = %#v, want *PeerError naming %s", overflow, dead)
+	}
+	if s := a.Stats(); s.Dropped == 0 {
+		t.Fatalf("overflow not counted: stats = %+v", s)
+	}
+}
+
+// TestTCPHandshakeMismatch: a stream that does not open with the exact
+// magic+version header is rejected before any frame is decoded, and the
+// failure is counted — mismatched binaries fail fast and visibly.
+func TestTCPHandshakeMismatch(t *testing.T) {
+	var logged []string
+	ep, err := ListenTCPConfig("127.0.0.1:0", TCPConfig{
+		Logf: func(format string, args ...interface{}) {
+			logged = append(logged, format)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// Wrong magic.
+	conn, err := net.Dial("tcp", ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("HTTP/1.1 GET /\r\n"))
+	conn.Close()
+
+	// Right magic, wrong version.
+	conn2, err := net.Dial("tcp", ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Write([]byte(tcpMagic))
+	conn2.Write([]byte{tcpVersion + 1})
+	conn2.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for ep.Stats().BadHandshakes < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := ep.Stats().BadHandshakes; n < 2 {
+		t.Fatalf("BadHandshakes = %d, want 2", n)
+	}
+	select {
+	case m := <-ep.Recv():
+		t.Fatalf("garbage stream delivered a message: %+v", m)
+	default:
+	}
+}
+
+// TestTCPHandshakeVersionError checks the decode side reports a clear,
+// actionable error for a version skew.
+func TestTCPHandshakeVersionError(t *testing.T) {
+	err := readHandshake(strings.NewReader(tcpMagic + "\x7f"))
+	if !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("err = %v, want ErrBadHandshake", err)
+	}
+	if !strings.Contains(err.Error(), "version 127") {
+		t.Fatalf("error should name the peer version: %v", err)
+	}
+}
+
+// TestTCPFrameRoundTrip exercises the varint frame codec directly, including
+// empty fields and payload reuse.
+func TestTCPFrameRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Type: "ab.data", From: "127.0.0.1:1", To: "127.0.0.1:2", Payload: []byte("hello")},
+		{Type: "", From: "", To: "", Payload: nil},
+		{Type: "fd.heartbeat", From: "x", To: "y", Payload: make([]byte, 70000)},
+	}
+	var buf []byte
+	for _, m := range msgs {
+		buf = appendFrame(buf, m)
+	}
+	r := bufio.NewReader(bytes.NewReader(buf))
+	var scratch []byte
+	for i, want := range msgs {
+		var got Message
+		var err error
+		got, scratch, err = readFrame(r, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.From != want.From || got.To != want.To || string(got.Payload) != string(want.Payload) {
+			t.Fatalf("frame %d round-trip mismatch", i)
+		}
+	}
+}
+
+// TestTCPInboxOverflowDropsAndCounts: the bounded inbox sheds load instead
+// of blocking the socket, and the drops are observable.
+func TestTCPInboxOverflowDropsAndCounts(t *testing.T) {
+	b, err := ListenTCPConfig("127.0.0.1:0", TCPConfig{Inbox: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	const burst = 64
+	for i := 0; i < burst; i++ {
+		if err := a.Send(b.Addr(), seqMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for a.Stats().Sent < burst && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Nothing is reading b's inbox, so at most Inbox messages are buffered
+	// and the rest must be counted as dropped — not block the read loop.
+	deadline = time.Now().Add(3 * time.Second)
+	for b.Stats().InboxDropped == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d := b.Stats().InboxDropped; d == 0 {
+		t.Fatal("inbox overflow was not counted")
+	}
+}

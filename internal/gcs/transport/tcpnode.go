@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TCPNode adapts TCP endpoints to the Network interface, so a replica built
+// for the in-memory network runs unchanged as one OS process per replica.
+// Unlike MemNetwork — which owns every endpoint of a whole simulated cluster
+// — a TCPNode lives inside a single process and typically carries exactly
+// one listening endpoint (this replica's); peers are ordinary remote
+// addresses reached by the endpoint's outbound connections.
+type TCPNode struct {
+	cfg TCPConfig
+
+	mu        sync.Mutex
+	endpoints map[string]*TCPEndpoint
+}
+
+// NewTCPNode creates a node whose endpoints share the given tuning.
+func NewTCPNode(cfg TCPConfig) *TCPNode {
+	return &TCPNode{cfg: cfg, endpoints: make(map[string]*TCPEndpoint)}
+}
+
+// Listen pre-creates the endpoint for addr, surfacing bind errors to the
+// caller (the Network interface's Endpoint cannot).  The returned endpoint's
+// Addr resolves port 0 to the actual port.
+func (n *TCPNode) Listen(addr string) (*TCPEndpoint, error) {
+	ep, err := ListenTCPConfig(addr, n.cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.endpoints[ep.Addr()] = ep
+	if addr != ep.Addr() {
+		n.endpoints[addr] = ep
+	}
+	n.mu.Unlock()
+	return ep, nil
+}
+
+// Endpoint implements Network.  The endpoint must have been created with
+// Listen first (bind errors need a place to go); asking for an address this
+// node never listened on is a wiring bug.
+func (n *TCPNode) Endpoint(addr string) Endpoint {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	n.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("transport: TCPNode.Endpoint(%q) before Listen", addr))
+	}
+	return ep
+}
+
+// Crash implements Network by closing the endpoint (a real process's crash
+// is the process dying; this exists for completeness and tests).
+func (n *TCPNode) Crash(addr string) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	n.mu.Unlock()
+	if ok {
+		ep.Close()
+	}
+}
+
+// Recover implements Network as a no-op: a recovered process re-runs Listen.
+func (n *TCPNode) Recover(addr string) {}
+
+// Close closes every endpoint the node created.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	eps := make(map[*TCPEndpoint]bool, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps[ep] = true
+	}
+	n.endpoints = make(map[string]*TCPEndpoint)
+	n.mu.Unlock()
+	var first error
+	for ep := range eps {
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

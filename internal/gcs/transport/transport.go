@@ -33,3 +33,19 @@ type Endpoint interface {
 
 // ErrClosed is returned when sending through a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
+
+// Network abstracts how a replica attaches to its peers, so the same replica
+// engine runs over the in-memory failure-injection network (tests, simulated
+// clusters, the fuzzer) and over real TCP sockets (one process per replica;
+// see TCPNode).  Crash and Recover exist for the simulated crash model; for
+// a real process the operating system plays that role (kill -9 the process),
+// so TCPNode implements them as endpoint teardown/no-op.
+type Network interface {
+	// Endpoint attaches (or re-attaches) the endpoint with the given
+	// address.
+	Endpoint(addr string) Endpoint
+	// Crash silences the endpoint at addr (simulated process crash).
+	Crash(addr string)
+	// Recover reverses a Crash.
+	Recover(addr string)
+}

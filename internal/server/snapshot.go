@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"groupsafe/internal/core"
+	"groupsafe/internal/storage"
+)
+
+// Varint codec for the state-transfer snapshot exchanged by srv.pull /
+// srv.snap, in the same style as the replicated transaction payloads.
+
+var errBadSnapshot = errors.New("server: malformed snapshot payload")
+
+const snapMagic = 0xA9
+
+func appendSnapshot(buf []byte, s core.StateSnapshot) []byte {
+	buf = append(buf, snapMagic)
+	buf = binary.AppendUvarint(buf, s.LastAppliedSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Items)))
+	for _, it := range s.Items {
+		buf = binary.AppendVarint(buf, it.Value)
+		buf = binary.AppendUvarint(buf, it.Version)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.AppliedTxns)))
+	for _, id := range s.AppliedTxns {
+		buf = binary.AppendUvarint(buf, id)
+	}
+	return buf
+}
+
+func decodeSnapshot(data []byte) (core.StateSnapshot, error) {
+	var s core.StateSnapshot
+	if len(data) == 0 || data[0] != snapMagic {
+		return s, errBadSnapshot
+	}
+	pos := 1
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	seq, ok := uvarint()
+	if !ok {
+		return s, errBadSnapshot
+	}
+	s.LastAppliedSeq = seq
+	nItems, ok := uvarint()
+	if !ok || nItems > uint64(len(data)) {
+		return s, errBadSnapshot
+	}
+	s.Items = make([]storage.Item, 0, nItems)
+	for i := uint64(0); i < nItems; i++ {
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return s, errBadSnapshot
+		}
+		pos += n
+		ver, ok := uvarint()
+		if !ok {
+			return s, errBadSnapshot
+		}
+		s.Items = append(s.Items, storage.Item{Value: v, Version: ver})
+	}
+	nTxns, ok := uvarint()
+	if !ok || nTxns > uint64(len(data)) {
+		return s, errBadSnapshot
+	}
+	s.AppliedTxns = make([]uint64, 0, nTxns)
+	for i := uint64(0); i < nTxns; i++ {
+		id, ok := uvarint()
+		if !ok {
+			return s, errBadSnapshot
+		}
+		s.AppliedTxns = append(s.AppliedTxns, id)
+	}
+	return s, nil
+}

@@ -8,8 +8,8 @@ type Mailbox[T any] struct {
 	items   []T
 	waiters []*Process
 
-	puts uint64
-	gets uint64
+	puts   uint64
+	gets   uint64
 	maxLen int
 }
 

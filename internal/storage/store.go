@@ -557,6 +557,40 @@ func (s *Store) Restore(snapshot []Item) {
 	s.endInstall(seq)
 }
 
+// MergeNewer merges a state-transfer snapshot into a live store: every item
+// whose snapshot version is strictly newer than the store's newest version
+// gets the snapshot copy appended as a fresh version (one new apply sequence
+// covers the whole merge); all other items are untouched.  Unlike Restore it
+// neither truncates version chains nor disturbs live snapshots, so it is safe
+// against concurrent installs and readers — per item the higher version wins
+// regardless of which write lands last, so a concurrently installed newer
+// write can never be regressed by a stale snapshot.  Returns the number of
+// items taken from the snapshot.
+func (s *Store) MergeNewer(snapshot []Item) int {
+	seq := s.beginInstall()
+	s.lockAll()
+	n := len(snapshot)
+	if len(s.items) < n {
+		n = len(s.items)
+	}
+	merged := 0
+	for i := 0; i < n; i++ {
+		it := snapshot[i]
+		if it == (Item{}) {
+			continue
+		}
+		vs := s.items[i].versions
+		if len(vs) > 0 && vs[len(vs)-1].ver >= it.Version {
+			continue
+		}
+		s.items[i].versions = append(vs, version{seq: seq, ver: it.Version, value: it.Value})
+		merged++
+	}
+	s.unlockAll()
+	s.endInstall(seq)
+	return merged
+}
+
 // Reset sets every item back to value 0, version 0 and drops all version
 // history.
 func (s *Store) Reset() {

@@ -159,3 +159,68 @@ func TestQuickVersionsMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMergeNewerTakesOnlyStrictlyNewer(t *testing.T) {
+	s := NewStore(4)
+	s.Write(0, 10) // version 1
+	s.Write(0, 11) // version 2
+	s.Write(1, 20) // version 1
+
+	merged := s.MergeNewer([]Item{
+		{Value: 99, Version: 1}, // stale: local is at version 2
+		{Value: 21, Version: 2}, // newer: taken
+		{Value: 30, Version: 3}, // local untouched: taken
+		{},                      // zero item: skipped
+	})
+	if merged != 2 {
+		t.Fatalf("merged = %d, want 2", merged)
+	}
+	for i, want := range []Item{{11, 2}, {21, 2}, {30, 3}, {0, 0}} {
+		v, ver, _ := s.Read(i)
+		if v != want.Value || ver != want.Version {
+			t.Fatalf("item %d = (%d, v%d), want (%d, v%d)", i, v, ver, want.Value, want.Version)
+		}
+	}
+	// Equal versions keep the local copy.
+	if n := s.MergeNewer([]Item{{Value: 99, Version: 2}}); n != 0 {
+		t.Fatalf("equal-version merge took %d items, want 0", n)
+	}
+}
+
+// TestMergeNewerNeverRegressesConcurrentWrites is the regression test for the
+// live state-transfer race: a replica applying transactions while a (possibly
+// stale) peer snapshot merges in must never lose an already-installed newer
+// write — the bug that Restore-based installs had (capture, merge, restore
+// reverts anything installed in between).
+func TestMergeNewerNeverRegressesConcurrentWrites(t *testing.T) {
+	s := NewStore(8)
+	const writes = 500
+	done := make(chan [8]uint64)
+	go func() {
+		var vers [8]uint64
+		for v := int64(1); v <= writes; v++ {
+			for i := 0; i < 8; i++ {
+				ver, _ := s.Write(i, v)
+				vers[i] = ver
+			}
+		}
+		done <- vers
+	}()
+	// Merge snapshots of our own current state (always stale or equal by the
+	// time they land) as fast as possible, racing the writer.
+	for {
+		select {
+		case vers := <-done:
+			for i := 0; i < 8; i++ {
+				v, ver, _ := s.Read(i)
+				if ver < vers[i] || v != writes {
+					t.Fatalf("item %d regressed to (%d, v%d), writer finished at (%d, v%d)",
+						i, v, ver, int64(writes), vers[i])
+				}
+			}
+			return
+		default:
+			s.MergeNewer(s.Snapshot())
+		}
+	}
+}
