@@ -374,6 +374,175 @@ func BenchmarkAbcastBatching(b *testing.B) {
 	}
 }
 
+// benchmarkLatencySweep runs one (config, producer-count) point of the
+// latency-versus-throughput sweep: `producers` closed-loop clients each
+// broadcast and wait for their own message's delivery, so per-op latency is
+// the real broadcast-to-delivery time under that offered load.  Reported
+// metrics: p50/p99 latency, protocol messages per broadcast, and the
+// sequencer's inbound messages per broadcast (the ACK-coalescing win).
+func benchmarkLatencySweep(b *testing.B, producers int, batching tuning.Batching, seqCfg tuning.Sequencer) {
+	network := transport.NewMemNetwork()
+	members := make([]string, 5)
+	for i := range members {
+		members[i] = "n" + itoa(i)
+	}
+	type node struct {
+		router *gcs.Router
+		bc     *abcast.Broadcaster
+	}
+	nodes := make([]*node, len(members))
+	for i, m := range members {
+		router := gcs.NewRouter(network.Endpoint(m))
+		bc, err := abcast.New(abcast.Config{Self: m, Members: members, Batching: batching, Sequencer: seqCfg}, router)
+		if err != nil {
+			b.Fatal(err)
+		}
+		router.Start()
+		nodes[i] = &node{router: router, bc: bc}
+	}
+	stop := make(chan struct{})
+	defer func() {
+		close(stop)
+		for _, n := range nodes {
+			n.bc.Close()
+			n.router.Stop()
+		}
+	}()
+
+	// Node 0 dispatches deliveries to per-message waiters; the other members
+	// drain in the background.  A delivery can land before its producer has
+	// registered (the id is only known once Broadcast returns), so those are
+	// parked in `delivered` for the producer to claim.
+	var mu sync.Mutex
+	waiters := make(map[string]chan struct{}, producers)
+	delivered := make(map[string]bool)
+	go func() {
+		for {
+			select {
+			case d := <-nodes[0].bc.Deliveries():
+				mu.Lock()
+				if ch, ok := waiters[d.MsgID]; ok {
+					delete(waiters, d.MsgID)
+					close(ch)
+				} else {
+					delivered[d.MsgID] = true
+				}
+				mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	for _, n := range nodes[1:] {
+		n := n
+		go func() {
+			for {
+				select {
+				case <-n.bc.Deliveries():
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	b.ResetTimer()
+	var next int64
+	latencies := make([][]time.Duration, producers)
+	errCh := make(chan error, producers)
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		g := g
+		sender := nodes[g%len(nodes)].bc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if atomic.AddInt64(&next, 1) > int64(b.N) {
+					return
+				}
+				done := make(chan struct{})
+				start := time.Now()
+				id, err := sender.Broadcast([]byte("sweep"))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				if delivered[id] {
+					delete(delivered, id)
+					mu.Unlock()
+					latencies[g] = append(latencies[g], time.Since(start))
+					continue
+				}
+				waiters[id] = done
+				mu.Unlock()
+				<-done
+				latencies[g] = append(latencies[g], time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errCh:
+		b.Fatal(err)
+	default:
+	}
+
+	all := make([]time.Duration, 0, b.N)
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Microsecond)
+	}
+	b.ReportMetric(pct(0.50), "p50-µs")
+	b.ReportMetric(pct(0.99), "p99-µs")
+
+	var sent uint64
+	for _, n := range nodes {
+		sent += n.bc.Stats().MsgsSent
+	}
+	b.ReportMetric(float64(sent)/float64(b.N), "msgs/txn")
+	// Every protocol message fans out to all members, so the sequencer's
+	// inbound count is the total sent divided by the group size.
+	b.ReportMetric(float64(sent)/float64(len(members))/float64(b.N), "seq-in/txn")
+}
+
+// BenchmarkLatencyThroughputSweep is the adaptive-batching acceptance sweep:
+// load points (closed-loop producer counts) crossed with batching configs.
+// The claim under test: adaptive stays within a few percent of the best
+// fixed config at EVERY load point — idle-flush latency at low load, fixed-32
+// batching efficiency at high load — where each fixed config is only good at
+// one end.  CI uploads the output as the bench-sweep artifact; compare the
+// p50/p99 columns per load point.
+func BenchmarkLatencyThroughputSweep(b *testing.B) {
+	configs := []struct {
+		name     string
+		batching tuning.Batching
+		seq      tuning.Sequencer
+	}{
+		{"fixed-1", tuning.Batching{BatchSize: 1}, tuning.Sequencer{}},
+		{"fixed-8", tuning.Batching{BatchSize: 8, BatchDelay: 200 * time.Microsecond}, tuning.Sequencer{}},
+		{"fixed-32", tuning.Batching{BatchSize: 32, BatchDelay: 200 * time.Microsecond}, tuning.Sequencer{}},
+		{"adaptive", tuning.Batching{BatchSize: 32, Mode: tuning.Adaptive}, tuning.Sequencer{Pipelined: true}},
+	}
+	for _, cfg := range configs {
+		for _, producers := range []int{1, 4, 32} {
+			cfg, producers := cfg, producers
+			b.Run(cfg.name+"/load-"+itoa(producers), func(b *testing.B) {
+				benchmarkLatencySweep(b, producers, cfg.batching, cfg.seq)
+			})
+		}
+	}
+}
+
 // benchmarkBatchedReplication measures full-stack replicated transaction
 // throughput (optimistic execution, batched atomic broadcast, certification,
 // batched apply with one force per batch, conflict-scheduled parallel

@@ -36,6 +36,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables sender batching)")
 	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
+	adaptive := flag.Bool("batch-adaptive", false, "adapt the co-traveller wait to each sender's arrival rate (ignores -batch-delay)")
+	delayCap := flag.Duration("batch-delay-cap", 0, "upper bound on the adaptive co-traveller wait (0: default cap)")
+	pipelined := flag.Bool("pipelined-sequencer", false, "overlap ORDER assignment with DATA reception and coalesce ACK fan-in")
+	rotateEvery := flag.Int("rotate-sequencer-every", 0, "rotate the sequencer role after this many assignments (0: fixed sequencer)")
 	applyWorkers := flag.Int("apply-workers", 1, "concurrent write-set installs per replica (<=1: serial apply)")
 	mixSafety := flag.String("mix-safety", "", "per-transaction safety override applied to every 10th transaction (e.g. very-safe)")
 	compare := flag.Bool("compare-techniques", false, "run the same workload over all three replication techniques and print the comparison")
@@ -60,7 +64,7 @@ func main() {
 			QueryKeys:      *queryKeys,
 			DiskSyncDelay:  *diskSync,
 			NetworkLatency: *netLatency,
-			Pipeline:       gsdb.Pipe(*batch, *batchDelay, *applyWorkers),
+			Pipeline:       demoPipeline(*batch, *batchDelay, *applyWorkers, *adaptive, *delayCap, *pipelined, *rotateEvery),
 			Seed:           *seed,
 		})
 		if err != nil {
@@ -96,18 +100,28 @@ func main() {
 		overrideLevel = &l
 	}
 
-	client, err := gsdb.Open(ctx,
+	openOpts := []gsdb.Option{
 		gsdb.WithReplicas(*replicas),
 		gsdb.WithItems(10000),
 		gsdb.WithSafetyLevel(level),
 		gsdb.WithTechnique(technique),
 		gsdb.WithDiskSyncDelay(*diskSync),
 		gsdb.WithNetworkLatency(*netLatency),
-		gsdb.WithExecTimeout(15*time.Second),
+		gsdb.WithExecTimeout(15 * time.Second),
 		gsdb.WithSeed(*seed),
 		gsdb.WithBatching(*batch, *batchDelay),
 		gsdb.WithApplyWorkers(*applyWorkers),
-	)
+	}
+	if *adaptive {
+		openOpts = append(openOpts, gsdb.WithAdaptiveBatching(*batch, *delayCap))
+	}
+	if *pipelined {
+		openOpts = append(openOpts, gsdb.WithPipelinedSequencer())
+	}
+	if *rotateEvery > 0 {
+		openOpts = append(openOpts, gsdb.WithRotatingSequencer(*rotateEvery))
+	}
+	client, err := gsdb.Open(ctx, openOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -186,4 +200,15 @@ func main() {
 	if consistentErr != nil && level == gsdb.Safety1Lazy {
 		fmt.Printf("  (lazy replication gives no consistency guarantee under concurrent conflicting updates: %v)\n", consistentErr)
 	}
+}
+
+// demoPipeline assembles the comparison-run tuning knobs from the flags.
+func demoPipeline(batch int, batchDelay time.Duration, applyWorkers int, adaptive bool, delayCap time.Duration, pipelined bool, rotateEvery int) gsdb.Pipeline {
+	p := gsdb.Pipe(batch, batchDelay, applyWorkers)
+	if adaptive {
+		p = gsdb.AdaptivePipe(batch, delayCap, applyWorkers)
+	}
+	p.Pipelined = pipelined
+	p.RotateEvery = rotateEvery
+	return p
 }

@@ -49,6 +49,10 @@ func main() {
 		resync       = flag.Duration("resync-interval", time.Second, "stall interval after which peer state is re-pulled")
 		batch        = flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables sender batching)")
 		batchDelay   = flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
+		adaptive     = flag.Bool("batch-adaptive", false, "adapt the co-traveller wait to each sender's arrival rate (ignores -batch-delay)")
+		delayCap     = flag.Duration("batch-delay-cap", 0, "upper bound on the adaptive co-traveller wait (0: default cap)")
+		pipelined    = flag.Bool("pipelined-sequencer", false, "overlap ORDER assignment with DATA reception and coalesce ACK fan-in")
+		rotateEvery  = flag.Int("rotate-sequencer-every", 0, "rotate the sequencer role after this many assignments (0: fixed sequencer)")
 	)
 	flag.VisitAll(envDefault)
 	flag.Parse()
@@ -80,19 +84,23 @@ func main() {
 	}
 
 	srv, err := server.Start(server.Config{
-		ID:                self,
-		Members:           peerList,
-		ClientAddr:        *clientListen,
-		WALDir:            *walDir,
-		Technique:         technique,
-		Level:             level,
-		Items:             *items,
-		ExecTimeout:       *execTimeout,
-		HeartbeatInterval: *fdInterval,
-		SuspectTimeout:    *fdTimeout,
-		ResyncInterval:    *resync,
-		BatchSize:         *batch,
-		BatchDelay:        *batchDelay,
+		ID:                   self,
+		Members:              peerList,
+		ClientAddr:           *clientListen,
+		WALDir:               *walDir,
+		Technique:            technique,
+		Level:                level,
+		Items:                *items,
+		ExecTimeout:          *execTimeout,
+		HeartbeatInterval:    *fdInterval,
+		SuspectTimeout:       *fdTimeout,
+		ResyncInterval:       *resync,
+		BatchSize:            *batch,
+		BatchDelay:           *batchDelay,
+		BatchAdaptive:        *adaptive,
+		BatchDelayCap:        *delayCap,
+		PipelinedSequencer:   *pipelined,
+		RotateSequencerEvery: *rotateEvery,
 	})
 	if err != nil {
 		fatalf("start: %v", err)

@@ -40,6 +40,8 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	batch := flag.Int("batch", 1, "atomic broadcast batch size (<=1 disables batching)")
 	batchDelay := flag.Duration("batch-delay", time.Millisecond, "max wait for broadcast co-travellers when batching")
+	adaptive := flag.Bool("batch-adaptive", false, "adapt the co-traveller wait to the offered load (ignores -batch-delay)")
+	delayCap := flag.Duration("batch-delay-cap", 0, "upper bound on the adaptive co-traveller wait (0: default cap)")
 	applyWorkers := flag.Int("apply-workers", 0, "concurrent write-set installs per server (0: one per disk)")
 	readFraction := flag.Float64("read-fraction", 0, "fraction of transactions that are pure read-only queries (0: Table 4 mix)")
 	queryKeys := flag.Int("query-keys", 0, "keys read per query transaction (0: transaction-length bounds)")
@@ -69,6 +71,9 @@ func run() int {
 	cfg.BatchSize = *batch
 	cfg.BatchDelay = *batchDelay
 	cfg.ApplyWorkers = *applyWorkers
+	if *adaptive {
+		cfg.Pipeline = gsdb.AdaptivePipe(*batch, *delayCap, *applyWorkers)
+	}
 	cfg.ReadFraction = *readFraction
 	cfg.QueryMinOps = *queryKeys
 	cfg.QueryMaxOps = *queryKeys

@@ -101,6 +101,36 @@ func WithBatching(size int, delay time.Duration) Option {
 	}
 }
 
+// WithAdaptiveBatching coalesces up to size concurrent broadcasts like
+// WithBatching, but sizes the co-traveller wait adaptively from each sender's
+// arrival rate: an idle sender's payload flushes immediately (batching costs
+// no latency at low load) and a busy sender waits just long enough to fill
+// the batch, never more than delayCap (<= 0 selects the default cap).
+func WithAdaptiveBatching(size int, delayCap time.Duration) Option {
+	return func(cfg *core.ClusterConfig) {
+		cfg.BatchSize = size
+		cfg.BatchDelay = 0
+		cfg.Mode = tuning.Adaptive
+		cfg.DelayCap = delayCap
+	}
+}
+
+// WithPipelinedSequencer overlaps the sequencer's ORDER assignment with DATA
+// reception (back-to-back batches coalesce into wider ORDER ranges) and
+// range-merges contiguous acknowledgements within a short adaptive window,
+// shrinking the all-to-all ACK fan-in on loaded clusters.
+func WithPipelinedSequencer() Option {
+	return func(cfg *core.ClusterConfig) { cfg.Pipelined = true }
+}
+
+// WithRotatingSequencer rotates the ordering role to the next replica after
+// every sequence assignments (a planned, gather-free epoch handoff), so the
+// sequencer's CPU and fan-in load is spread across the group instead of
+// pinned to one member.  Implies the pipelined sequencer.
+func WithRotatingSequencer(every int) Option {
+	return func(cfg *core.ClusterConfig) { cfg.RotateEvery = every }
+}
+
 // WithApplyWorkers sets the number of concurrent write-set installs per
 // replica (<= 1 keeps the apply stage serial).
 func WithApplyWorkers(n int) Option {
@@ -195,4 +225,10 @@ func WithFreshness(token uint64) TxnOption {
 // as used by the experiments subpackage's configurations.
 func Pipe(batchSize int, batchDelay time.Duration, applyWorkers int) Pipeline {
 	return tuning.Pipe(batchSize, batchDelay, applyWorkers)
+}
+
+// AdaptivePipe is Pipe with adaptive batching: payloads flush immediately
+// when their sender is idle and wait up to delayCap under sustained load.
+func AdaptivePipe(batchSize int, delayCap time.Duration, applyWorkers int) Pipeline {
+	return tuning.AdaptivePipe(batchSize, delayCap, applyWorkers)
 }

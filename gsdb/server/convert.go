@@ -7,19 +7,23 @@ import "groupsafe/internal/server"
 // field semantics are identical.
 func toInternal(cfg Config) server.Config {
 	return server.Config{
-		ID:                cfg.ID,
-		Members:           cfg.Members,
-		ClientAddr:        cfg.ClientAddr,
-		WALDir:            cfg.WALDir,
-		Technique:         cfg.Technique,
-		Level:             cfg.Level,
-		Items:             cfg.Items,
-		ExecTimeout:       cfg.ExecTimeout,
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		SuspectTimeout:    cfg.SuspectTimeout,
-		ResyncInterval:    cfg.ResyncInterval,
-		BatchSize:         cfg.BatchSize,
-		BatchDelay:        cfg.BatchDelay,
-		Logf:              cfg.Logf,
+		ID:                   cfg.ID,
+		Members:              cfg.Members,
+		ClientAddr:           cfg.ClientAddr,
+		WALDir:               cfg.WALDir,
+		Technique:            cfg.Technique,
+		Level:                cfg.Level,
+		Items:                cfg.Items,
+		ExecTimeout:          cfg.ExecTimeout,
+		HeartbeatInterval:    cfg.HeartbeatInterval,
+		SuspectTimeout:       cfg.SuspectTimeout,
+		ResyncInterval:       cfg.ResyncInterval,
+		BatchSize:            cfg.BatchSize,
+		BatchDelay:           cfg.BatchDelay,
+		BatchAdaptive:        cfg.BatchAdaptive,
+		BatchDelayCap:        cfg.BatchDelayCap,
+		PipelinedSequencer:   cfg.PipelinedSequencer,
+		RotateSequencerEvery: cfg.RotateSequencerEvery,
+		Logf:                 cfg.Logf,
 	}
 }

@@ -42,6 +42,7 @@ func (r *Replica) startGroupCommunication() error {
 			Self:        r.cfg.ID,
 			Members:     r.cfg.Members,
 			Batching:    r.cfg.Batching,
+			Sequencer:   r.cfg.Sequencer,
 			Incarnation: r.cfg.IncarnationBase + uint64(r.incarnation),
 		}, router)
 		if err != nil {

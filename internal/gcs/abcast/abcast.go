@@ -22,14 +22,43 @@
 //
 // The protocol is batched: every wire message carries a *range* of protocol
 // steps.  A DATA message holds up to Config.BatchSize payloads coalesced at
-// the sender (payloads wait at most Config.BatchDelay for co-travellers), the
-// sequencer answers a multi-payload DATA with a single ORDER assigning a
-// contiguous sequence range, and members acknowledge the whole range with one
-// ACK.  For a batch of B messages in an n-member group this cuts the message
-// count from 3·B·n (one round per message) to about 3·n per batch, without
-// weakening any of the four properties: ordering, acknowledgement counting
-// and delivery remain per (sequence, message id) pair internally, so partial
-// batches interleave and fail over exactly like individual messages.
+// the sender, the sequencer answers a multi-payload DATA with a single ORDER
+// assigning a contiguous sequence range, and members acknowledge the whole
+// range with one ACK.  For a batch of B messages in an n-member group this
+// cuts the message count from 3·B·n (one round per message) to about 3·n per
+// batch, without weakening any of the four properties: ordering,
+// acknowledgement counting and delivery remain per (sequence, message id)
+// pair internally, so partial batches interleave and fail over exactly like
+// individual messages.
+//
+// How long a payload waits for co-travellers is governed by the batching
+// mode (see the tuning package): FixedDelay holds a partial batch exactly
+// BatchDelay; Adaptive clocks batching off the sender's own deliveries.  A
+// payload arriving while none of the sender's previous payloads are between
+// send and self-delivery goes out immediately (an idle sender pays zero added
+// latency), while payloads arriving behind an in-flight batch buffer until
+// that batch's delivery drains the pipe — the group-commit discipline:
+// waiting is only ever done behind work that is already pending.  An EWMA of
+// the sender's inter-arrival gaps backstops the drain clock with a deadline,
+// never more than DelayCap.
+//
+// Two further opt-in hot-path modes (tuning.Sequencer):
+//
+//   - Pipelined: the sequencer moves ORDER assignment off the router thread
+//     onto a dedicated ordering goroutine, so assignment of one batch
+//     overlaps decoding of the next and back-to-back DATA batches coalesce
+//     into one wider ORDER.  Members also range-merge contiguous ACKs within
+//     an adaptive window, shrinking the all-to-all ACK fan-in.
+//   - RotateEvery: planned sequencer rotation.  After a quota of
+//     assignments the sequencer bumps the epoch and sends a HANDOFF carrying
+//     its nextSeq — a gather-free handover (the outgoing sequencer is alive,
+//     unlike a crash takeover).  Per-link FIFO guarantees the new sequencer
+//     has seen every ORDER the old one sent before the HANDOFF arrives, so
+//     sweeping its own unordered pending payloads into a fresh ORDER cannot
+//     reuse a sequence number.  Because a planned handoff does not advance
+//     the order-epoch floor (minOrderEpoch), in-flight ORDERs from earlier
+//     rotation epochs stay acceptable; the delivery loop suppresses the rare
+//     duplicate assignment a chained rotation can produce (see tryDeliver).
 //
 // The resulting primitive satisfies Validity, Uniform Agreement, Uniform
 // Integrity and Uniform Total Order (Sect. 2.3 of the paper) as long as a
@@ -45,6 +74,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +91,7 @@ const (
 	MsgAck      = "ab.ack"
 	MsgNewEpoch = "ab.newepoch"
 	MsgState    = "ab.state"
+	MsgHandoff  = "ab.handoff"
 )
 
 // Delivery is one totally-ordered message handed to the application.
@@ -79,10 +110,15 @@ type Config struct {
 	// DeliveryBuffer is the capacity of the delivery channel (default 65536).
 	DeliveryBuffer int
 	// Batching carries the shared sender-side coalescing knobs (BatchSize,
-	// BatchDelay); see the tuning package.  Values <= 1 disable batching:
-	// every Broadcast sends its DATA message synchronously, as in the
-	// unbatched protocol.
+	// BatchDelay, Mode, DelayCap); see the tuning package.  Values <= 1
+	// disable batching: every Broadcast sends its DATA message synchronously,
+	// as in the unbatched protocol.  BatchSize > 1 with a zero BatchDelay
+	// selects the Adaptive mode (idle-flush) rather than stalling.
 	tuning.Batching
+	// Sequencer carries the ordering hot-path knobs (Pipelined, AckWindow,
+	// RotateEvery); see the tuning package.  The zero value keeps the
+	// classical synchronous fixed-sequencer behaviour.
+	tuning.Sequencer
 	// Incarnation namespaces this member's message ids.  In the dynamic
 	// crash no-recovery model a recovered process is a new process: if it
 	// reuses its address, it MUST use a fresh incarnation, or its message
@@ -103,6 +139,14 @@ type Stats struct {
 	// DataBatches counts DATA messages sent by this member; with batching on,
 	// Broadcast/DataBatches is the achieved mean batch size.
 	DataBatches uint64
+	// Rotations counts planned sequencer handoffs this member observed
+	// (initiated or adopted) — epoch changes that did NOT go through the
+	// suspicion/gather takeover, which EpochJumps keeps counting.
+	Rotations uint64
+	// AckSends counts ACK messages this member emitted (each fans out to all
+	// members).  With ACK coalescing, Ordered/AckSends is the achieved mean
+	// merge width.
+	AckSends uint64
 }
 
 // ErrClosed is returned by Broadcast after Close.
@@ -125,11 +169,16 @@ type dataMsg struct {
 }
 
 // orderMsg assigns the contiguous range [BaseSeq, BaseSeq+len(MsgIDs)) to the
-// listed message ids: sequence BaseSeq+i carries MsgIDs[i].
+// listed message ids: sequence BaseSeq+i carries MsgIDs[i].  MinEpoch is the
+// sequencer's order-epoch floor: receivers must reject ORDERs from epochs
+// below it (they predate a crash takeover whose gather majority promised to
+// forget them) but keep accepting epochs in [MinEpoch, current] — the window
+// planned rotations live in.
 type orderMsg struct {
-	Epoch   uint64
-	BaseSeq uint64
-	MsgIDs  []string
+	Epoch    uint64
+	MinEpoch uint64
+	BaseSeq  uint64
+	MsgIDs   []string
 }
 
 // ackMsg acknowledges a whole order range at once.
@@ -141,6 +190,17 @@ type ackMsg struct {
 
 type newEpochMsg struct {
 	Epoch uint64
+}
+
+// handoffMsg is the planned-rotation handover: the outgoing (live) sequencer
+// of epoch-1 grants the Epoch sequencer its numbering state.  NextSeq is the
+// first unassigned sequence number; MinEpoch carries the order-epoch floor
+// forward unchanged (rotation, unlike crash takeover, must keep old-epoch
+// ORDERs acceptable — they may still be in flight to some members).
+type handoffMsg struct {
+	Epoch    uint64
+	NextSeq  uint64
+	MinEpoch uint64
 }
 
 type stateMsg struct {
@@ -155,30 +215,55 @@ type Broadcaster struct {
 	cfg    Config
 	router *gcs.Router
 
-	mu           sync.Mutex
-	epoch        uint64
-	nextSeq      uint64 // next sequence number this sequencer will assign
-	nextDeliver  uint64 // next sequence number to deliver (1-based)
-	localCounter uint64
-	pendingData  map[string][]byte
-	orders       map[uint64]orderRec
-	orderedMsg   map[string]uint64
-	acks         map[uint64]map[string]map[string]bool
-	suspected    map[string]bool
-	gathering    bool
-	gatherEpoch  uint64
-	gatherFrom   map[string]stateMsg
-	sendBuf      []dataEntry // payloads awaiting batch flush
-	flushTimer   *time.Timer
-	closed       bool
-	stats        Stats
-	idPrefix     string // "self/incarnation/", precomputed for message ids
-	idBuf        []byte // scratch for message-id formatting (under mu)
+	mu            sync.Mutex
+	epoch         uint64
+	minOrderEpoch uint64 // ORDERs below this epoch are void (crash-takeover floor)
+	epochAssigned int    // assignments since this member became sequencer (rotation quota)
+	nextSeq       uint64 // next sequence number this sequencer will assign
+	nextDeliver   uint64 // next sequence number to deliver (1-based)
+	localCounter  uint64
+	pendingData   map[string][]byte
+	orders        map[uint64]orderRec
+	orderedMsg    map[string]uint64
+	deliveredID   map[string]bool // suppresses duplicate emission after chained rotations
+	acks          map[uint64]map[string]map[string]bool
+	suspected     map[string]bool
+	gathering     bool
+	gatherEpoch   uint64
+	gatherFrom    map[string]stateMsg
+	sendBuf       []dataEntry   // payloads awaiting batch flush
+	flushTimer    *time.Timer   // single resettable timer, reused across batches
+	flushArmed    bool          // the timer is set for the currently open batch
+	sendGapEWMA   time.Duration // EWMA of Broadcast inter-arrival gaps (Adaptive mode)
+	lastSendAt    time.Time     // previous Broadcast arrival (Adaptive mode)
+	inFlight      int           // own payloads sent but not yet self-delivered (Adaptive mode)
+	closed        bool
+	stats         Stats
+	idPrefix      string // "self/incarnation/", precomputed for message ids
+	idBuf         []byte // scratch for message-id formatting (under mu)
+
+	// Pipelined-sequencer state: DATA batches queue here and a dedicated
+	// goroutine assigns ORDER ranges, overlapping with router-side decoding.
+	orderQ    []dataEntry
+	orderKick chan struct{} // cap 1, nudges orderLoop
+	orderStop chan struct{} // closed by Close
+	orderBusy bool          // orderLoop is assigning/sending a drained batch
+
+	// ACK coalescing state (Pipelined mode): contiguous same-epoch ORDER
+	// ranges merge into one pending ACK, flushed by adjacency break, size,
+	// the adaptive window timer, or Close.
+	ackPend      ackMsg
+	ackPendValid bool
+	ackTimer     *time.Timer
+	ackArmed     bool
+	orderGapEWMA time.Duration // EWMA of inbound ORDER inter-arrival gaps
+	lastOrderAt  time.Time
 
 	// Send-path counters are atomic so sendAll does not need to re-acquire
 	// mu just to count (it is called on every protocol message).
 	msgsSent    atomic.Uint64
 	dataBatches atomic.Uint64
+	ackSends    atomic.Uint64
 
 	deliveries chan Delivery
 }
@@ -202,8 +287,26 @@ func New(cfg Config, router *gcs.Router) (*Broadcaster, error) {
 	if cfg.DeliveryBuffer <= 0 {
 		cfg.DeliveryBuffer = 65536
 	}
-	if cfg.BatchSize > 1 && cfg.BatchDelay <= 0 {
-		cfg.BatchDelay = time.Millisecond
+	if cfg.BatchSize > 1 && cfg.Mode == tuning.FixedDelay && cfg.BatchDelay <= 0 {
+		// Historically this injected a silent 1ms BatchDelay — a hidden stall
+		// on every partial batch.  Zero now means "adaptive/idle-flush": a
+		// lone payload goes out immediately, co-travellers are only awaited
+		// when the sender's arrival rate says they are coming.
+		cfg.Mode = tuning.Adaptive
+	}
+	if cfg.Mode == tuning.Adaptive && cfg.DelayCap <= 0 {
+		cfg.DelayCap = tuning.DefaultDelayCap
+	}
+	if cfg.Pipelined && cfg.AckWindow <= 0 {
+		cfg.AckWindow = 100 * time.Microsecond
+	}
+	if cfg.RotateEvery > 0 && !cfg.Pipelined {
+		// Rotation reuses the pipelined assignment path so the handoff is
+		// emitted off the router thread; enabling it implies pipelining.
+		cfg.Pipelined = true
+		if cfg.AckWindow <= 0 {
+			cfg.AckWindow = 100 * time.Microsecond
+		}
 	}
 	b := &Broadcaster{
 		cfg:         cfg,
@@ -213,11 +316,17 @@ func New(cfg Config, router *gcs.Router) (*Broadcaster, error) {
 		pendingData: make(map[string][]byte),
 		orders:      make(map[uint64]orderRec),
 		orderedMsg:  make(map[string]uint64),
+		deliveredID: make(map[string]bool),
 		acks:        make(map[uint64]map[string]map[string]bool),
 		suspected:   make(map[string]bool),
 		gatherFrom:  make(map[string]stateMsg),
 		deliveries:  make(chan Delivery, cfg.DeliveryBuffer),
 		idPrefix:    cfg.Self + "/" + strconv.FormatUint(cfg.Incarnation, 10) + "/",
+	}
+	if cfg.Pipelined {
+		b.orderKick = make(chan struct{}, 1)
+		b.orderStop = make(chan struct{})
+		go b.orderLoop()
 	}
 	router.Handle("ab.", b.onMessage)
 	return b, nil
@@ -277,6 +386,7 @@ func (b *Broadcaster) Stats() Stats {
 	b.mu.Unlock()
 	s.MsgsSent = b.msgsSent.Load()
 	s.DataBatches = b.dataBatches.Load()
+	s.AckSends = b.ackSends.Load()
 	return s
 }
 
@@ -287,11 +397,25 @@ func (b *Broadcaster) Stats() Stats {
 // not closed (consumers select with their own shutdown signal).
 func (b *Broadcaster) Close() {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
 	batch := b.takeBatchLocked()
+	ack, haveAck := b.takeAckLocked()
 	b.closed = true
+	if b.ackTimer != nil {
+		b.ackTimer.Stop()
+	}
 	b.mu.Unlock()
+	if b.orderStop != nil {
+		close(b.orderStop)
+	}
 	if len(batch) > 0 {
 		b.sendAll(transport.Message{Type: MsgData, Payload: encodeData(dataMsg{Entries: batch})})
+	}
+	if haveAck {
+		b.sendAck(ack)
 	}
 }
 
@@ -301,10 +425,18 @@ func (b *Broadcaster) sequencerFor(epoch uint64) string {
 	return b.cfg.Members[int(epoch)%len(b.cfg.Members)]
 }
 
+// minFlushWait floors the adaptive co-traveller window: below this, timer
+// overhead exceeds the wait, and the size trigger closes hot batches anyway.
+const minFlushWait = 20 * time.Microsecond
+
 // Broadcast A-broadcasts a payload and returns the assigned message id.
 // With batching enabled (Config.BatchSize > 1) the payload may travel in a
-// multi-payload DATA message: it is sent once the batch fills or BatchDelay
-// elapses, whichever comes first.
+// multi-payload DATA message: it is sent once the batch fills, the sender's
+// previous in-flight batch delivers (Adaptive mode's drain clock), or the
+// co-traveller window (fixed BatchDelay, or the adaptive EWMA-derived
+// deadline backstop) elapses, whichever comes first.  In Adaptive mode a
+// sender with nothing in flight skips buffering entirely and the payload is
+// sent immediately.
 func (b *Broadcaster) Broadcast(payload []byte) (string, error) {
 	b.mu.Lock()
 	if b.closed {
@@ -324,39 +456,127 @@ func (b *Broadcaster) Broadcast(payload []byte) (string, error) {
 		return msgID, nil
 	}
 
+	wait := b.cfg.BatchDelay
+	if b.cfg.Mode == tuning.Adaptive {
+		if b.inFlight == 0 && len(b.sendBuf) == 0 {
+			// Delivery-clocked send: none of our payloads are between send
+			// and self-delivery, so there is no later event for this one to
+			// batch behind — any wait would be pure added latency (and in a
+			// closed loop the wait would feed back into the measured arrival
+			// gap, inflating the next wait).  Send the lone payload now;
+			// arrivals while it is in flight ride behind it and flush when
+			// its delivery drains the pipe.
+			b.inFlight++
+			b.mu.Unlock()
+			buf := encodeData(dataMsg{Entries: []dataEntry{{MsgID: msgID, Payload: payload}}})
+			b.sendAll(transport.Message{Type: MsgData, Payload: buf})
+			return msgID, nil
+		}
+		// Only the buffering path samples the clock: the EWMA sets nothing
+		// but the backstop deadline, so keeping time.Now off the immediate
+		// path costs accuracy only where accuracy is not consumed.
+		wait = b.adaptiveWaitLocked()
+	}
+
 	b.sendBuf = append(b.sendBuf, dataEntry{MsgID: msgID, Payload: payload})
 	if len(b.sendBuf) >= b.cfg.BatchSize {
 		batch := b.takeBatchLocked()
+		if b.cfg.Mode == tuning.Adaptive {
+			b.inFlight += len(batch)
+		}
 		b.mu.Unlock()
 		b.sendAll(transport.Message{Type: MsgData, Payload: encodeData(dataMsg{Entries: batch})})
 		return msgID, nil
 	}
-	if b.flushTimer == nil {
-		b.flushTimer = time.AfterFunc(b.cfg.BatchDelay, b.flushBatch)
+	if len(b.sendBuf) == 1 {
+		// Deadline semantics: the window is armed once, when the batch
+		// opens, so the first payload's added latency is bounded by it.
+		if wait <= 0 {
+			wait = minFlushWait
+		}
+		b.armFlushLocked(wait)
 	}
 	b.mu.Unlock()
 	return msgID, nil
 }
 
-// takeBatchLocked detaches the pending batch and cancels the flush timer.
+// adaptiveWaitLocked updates the sender's inter-arrival EWMA with the gap
+// since the previous Broadcast and derives the deadline backstop for a
+// buffered payload: the expected time for the remaining batch slots to fill,
+// floored at minFlushWait and capped at DelayCap.  The backstop only matters
+// when the drain clock stalls (our in-flight batch is stuck behind loss or a
+// sequencer change); in the common case delivery flushes the buffer first.
+// A gap EWMA at or above DelayCap (or no history yet) means the sender is
+// idle: returns 0, which arms the minimum window.
+func (b *Broadcaster) adaptiveWaitLocked() time.Duration {
+	now := time.Now()
+	if !b.lastSendAt.IsZero() {
+		gap := now.Sub(b.lastSendAt)
+		if gap > b.cfg.DelayCap {
+			gap = b.cfg.DelayCap + 1 // one idle gap is enough to mean idle
+		}
+		if b.sendGapEWMA == 0 || gap >= b.sendGapEWMA {
+			// Fast up: one long gap flips the sender back to idle-flush.
+			b.sendGapEWMA = (b.sendGapEWMA + gap) / 2
+		} else {
+			// Faster down: a burst engages batching within a few arrivals.
+			b.sendGapEWMA = gap + (b.sendGapEWMA-gap)/4
+		}
+	}
+	b.lastSendAt = now
+	if b.sendGapEWMA == 0 || b.sendGapEWMA >= b.cfg.DelayCap {
+		return 0
+	}
+	wait := b.sendGapEWMA * time.Duration(b.cfg.BatchSize-len(b.sendBuf)-1)
+	if wait < minFlushWait {
+		wait = minFlushWait
+	}
+	if wait > b.cfg.DelayCap {
+		wait = b.cfg.DelayCap
+	}
+	return wait
+}
+
+// armFlushLocked (re)arms the single flush timer for the batch that just
+// opened.  The timer object is reused across batches (Reset instead of a
+// fresh time.AfterFunc per first-payload), which removes the per-batch
+// runtime timer allocation from the batched send path.
+func (b *Broadcaster) armFlushLocked(d time.Duration) {
+	b.flushArmed = true
+	if b.flushTimer == nil {
+		b.flushTimer = time.AfterFunc(d, b.flushBatch)
+	} else {
+		b.flushTimer.Reset(d)
+	}
+}
+
+// takeBatchLocked detaches the pending batch and disarms the flush timer.
 func (b *Broadcaster) takeBatchLocked() []dataEntry {
 	batch := b.sendBuf
 	b.sendBuf = nil
-	if b.flushTimer != nil {
+	if b.flushArmed {
 		b.flushTimer.Stop()
-		b.flushTimer = nil
+		b.flushArmed = false
 	}
 	return batch
 }
 
-// flushBatch sends a partial batch whose BatchDelay expired.
+// flushBatch sends a partial batch whose co-traveller window expired.  (A
+// stale fire — the timer lapsing just as the batch it was armed for closes
+// and a new one opens — at worst flushes the new batch early, which is
+// harmless.)
 func (b *Broadcaster) flushBatch() {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed || !b.flushArmed {
 		b.mu.Unlock()
 		return
 	}
-	batch := b.takeBatchLocked()
+	b.flushArmed = false
+	batch := b.sendBuf
+	b.sendBuf = nil
+	if b.cfg.Mode == tuning.Adaptive {
+		b.inFlight += len(batch)
+	}
 	b.mu.Unlock()
 	if len(batch) > 0 {
 		b.sendAll(transport.Message{Type: MsgData, Payload: encodeData(dataMsg{Entries: batch})})
@@ -387,6 +607,13 @@ func (b *Broadcaster) Suspect(peer string) {
 	}
 	b.stats.EpochJumps++
 	b.epoch = e
+	// Crash takeover voids every older-epoch ORDER still in flight: the
+	// gather majority's replies promise exactly this (otherwise a stale
+	// sequencer's assignment could still reach an ack-majority and split
+	// delivery from the adopted order).  Planned rotations do NOT move this
+	// floor.
+	b.minOrderEpoch = e
+	b.epochAssigned = 0
 	iAmNewSequencer := b.sequencerFor(e) == b.cfg.Self
 	var selfState stateMsg
 	if iAmNewSequencer {
@@ -476,6 +703,12 @@ func (b *Broadcaster) onMessage(m transport.Message) {
 			return
 		}
 		b.handleState(st, m.From)
+	case MsgHandoff:
+		var h handoffMsg
+		if err := decodeHandoff(m.Payload, &h); err != nil {
+			return
+		}
+		b.handleHandoff(h)
 	}
 }
 
@@ -491,26 +724,180 @@ func (b *Broadcaster) handleData(d dataMsg) {
 		}
 	}
 	isSequencer := b.sequencerFor(b.epoch) == b.cfg.Self && !b.gathering
-	var order orderMsg
-	if isSequencer {
-		// Assign one contiguous sequence range to every not-yet-ordered
-		// payload of the batch: a single ORDER covers the whole DATA message.
-		for _, e := range d.Entries {
-			if _, done := b.orderedMsg[e.MsgID]; done {
-				continue
-			}
-			if len(order.MsgIDs) == 0 {
-				order.Epoch = b.epoch
-				order.BaseSeq = b.nextSeq
-			}
-			order.MsgIDs = append(order.MsgIDs, e.MsgID)
-			b.nextSeq++
-			b.stats.Ordered++
+	if isSequencer && b.cfg.Pipelined && (len(b.orderQ) > 0 || b.orderBusy) {
+		// Pipelined: park the batch for the ordering goroutine and return to
+		// decoding the next inbound message.  Assignment of this batch
+		// overlaps reception of the next, and back-to-back batches coalesce
+		// into one wider ORDER range when the loop drains them together.
+		// With no backlog and the loop idle the batch falls through to the
+		// inline path below instead (cut-through): the queue hand-off is a
+		// scheduler hop that would be pure added latency on an idle pipeline.
+		b.orderQ = append(b.orderQ, d.Entries...)
+		b.mu.Unlock()
+		select {
+		case b.orderKick <- struct{}{}:
+		default:
 		}
+		b.tryDeliver()
+		return
+	}
+	var order orderMsg
+	var handoff handoffMsg
+	rotate := false
+	if isSequencer {
+		order, handoff, rotate = b.assignLocked(d.Entries)
 	}
 	b.mu.Unlock()
 	if len(order.MsgIDs) > 0 {
 		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(order)})
+	}
+	if rotate {
+		b.sendAll(transport.Message{Type: MsgHandoff, Payload: encodeHandoff(handoff)})
+	}
+	b.tryDeliver()
+}
+
+// assignLocked gives one contiguous sequence range to every not-yet-ordered
+// payload (a single ORDER covers the whole slice) and, when the rotation
+// quota fills, bumps the epoch and prepares the gather-free HANDOFF for the
+// next sequencer.  The caller sends the ORDER before the HANDOFF: per-link
+// FIFO then guarantees every member — the successor above all — sees this
+// epoch's final assignments before the handover.
+func (b *Broadcaster) assignLocked(entries []dataEntry) (order orderMsg, handoff handoffMsg, rotate bool) {
+	for _, e := range entries {
+		if _, done := b.orderedMsg[e.MsgID]; done {
+			continue
+		}
+		if len(order.MsgIDs) == 0 {
+			order.Epoch = b.epoch
+			order.MinEpoch = b.minOrderEpoch
+			order.BaseSeq = b.nextSeq
+		}
+		order.MsgIDs = append(order.MsgIDs, e.MsgID)
+		b.nextSeq++
+		b.stats.Ordered++
+	}
+	b.epochAssigned += len(order.MsgIDs)
+	if b.cfg.RotateEvery > 0 && b.epochAssigned >= b.cfg.RotateEvery && !b.gathering {
+		// Advance to the next epoch whose sequencer is alive (as far as the
+		// local suspicions know).  If the rotation would land back on us —
+		// every other member suspected — stay put and just reset the quota.
+		e := b.epoch + 1
+		for i := 0; i < len(b.cfg.Members); i++ {
+			if !b.suspected[b.sequencerFor(e)] {
+				break
+			}
+			e++
+		}
+		b.epochAssigned = 0
+		if b.sequencerFor(e) != b.cfg.Self {
+			b.epoch = e
+			b.stats.Rotations++
+			handoff = handoffMsg{Epoch: e, NextSeq: b.nextSeq, MinEpoch: b.minOrderEpoch}
+			rotate = true
+		}
+	}
+	return order, handoff, rotate
+}
+
+// orderLoop is the pipelined sequencer's assignment stage: it drains queued
+// DATA batches, assigns their ORDER ranges and sends them, while the router
+// thread keeps decoding inbound messages.
+func (b *Broadcaster) orderLoop() {
+	for {
+		select {
+		case <-b.orderStop:
+			return
+		case <-b.orderKick:
+		}
+		for {
+			b.mu.Lock()
+			if b.closed {
+				b.mu.Unlock()
+				return
+			}
+			if len(b.orderQ) == 0 {
+				b.mu.Unlock()
+				break
+			}
+			if b.gathering || b.sequencerFor(b.epoch) != b.cfg.Self {
+				// Lost the sequencer role between enqueue and drain.  Drop
+				// the queue: the payloads stay in pendingData everywhere, and
+				// whoever ordering fell to picks them up — a crash takeover
+				// sweeps them from the gather set, a planned successor sweeps
+				// its own pendingData at handoff or orders them at receipt.
+				b.orderQ = nil
+				b.mu.Unlock()
+				break
+			}
+			entries := b.orderQ
+			b.orderQ = nil
+			b.orderBusy = true
+			order, handoff, rotate := b.assignLocked(entries)
+			b.mu.Unlock()
+			if len(order.MsgIDs) > 0 {
+				b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(order)})
+			}
+			if rotate {
+				b.sendAll(transport.Message{Type: MsgHandoff, Payload: encodeHandoff(handoff)})
+			}
+			b.mu.Lock()
+			b.orderBusy = false
+			b.mu.Unlock()
+			b.tryDeliver()
+		}
+	}
+}
+
+// handleHandoff installs a planned sequencer rotation.  The successor adopts
+// the handed-over numbering and immediately orders any payloads it holds
+// that the outgoing sequencer never assigned: link FIFO guarantees it has
+// already processed every ORDER the outgoing sequencer sent, so anything
+// still unordered here was unordered, full stop — except for assignments by
+// sequencers of *earlier* rotation epochs whose ORDERs are still in flight
+// on other links.  Those can produce a duplicate assignment of the same
+// message id at two sequence numbers; tryDeliver suppresses the second
+// emission, identically at every member.
+func (b *Broadcaster) handleHandoff(h handoffMsg) {
+	b.mu.Lock()
+	if b.closed || h.Epoch < b.epoch {
+		b.mu.Unlock()
+		return
+	}
+	if h.Epoch > b.epoch {
+		b.epoch = h.Epoch
+		b.gathering = false
+		b.epochAssigned = 0
+		b.stats.Rotations++
+	}
+	if h.MinEpoch > b.minOrderEpoch {
+		b.minOrderEpoch = h.MinEpoch
+	}
+	var fresh orderMsg
+	if b.sequencerFor(b.epoch) == b.cfg.Self && !b.gathering {
+		if h.NextSeq > b.nextSeq {
+			b.nextSeq = h.NextSeq
+		}
+		var unordered []string
+		for id := range b.pendingData {
+			if _, ordered := b.orderedMsg[id]; !ordered {
+				unordered = append(unordered, id)
+			}
+		}
+		if len(unordered) > 0 {
+			sort.Strings(unordered)
+			fresh = orderMsg{Epoch: b.epoch, MinEpoch: b.minOrderEpoch, BaseSeq: b.nextSeq}
+			for _, id := range unordered {
+				fresh.MsgIDs = append(fresh.MsgIDs, id)
+				b.nextSeq++
+				b.stats.Ordered++
+			}
+			b.epochAssigned += len(fresh.MsgIDs)
+		}
+	}
+	b.mu.Unlock()
+	if len(fresh.MsgIDs) > 0 {
+		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(fresh)})
 	}
 	b.tryDeliver()
 }
@@ -521,14 +908,26 @@ func (b *Broadcaster) handleOrder(o orderMsg) {
 		b.mu.Unlock()
 		return
 	}
-	if o.Epoch < b.epoch {
+	if o.Epoch < b.minOrderEpoch {
+		// Void: a crash takeover's gather majority has promised to forget
+		// this sequencer's assignments.  Epochs in [minOrderEpoch, epoch)
+		// stay acceptable — they are live planned-rotation history.
 		b.mu.Unlock()
 		return
+	}
+	if o.MinEpoch > b.minOrderEpoch {
+		b.minOrderEpoch = o.MinEpoch
+		if o.MinEpoch > o.Epoch {
+			// Malformed (floor above the sender's own epoch); drop.
+			b.mu.Unlock()
+			return
+		}
 	}
 	if o.Epoch > b.epoch {
 		// A newer sequencer is active; follow it.
 		b.epoch = o.Epoch
 		b.gathering = false
+		b.epochAssigned = 0
 	}
 	for i, id := range o.MsgIDs {
 		seq := o.BaseSeq + uint64(i)
@@ -540,9 +939,147 @@ func (b *Broadcaster) handleOrder(o orderMsg) {
 	}
 	// One ACK acknowledges the whole range.
 	ack := ackMsg{Epoch: o.Epoch, BaseSeq: o.BaseSeq, MsgIDs: o.MsgIDs}
+	if b.cfg.Pipelined {
+		// Coalesce: contiguous same-epoch ranges merge into one pending ACK,
+		// sent when the adaptive window lapses, adjacency breaks, the merge
+		// grows past bound, or Close.  Under load this collapses the
+		// sequencer's ACK fan-in to one inbound message per delivery window.
+		flush, nFlush := b.mergeAckLocked(ack)
+		b.mu.Unlock()
+		for i := 0; i < nFlush; i++ {
+			b.sendAck(flush[i])
+		}
+		b.tryDeliver()
+		return
+	}
 	b.mu.Unlock()
-	b.sendAll(transport.Message{Type: MsgAck, Payload: encodeAck(ack)})
+	b.sendAck(ack)
 	b.tryDeliver()
+}
+
+// ackMergeBound caps how many order acknowledgements one merged ACK may
+// carry before it is flushed regardless of the window.
+const ackMergeBound = 256
+
+// mergeAckLocked folds ack into the pending merged ACK and returns the ACKs
+// to send now (at most two: a displaced non-contiguous pend plus the merged
+// one).  The merge flushes immediately unless more ORDERs are known to be
+// imminent — some received payload still lacks an order — because only then
+// does holding the ACK buy a wider merge; otherwise waiting would stall
+// delivery by the window for nothing.  While holding, the adaptive window
+// timer (from an EWMA of ORDER inter-arrival gaps) bounds the wait.
+func (b *Broadcaster) mergeAckLocked(ack ackMsg) (flush [2]ackMsg, n int) {
+	if b.ackPendValid {
+		if b.ackPend.Epoch == ack.Epoch && b.ackPend.BaseSeq+uint64(len(b.ackPend.MsgIDs)) == ack.BaseSeq {
+			b.ackPend.MsgIDs = append(b.ackPend.MsgIDs, ack.MsgIDs...)
+		} else {
+			if out, ok := b.takeAckLocked(); ok {
+				flush[n] = out
+				n++
+			}
+			b.ackPend = ack
+			b.ackPendValid = true
+		}
+	} else {
+		b.ackPend = ack
+		b.ackPendValid = true
+	}
+
+	if len(b.orderedMsg) >= len(b.pendingData) || len(b.ackPend.MsgIDs) >= ackMergeBound {
+		// Pending-work signal, O(1) and conservative: if every known payload
+		// already has an order, no follow-up ORDER is imminent and holding
+		// the ACK would stall delivery by the window for no merge gain.
+		// Orphan orders (ORDER seen before its DATA) can tip the comparison
+		// toward flushing early, which only costs a merge opportunity; a
+		// hold is only ever taken when some payload is genuinely unordered.
+		// This branch takes no clock sample, keeping time.Now off the
+		// low-load hot path entirely.
+		b.lastOrderAt = time.Time{}
+		if out, ok := b.takeAckLocked(); ok {
+			flush[n] = out
+			n++
+		}
+		return flush, n
+	}
+
+	// Holding for a wider merge: sample the ORDER inter-arrival gap and arm
+	// the window timer from its EWMA.  Sampling only on this path means the
+	// EWMA describes exactly the busy stream the timer has to bound.
+	now := time.Now()
+	if !b.lastOrderAt.IsZero() {
+		gap := now.Sub(b.lastOrderAt)
+		if gap > b.cfg.AckWindow {
+			gap = b.cfg.AckWindow + 1
+		}
+		if b.orderGapEWMA == 0 || gap >= b.orderGapEWMA {
+			b.orderGapEWMA = (b.orderGapEWMA + gap) / 2
+		} else {
+			b.orderGapEWMA = gap + (b.orderGapEWMA-gap)/4
+		}
+	}
+	b.lastOrderAt = now
+	if !b.ackArmed {
+		wait := 2 * b.orderGapEWMA
+		if wait < minFlushWait {
+			wait = minFlushWait
+		}
+		if wait > b.cfg.AckWindow {
+			wait = b.cfg.AckWindow
+		}
+		b.armAckLocked(wait)
+	}
+	return flush, n
+}
+
+// takeAckLocked detaches the pending merged ACK and disarms its timer.
+func (b *Broadcaster) takeAckLocked() (ackMsg, bool) {
+	if !b.ackPendValid {
+		return ackMsg{}, false
+	}
+	ack := b.ackPend
+	b.ackPend = ackMsg{}
+	b.ackPendValid = false
+	if b.ackArmed {
+		b.ackTimer.Stop()
+		b.ackArmed = false
+	}
+	return ack, true
+}
+
+// armAckLocked (re)arms the single ACK window timer (reused, like the batch
+// flush timer).
+func (b *Broadcaster) armAckLocked(d time.Duration) {
+	b.ackArmed = true
+	if b.ackTimer == nil {
+		b.ackTimer = time.AfterFunc(d, b.flushAck)
+	} else {
+		b.ackTimer.Reset(d)
+	}
+}
+
+// flushAck sends the pending merged ACK when its window expires.
+func (b *Broadcaster) flushAck() {
+	b.mu.Lock()
+	if b.closed || !b.ackArmed {
+		b.mu.Unlock()
+		return
+	}
+	b.ackArmed = false
+	ack := b.ackPend
+	have := b.ackPendValid
+	b.ackPend = ackMsg{}
+	b.ackPendValid = false
+	b.mu.Unlock()
+	if have && len(ack.MsgIDs) > 0 {
+		b.sendAck(ack)
+	}
+}
+
+// sendAck fans an ACK out to every member, counting it for the coalescing
+// stats.
+func (b *Broadcaster) sendAck(a ackMsg) {
+	b.ackSends.Add(1)
+	b.sendAll(transport.Message{Type: MsgAck, Payload: encodeAck(a)})
 }
 
 func (b *Broadcaster) handleAck(a ackMsg, from string) {
@@ -584,6 +1121,12 @@ func (b *Broadcaster) handleNewEpoch(ne newEpochMsg, from string) {
 		b.stats.EpochJumps++
 	}
 	b.epoch = ne.Epoch
+	// Replying STATE is the promise that makes the gather binding: from here
+	// on, ORDERs below the takeover epoch are void at this member.
+	if ne.Epoch > b.minOrderEpoch {
+		b.minOrderEpoch = ne.Epoch
+	}
+	b.epochAssigned = 0
 	b.gathering = false
 	reply := b.snapshotStateLocked(ne.Epoch)
 	b.mu.Unlock()
@@ -647,7 +1190,7 @@ func (b *Broadcaster) maybeFinishGatherLocked() {
 			reannounce[n-1].MsgIDs = append(reannounce[n-1].MsgIDs, adopted[seq].MsgID)
 			continue
 		}
-		reannounce = append(reannounce, orderMsg{Epoch: b.epoch, BaseSeq: seq, MsgIDs: []string{adopted[seq].MsgID}})
+		reannounce = append(reannounce, orderMsg{Epoch: b.epoch, MinEpoch: b.minOrderEpoch, BaseSeq: seq, MsgIDs: []string{adopted[seq].MsgID}})
 	}
 	var unordered []string
 	for id := range b.pendingData {
@@ -656,7 +1199,7 @@ func (b *Broadcaster) maybeFinishGatherLocked() {
 		}
 	}
 	sort.Strings(unordered)
-	fresh := orderMsg{Epoch: b.epoch, BaseSeq: b.nextSeq}
+	fresh := orderMsg{Epoch: b.epoch, MinEpoch: b.minOrderEpoch, BaseSeq: b.nextSeq}
 	for _, id := range unordered {
 		b.orders[b.nextSeq] = orderRec{MsgID: id, Epoch: b.epoch}
 		b.orderedMsg[id] = b.nextSeq
@@ -696,10 +1239,41 @@ func (b *Broadcaster) tryDeliver() {
 			return
 		}
 		b.nextDeliver++
+		if b.deliveredID[rec.MsgID] {
+			// Chained planned rotations can assign one message id at two
+			// sequence numbers (an earlier rotation epoch's ORDER still in
+			// flight while a later successor sweeps the payload afresh).
+			// The decision here uses exactly the delivery stability rule —
+			// order known, payload held, majority acked — so every member
+			// resolves the duplicate at the same sequence numbers: the
+			// lowest one emits (the cursor reaches it first), later ones
+			// advance the cursor silently.
+			b.mu.Unlock()
+			continue
+		}
+		b.deliveredID[rec.MsgID] = true
 		b.stats.Delivered++
+		var drained []dataEntry
+		if b.cfg.Mode == tuning.Adaptive && b.cfg.BatchSize > 1 && strings.HasPrefix(rec.MsgID, b.idPrefix) {
+			b.inFlight--
+			if b.inFlight <= 0 {
+				b.inFlight = 0
+				if len(b.sendBuf) > 0 {
+					// The pipe just drained with co-travellers buffered
+					// behind it: flush them now — the delivery of our
+					// previous batch is the adaptive clock tick, usually
+					// well ahead of the window-timer backstop.
+					drained = b.takeBatchLocked()
+					b.inFlight = len(drained)
+				}
+			}
+		}
 		d := Delivery{Seq: seq, MsgID: rec.MsgID, Payload: payload}
 		ch := b.deliveries
 		b.mu.Unlock()
+		if len(drained) > 0 {
+			b.sendAll(transport.Message{Type: MsgData, Payload: encodeData(dataMsg{Entries: drained})})
+		}
 		ch <- d
 	}
 }

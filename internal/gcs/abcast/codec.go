@@ -124,12 +124,60 @@ func decodeSeqRange(data []byte) (epoch, baseSeq uint64, ids []string, err error
 	return epoch, baseSeq, ids, nil
 }
 
-func encodeOrder(o orderMsg) []byte { return encodeSeqRange(o.Epoch, o.BaseSeq, o.MsgIDs) }
+// encodeOrder prepends the order-epoch floor (MinEpoch) to the shared
+// seq-range shape: ORDER carries the floor so every receiver learns how far
+// back in-flight assignments remain valid; ACK does not need it.
+func encodeOrder(o orderMsg) []byte {
+	size := uvarintLen(o.MinEpoch) + uvarintLen(o.Epoch) + uvarintLen(o.BaseSeq) + uvarintLen(uint64(len(o.MsgIDs)))
+	for _, id := range o.MsgIDs {
+		size += uvarintLen(uint64(len(id))) + len(id)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, o.MinEpoch)
+	buf = binary.AppendUvarint(buf, o.Epoch)
+	buf = binary.AppendUvarint(buf, o.BaseSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(o.MsgIDs)))
+	for _, id := range o.MsgIDs {
+		buf = binary.AppendUvarint(buf, uint64(len(id)))
+		buf = append(buf, id...)
+	}
+	return buf
+}
 
 func decodeOrder(data []byte, o *orderMsg) error {
+	minEpoch, w := binary.Uvarint(data)
+	if w <= 0 {
+		return errBadWire
+	}
+	o.MinEpoch = minEpoch
 	var err error
-	o.Epoch, o.BaseSeq, o.MsgIDs, err = decodeSeqRange(data)
+	o.Epoch, o.BaseSeq, o.MsgIDs, err = decodeSeqRange(data[w:])
 	return err
+}
+
+// encodeHandoff encodes the planned-rotation HANDOFF message.
+func encodeHandoff(h handoffMsg) []byte {
+	buf := make([]byte, 0, uvarintLen(h.Epoch)+uvarintLen(h.NextSeq)+uvarintLen(h.MinEpoch))
+	buf = binary.AppendUvarint(buf, h.Epoch)
+	buf = binary.AppendUvarint(buf, h.NextSeq)
+	return binary.AppendUvarint(buf, h.MinEpoch)
+}
+
+func decodeHandoff(data []byte, h *handoffMsg) error {
+	pos := 0
+	var w int
+	if h.Epoch, w = binary.Uvarint(data); w <= 0 {
+		return errBadWire
+	}
+	pos += w
+	if h.NextSeq, w = binary.Uvarint(data[pos:]); w <= 0 {
+		return errBadWire
+	}
+	pos += w
+	if h.MinEpoch, w = binary.Uvarint(data[pos:]); w <= 0 {
+		return errBadWire
+	}
+	return nil
 }
 
 func encodeAck(a ackMsg) []byte { return encodeSeqRange(a.Epoch, a.BaseSeq, a.MsgIDs) }

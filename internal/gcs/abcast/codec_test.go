@@ -47,18 +47,32 @@ func TestSeqRangeCodecRoundTrip(t *testing.T) {
 			rng.Read(b)
 			ids[i] = string(b)
 		}
-		in := orderMsg{Epoch: rng.Uint64(), BaseSeq: rng.Uint64(), MsgIDs: ids}
+		in := orderMsg{Epoch: rng.Uint64(), MinEpoch: rng.Uint64(), BaseSeq: rng.Uint64(), MsgIDs: ids}
 		var out orderMsg
 		if err := decodeOrder(encodeOrder(in), &out); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if out.Epoch != in.Epoch || out.BaseSeq != in.BaseSeq || len(out.MsgIDs) != len(in.MsgIDs) {
+		if out.Epoch != in.Epoch || out.MinEpoch != in.MinEpoch || out.BaseSeq != in.BaseSeq || len(out.MsgIDs) != len(in.MsgIDs) {
 			t.Fatalf("trial %d: header mismatch: %+v vs %+v", trial, out, in)
 		}
 		for i := range ids {
 			if out.MsgIDs[i] != ids[i] {
 				t.Fatalf("trial %d: id %d mismatch", trial, i)
 			}
+		}
+	}
+}
+
+func TestHandoffCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		in := handoffMsg{Epoch: rng.Uint64(), NextSeq: rng.Uint64(), MinEpoch: rng.Uint64()}
+		var out handoffMsg
+		if err := decodeHandoff(encodeHandoff(in), &out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out != in {
+			t.Fatalf("trial %d: %+v != %+v", trial, out, in)
 		}
 	}
 }
@@ -71,11 +85,18 @@ func TestCodecRejectsTruncation(t *testing.T) {
 			t.Fatalf("truncated DATA at %d decoded", cut)
 		}
 	}
-	order := encodeOrder(orderMsg{Epoch: 3, BaseSeq: 9, MsgIDs: []string{"a/1/2", "b/1/1"}})
+	order := encodeOrder(orderMsg{Epoch: 3, MinEpoch: 2, BaseSeq: 9, MsgIDs: []string{"a/1/2", "b/1/1"}})
 	var o orderMsg
 	for cut := 0; cut < len(order); cut++ {
 		if err := decodeOrder(order[:cut], &o); err == nil {
 			t.Fatalf("truncated ORDER at %d decoded", cut)
+		}
+	}
+	handoff := encodeHandoff(handoffMsg{Epoch: 300, NextSeq: 1 << 40, MinEpoch: 299})
+	var h handoffMsg
+	for cut := 0; cut < len(handoff); cut++ {
+		if err := decodeHandoff(handoff[:cut], &h); err == nil {
+			t.Fatalf("truncated HANDOFF at %d decoded", cut)
 		}
 	}
 }

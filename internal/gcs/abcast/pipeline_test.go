@@ -1,0 +1,465 @@
+package abcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"groupsafe/internal/gcs"
+	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/tuning"
+)
+
+// makeTunedGroup is makeGroup with full control over the batching and
+// sequencer knobs.
+func makeTunedGroup(t *testing.T, net *transport.MemNetwork, addrs []string, batching tuning.Batching, seq tuning.Sequencer) []*node {
+	t.Helper()
+	nodes := make([]*node, 0, len(addrs))
+	for _, addr := range addrs {
+		ep := net.Endpoint(addr)
+		router := gcs.NewRouter(ep)
+		bc, err := New(Config{Self: addr, Members: addrs, Batching: batching, Sequencer: seq}, router)
+		if err != nil {
+			t.Fatal(err)
+		}
+		router.Start()
+		nodes = append(nodes, &node{addr: addr, router: router, bc: bc})
+		t.Cleanup(func() {
+			bc.Close()
+			router.Stop()
+		})
+	}
+	return nodes
+}
+
+// assertUniformTotalOrder drains total deliveries from every node and checks
+// the uniform atomic broadcast contract: gap-free sequence numbers and the
+// same message id at every position on every member, no duplicates.
+func assertUniformTotalOrder(t *testing.T, nodes []*node, total int) {
+	t.Helper()
+	sequences := make([][]string, len(nodes))
+	for i, n := range nodes {
+		ds := collect(t, n, total, 15*time.Second)
+		seq := make([]string, len(ds))
+		seen := make(map[string]bool, len(ds))
+		for j, d := range ds {
+			if d.Seq != uint64(j+1) {
+				t.Fatalf("%s: delivery %d has seq %d (gap)", n.addr, j, d.Seq)
+			}
+			if seen[d.MsgID] {
+				t.Fatalf("%s: %s delivered twice", n.addr, d.MsgID)
+			}
+			seen[d.MsgID] = true
+			seq[j] = d.MsgID
+		}
+		sequences[i] = seq
+	}
+	for i := 1; i < len(sequences); i++ {
+		for j := range sequences[0] {
+			if sequences[i][j] != sequences[0][j] {
+				t.Fatalf("order mismatch between %s and %s at position %d", nodes[0].addr, nodes[i].addr, j)
+			}
+		}
+	}
+}
+
+// broadcastConcurrently has every node broadcast perSender payloads from its
+// own goroutine and returns once all Broadcast calls returned.
+func broadcastConcurrently(t *testing.T, nodes []*node, perSender int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if _, err := n.bc.Broadcast([]byte(fmt.Sprintf("%s-%d", n.addr, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestZeroBatchDelayDefaultsToAdaptive pins the config resolution that
+// replaced the silent 1ms fallback: BatchSize > 1 with a zero BatchDelay now
+// selects the Adaptive (idle-flush) mode instead of injecting a hidden stall,
+// and the adaptive mode gets the default wait cap.  An explicit BatchDelay
+// keeps the classical fixed-delay behaviour.
+func TestZeroBatchDelayDefaultsToAdaptive(t *testing.T) {
+	net := transport.NewMemNetwork()
+	mk := func(batching tuning.Batching, seq tuning.Sequencer) *Broadcaster {
+		t.Helper()
+		router := gcs.NewRouter(net.Endpoint("a"))
+		b, err := New(Config{Self: "a", Members: []string{"a"}, Batching: batching, Sequencer: seq}, router)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(b.Close)
+		return b
+	}
+
+	b := mk(tuning.Batching{BatchSize: 8}, tuning.Sequencer{})
+	if b.cfg.Mode != tuning.Adaptive {
+		t.Fatalf("BatchSize 8 + zero BatchDelay resolved to mode %v, want Adaptive", b.cfg.Mode)
+	}
+	if b.cfg.DelayCap != tuning.DefaultDelayCap {
+		t.Fatalf("adaptive default DelayCap = %v, want %v", b.cfg.DelayCap, tuning.DefaultDelayCap)
+	}
+
+	b = mk(tuning.Batching{BatchSize: 8, BatchDelay: 500 * time.Microsecond}, tuning.Sequencer{})
+	if b.cfg.Mode != tuning.FixedDelay || b.cfg.BatchDelay != 500*time.Microsecond {
+		t.Fatalf("explicit BatchDelay was not preserved: mode %v delay %v", b.cfg.Mode, b.cfg.BatchDelay)
+	}
+
+	b = mk(tuning.Batching{BatchSize: 8, Mode: tuning.Adaptive, DelayCap: 2 * time.Millisecond}, tuning.Sequencer{})
+	if b.cfg.Mode != tuning.Adaptive || b.cfg.DelayCap != 2*time.Millisecond {
+		t.Fatalf("explicit adaptive config was not preserved: mode %v cap %v", b.cfg.Mode, b.cfg.DelayCap)
+	}
+
+	// Rotation implies the pipelined assignment path.
+	b = mk(tuning.Batching{}, tuning.Sequencer{RotateEvery: 8})
+	if !b.cfg.Pipelined || b.cfg.AckWindow <= 0 {
+		t.Fatalf("RotateEvery must imply Pipelined with an ACK window, got %+v", b.cfg.Sequencer)
+	}
+}
+
+// TestAdaptiveIdleFlushNoStall checks the user-visible half of the same fix:
+// a lone broadcast through a large adaptive batch is sent immediately (one
+// DATA message carrying one payload), not parked behind a co-traveller wait.
+func TestAdaptiveIdleFlushNoStall(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3"}
+	nodes := makeTunedGroup(t, net, addrs, tuning.Batching{BatchSize: 64}, tuning.Sequencer{})
+	if _, err := nodes[1].bc.Broadcast([]byte("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	ds := collect(t, nodes[2], 1, 2*time.Second)
+	if string(ds[0].Payload) != "lonely" {
+		t.Fatalf("delivered %q", ds[0].Payload)
+	}
+	if got := nodes[1].bc.Stats().DataBatches; got != 1 {
+		t.Fatalf("idle sender sent %d DATA batches, want 1 (immediate send)", got)
+	}
+}
+
+// TestAdaptiveTotalOrder runs concurrent senders through adaptive batching
+// and checks the uniform total-order contract end to end.
+func TestAdaptiveTotalOrder(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3", "s4", "s5"}
+	nodes := makeTunedGroup(t, net, addrs,
+		tuning.Batching{BatchSize: 8, Mode: tuning.Adaptive, DelayCap: time.Millisecond}, tuning.Sequencer{})
+	const perSender = 20
+	broadcastConcurrently(t, nodes, perSender)
+	assertUniformTotalOrder(t, nodes, perSender*len(nodes))
+}
+
+// TestPipelinedTotalOrder runs concurrent senders against the pipelined
+// sequencer (ORDER assignment off the router thread, coalesced ACKs) and
+// checks the uniform total-order contract end to end.
+func TestPipelinedTotalOrder(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3", "s4", "s5"}
+	nodes := makeTunedGroup(t, net, addrs,
+		tuning.Batching{BatchSize: 4, BatchDelay: 500 * time.Microsecond},
+		tuning.Sequencer{Pipelined: true})
+	const perSender = 20
+	broadcastConcurrently(t, nodes, perSender)
+	assertUniformTotalOrder(t, nodes, perSender*len(nodes))
+}
+
+// TestAckCoalescingReducesAckSends verifies the ACK fan-in win: under a
+// stream of back-to-back ORDERs, the pipelined members merge contiguous
+// ranges and emit far fewer ACK messages than the one-per-ORDER baseline.
+func TestAckCoalescingReducesAckSends(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3"}
+	// BatchSize 1 makes every broadcast its own DATA and ORDER: 100 ORDERs.
+	// The generous AckWindow keeps scheduler hiccups from looking like idle
+	// gaps, so the merge engages deterministically.
+	nodes := makeTunedGroup(t, net, addrs, tuning.Batching{},
+		tuning.Sequencer{Pipelined: true, AckWindow: 5 * time.Millisecond})
+	const count = 100
+	go func() {
+		for i := 0; i < count; i++ {
+			nodes[1].bc.Broadcast([]byte{byte(i)})
+		}
+	}()
+	for _, n := range nodes {
+		collect(t, n, count, 10*time.Second)
+	}
+	var ackSends, ordered uint64
+	for _, n := range nodes {
+		s := n.bc.Stats()
+		ackSends += s.AckSends
+		ordered += s.Ordered
+	}
+	// Without coalescing every member ACKs every ORDER: 3 members x 100
+	// ORDERs = 300 sends.  Require at least a 2x reduction (in practice the
+	// merge collapses it much further).
+	if ackSends >= count*uint64(len(addrs))/2 {
+		t.Fatalf("ACK coalescing sent %d ACK messages for %d orders across %d members (baseline %d)",
+			ackSends, count, len(addrs), count*len(addrs))
+	}
+	t.Logf("ACK sends: %d for %d orders across %d members (baseline %d)", ackSends, count, len(addrs), count*len(addrs))
+}
+
+// TestPipelinedCrashBeforeOrderEscapes drives the new mid-pipeline failover
+// window: the sequencer receives a DATA batch but crashes before any of its
+// ORDER messages reach another member (all its outbound links are cut).  The
+// payload must still be delivered exactly once by the survivors — it lives in
+// their pendingData, and the takeover sequencer orders it fresh.
+func TestPipelinedCrashBeforeOrderEscapes(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3", "s4", "s5"}
+	nodes := makeTunedGroup(t, net, addrs, tuning.Batching{}, tuning.Sequencer{Pipelined: true})
+
+	for _, to := range addrs[1:] {
+		net.BlockLink("s1", to)
+	}
+	if _, err := nodes[2].bc.Broadcast([]byte("orphaned")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the pipelined sequencer time to receive the DATA and send its
+	// (blackholed) ORDER: the crash lands after assignment, before escape.
+	time.Sleep(20 * time.Millisecond)
+	net.Crash("s1")
+	for _, n := range nodes[1:] {
+		n.bc.Suspect("s1")
+	}
+
+	for _, n := range nodes[1:] {
+		ds := collect(t, n, 1, 5*time.Second)
+		if string(ds[0].Payload) != "orphaned" || ds[0].Seq != 1 {
+			t.Fatalf("%s delivered %+v", n.addr, ds[0])
+		}
+		select {
+		case d := <-n.bc.Deliveries():
+			t.Fatalf("%s delivered %s twice (seq %d)", n.addr, d.MsgID, d.Seq)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// TestPipelinedCrashMinorityOrderEscaped is the harder half of the same
+// window: the dying sequencer's ORDER reached exactly one survivor (a
+// minority — nothing deliverable), and that survivor happens to lead the next
+// epoch.  Its gather set carries the assignment, so the message must keep its
+// original sequence number and be delivered exactly once — neither lost nor
+// double-ordered.
+func TestPipelinedCrashMinorityOrderEscaped(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3", "s4", "s5"}
+	nodes := makeTunedGroup(t, net, addrs, tuning.Batching{}, tuning.Sequencer{Pipelined: true})
+
+	// ORDER (and everything else from s1) reaches only s2.
+	for _, to := range addrs[2:] {
+		net.BlockLink("s1", to)
+	}
+	if _, err := nodes[2].bc.Broadcast([]byte("half-ordered")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	net.Crash("s1")
+	for _, n := range nodes[1:] {
+		n.bc.Suspect("s1")
+	}
+
+	for _, n := range nodes[1:] {
+		ds := collect(t, n, 1, 5*time.Second)
+		if string(ds[0].Payload) != "half-ordered" || ds[0].Seq != 1 {
+			t.Fatalf("%s delivered %+v", n.addr, ds[0])
+		}
+		select {
+		case d := <-n.bc.Deliveries():
+			t.Fatalf("%s delivered %s twice (seq %d)", n.addr, d.MsgID, d.Seq)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// TestRotatingSequencerTotalOrder runs concurrent senders with sequencer
+// rotation enabled and checks that planned handoffs preserve the uniform
+// total order: identical gap-free sequences everywhere, rotations observed,
+// and no crash-takeover epochs consumed (rotation must not masquerade as
+// failover).
+func TestRotatingSequencerTotalOrder(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3", "s4", "s5"}
+	nodes := makeTunedGroup(t, net, addrs, tuning.Batching{}, tuning.Sequencer{RotateEvery: 4})
+	const perSender = 20
+	broadcastConcurrently(t, nodes, perSender)
+	assertUniformTotalOrder(t, nodes, perSender*len(nodes))
+
+	var rotations uint64
+	for _, n := range nodes {
+		s := n.bc.Stats()
+		rotations += s.Rotations
+		if s.EpochJumps != 0 {
+			t.Fatalf("%s counted %d crash-takeover epoch jumps during planned rotation", n.addr, s.EpochJumps)
+		}
+	}
+	if rotations == 0 {
+		t.Fatal("no rotations observed with RotateEvery = 4 and 100 broadcasts")
+	}
+}
+
+// TestRotationHandoffThenCrash interleaves the two epoch-change paths: a
+// planned rotation hands the sequencer role over, then the new sequencer
+// crashes and the survivors run a gather takeover.  Numbering must continue
+// gap-free across both transitions.
+func TestRotationHandoffThenCrash(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3"}
+	nodes := makeTunedGroup(t, net, addrs, tuning.Batching{}, tuning.Sequencer{RotateEvery: 2})
+
+	for i := 0; i < 2; i++ {
+		if _, err := nodes[0].bc.Broadcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		collect(t, n, 2, 5*time.Second)
+	}
+	// The quota (2) is filled: the rotation handoff is in flight.  Wait for
+	// every member to adopt the new epoch.
+	waitFor(t, 2*time.Second, func() bool {
+		for _, n := range nodes {
+			if n.bc.Epoch() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Crash whoever holds the sequencer role now.
+	seqr := nodes[0].bc.Sequencer()
+	var crashedIdx int
+	for i, a := range addrs {
+		if a == seqr {
+			crashedIdx = i
+		}
+	}
+	net.Crash(seqr)
+	for i, n := range nodes {
+		if i == crashedIdx {
+			continue
+		}
+		n.bc.Suspect(seqr)
+	}
+
+	var sender *node
+	for i, n := range nodes {
+		if i != crashedIdx {
+			sender = n
+			break
+		}
+	}
+	if _, err := sender.bc.Broadcast([]byte("after-both")); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		if i == crashedIdx {
+			continue
+		}
+		ds := collect(t, n, 1, 5*time.Second)
+		if string(ds[0].Payload) != "after-both" || ds[0].Seq != 3 {
+			t.Fatalf("%s delivered %+v, want seq 3 (gap-free across rotation + crash)", n.addr, ds[0])
+		}
+	}
+}
+
+// TestChainedRotationDuplicateSuppressed white-boxes the one anomaly planned
+// rotation introduces: an ORDER from an earlier rotation epoch can still be
+// in flight when a later sequencer sweeps the same (apparently unordered)
+// payload into a fresh assignment, giving one message id two sequence
+// numbers.  The delivery path must emit the lowest one and silently skip the
+// other — on every member identically.
+func TestChainedRotationDuplicateSuppressed(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3"}
+	router := gcs.NewRouter(net.Endpoint("s2"))
+	// s2 is a non-sequencer follower; the router is never started, every
+	// protocol step is injected directly.
+	b, err := New(Config{Self: "s2", Members: addrs}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	b.handleData(dataMsg{Entries: []dataEntry{{MsgID: "s3/0/1", Payload: []byte("x")}}})
+	b.handleOrder(orderMsg{Epoch: 0, BaseSeq: 1, MsgIDs: []string{"s3/0/1"}})
+	b.handleAck(ackMsg{Epoch: 0, BaseSeq: 1, MsgIDs: []string{"s3/0/1"}}, "s1")
+	b.handleAck(ackMsg{Epoch: 0, BaseSeq: 1, MsgIDs: []string{"s3/0/1"}}, "s2")
+	select {
+	case d := <-b.Deliveries():
+		if d.Seq != 1 || d.MsgID != "s3/0/1" {
+			t.Fatalf("first delivery %+v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("first assignment never delivered")
+	}
+
+	// The epoch-1 rotation successor swept the same payload into seq 2 (its
+	// handoff arrived before the epoch-0 ORDER above).  The duplicate reaches
+	// stability: the cursor must pass it without a second emission.
+	b.handleOrder(orderMsg{Epoch: 1, BaseSeq: 2, MsgIDs: []string{"s3/0/1"}})
+	b.handleAck(ackMsg{Epoch: 1, BaseSeq: 2, MsgIDs: []string{"s3/0/1"}}, "s1")
+	b.handleAck(ackMsg{Epoch: 1, BaseSeq: 2, MsgIDs: []string{"s3/0/1"}}, "s2")
+
+	// A later message proves the cursor moved past the suppressed duplicate.
+	b.handleData(dataMsg{Entries: []dataEntry{{MsgID: "s1/0/9", Payload: []byte("y")}}})
+	b.handleOrder(orderMsg{Epoch: 1, BaseSeq: 3, MsgIDs: []string{"s1/0/9"}})
+	b.handleAck(ackMsg{Epoch: 1, BaseSeq: 3, MsgIDs: []string{"s1/0/9"}}, "s1")
+	b.handleAck(ackMsg{Epoch: 1, BaseSeq: 3, MsgIDs: []string{"s1/0/9"}}, "s2")
+
+	select {
+	case d := <-b.Deliveries():
+		if d.Seq != 3 || d.MsgID != "s1/0/9" {
+			t.Fatalf("got %+v, want seq 3 %q — the duplicate at seq 2 must be skipped silently", d, "s1/0/9")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery cursor stuck on the suppressed duplicate")
+	}
+	if got := b.Stats().Delivered; got != 2 {
+		t.Fatalf("Delivered = %d, want 2 (the duplicate must not count)", got)
+	}
+}
+
+// TestCrashTakeoverVoidsOlderOrders pins the minOrderEpoch floor: after a
+// crash takeover, a straggler ORDER from the pre-crash epoch must be ignored
+// even if it would otherwise reach ack-majority — the gather majority
+// promised to forget it.
+func TestCrashTakeoverVoidsOlderOrders(t *testing.T) {
+	net := transport.NewMemNetwork()
+	addrs := []string{"s1", "s2", "s3"}
+	router := gcs.NewRouter(net.Endpoint("s2"))
+	b, err := New(Config{Self: "s2", Members: addrs}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	b.handleData(dataMsg{Entries: []dataEntry{{MsgID: "s3/0/1", Payload: []byte("x")}}})
+	// s1 crashes; s2 takes over (epoch 1) and completes its gather from a
+	// majority that never saw any epoch-0 ORDER.
+	b.Suspect("s1")
+	b.handleState(stateMsg{Epoch: 1}, "s3")
+	if b.gatheringNow() {
+		t.Fatal("gather should be complete with states from s2 and s3")
+	}
+
+	// The pre-crash sequencer's ORDER arrives late: it must be void.
+	b.handleOrder(orderMsg{Epoch: 0, BaseSeq: 5, MsgIDs: []string{"s3/0/1"}})
+	b.mu.Lock()
+	_, adopted := b.orders[5]
+	b.mu.Unlock()
+	if adopted {
+		t.Fatal("an epoch-0 ORDER was adopted after the epoch-1 crash takeover voided it")
+	}
+}

@@ -65,10 +65,17 @@ type Config struct {
 	// to close gaps left by messages sent while it was down (default 1s).
 	ResyncInterval time.Duration
 	// BatchSize, BatchDelay and ApplyWorkers are the pipeline tuning knobs
-	// (see internal/tuning).
-	BatchSize    int
-	BatchDelay   time.Duration
-	ApplyWorkers int
+	// (see internal/tuning).  BatchAdaptive selects the adaptive co-traveller
+	// window (BatchDelay is then ignored; BatchDelayCap bounds the wait);
+	// PipelinedSequencer and RotateSequencerEvery enable the sequencer
+	// hot-path modes.
+	BatchSize            int
+	BatchDelay           time.Duration
+	BatchAdaptive        bool
+	BatchDelayCap        time.Duration
+	PipelinedSequencer   bool
+	RotateSequencerEvery int
+	ApplyWorkers         int
 	// Logf receives operational log lines (default os.Stderr via fmt).
 	Logf func(format string, args ...interface{})
 }
@@ -95,6 +102,19 @@ func (c *Config) applyDefaults() error {
 		}
 	}
 	return nil
+}
+
+// pipeline assembles the replica's tuning knob set from the flat config.
+func (c *Config) pipeline() tuning.Pipeline {
+	p := tuning.Pipe(c.BatchSize, c.BatchDelay, c.ApplyWorkers)
+	if c.BatchAdaptive {
+		p.Mode = tuning.Adaptive
+		p.DelayCap = c.BatchDelayCap
+		p.BatchDelay = 0
+	}
+	p.Pipelined = c.PipelinedSequencer
+	p.RotateEvery = c.RotateSequencerEvery
+	return p
 }
 
 // Server is one running replica process.
@@ -178,7 +198,7 @@ func Start(cfg Config) (*Server, error) {
 		StartDetector:   true,
 		Detector:        fd.Config{Interval: cfg.HeartbeatInterval, Timeout: cfg.SuspectTimeout},
 		OnDetectorEvent: s.onDetectorEvent,
-		Pipeline:        tuning.Pipe(cfg.BatchSize, cfg.BatchDelay, cfg.ApplyWorkers),
+		Pipeline:        cfg.pipeline(),
 	})
 	if err != nil {
 		s.teardown()

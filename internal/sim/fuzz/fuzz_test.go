@@ -92,26 +92,76 @@ func TestFuzzPinned(t *testing.T) {
 	cases := []struct {
 		technique, level, profile string
 		seed                      int64
+		adaptive                  bool
+		rotateEvery               int
 	}{
-		{"certification", "group-safe", "mixed", 11},
-		{"certification", "2-safe", "storm", 12},
-		{"certification", "very-safe", "partition", 13},
-		{"active", "group-safe", "mixed", 14},
-		{"lazy-primary", "", "mixed", 15},
+		{"certification", "group-safe", "mixed", 11, false, 0},
+		{"certification", "2-safe", "storm", 12, false, 0},
+		{"certification", "very-safe", "partition", 13, false, 0},
+		{"active", "group-safe", "mixed", 14, false, 0},
+		{"lazy-primary", "", "mixed", 15, false, 0},
+		// The broadcast hot-path variants: adaptive batching + pipelined
+		// sequencer under the certification technique, planned sequencer
+		// rotation under active replication.  Same invariant suite — the
+		// ordering optimisations must be invisible to safety.
+		{"certification", "group-safe", "mixed", 16, true, 0},
+		{"active", "group-safe", "storm", 17, false, 6},
 	}
 	for _, c := range cases {
 		c := c
 		name := c.technique + "-" + c.level + "-" + c.profile
+		if c.adaptive {
+			name += "-adaptive"
+		}
+		if c.rotateEvery > 0 {
+			name += "-rotating"
+		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			cfg := sweepConfig(c.seed)
 			cfg.Technique, cfg.Level, cfg.Profile = c.technique, c.level, c.profile
+			cfg.Adaptive, cfg.RotateEvery = c.adaptive, c.rotateEvery
 			sc, err := Generate(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			checkRun(t, sc)
 		})
+	}
+}
+
+// TestTraceHotPathHeaderRoundTrip pins the trace codec for the new header
+// lines: they are emitted only when non-default (so committed corpus traces
+// keep their exact bytes) and survive a marshal/parse/marshal cycle.
+func TestTraceHotPathHeaderRoundTrip(t *testing.T) {
+	cfg := sweepConfig(31)
+	cfg.Adaptive, cfg.RotateEvery = true, 5
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := sc.Marshal()
+	if !bytes.Contains(data, []byte("adaptive true\n")) || !bytes.Contains(data, []byte("rotate-every 5\n")) {
+		t.Fatalf("hot-path header lines missing from trace:\n%s", data[:200])
+	}
+	parsed, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Cfg.Adaptive || parsed.Cfg.RotateEvery != 5 {
+		t.Fatalf("parsed config lost the hot-path knobs: %+v", parsed.Cfg)
+	}
+	if !bytes.Equal(parsed.Marshal(), data) {
+		t.Fatal("marshal/parse/marshal is not byte-stable with hot-path headers")
+	}
+
+	// Default knobs must not add header lines (corpus byte-stability).
+	plain, err := Generate(sweepConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain.Marshal(), []byte("adaptive")) || bytes.Contains(plain.Marshal(), []byte("rotate-every")) {
+		t.Fatal("default config leaked hot-path header lines into the trace")
 	}
 }
 

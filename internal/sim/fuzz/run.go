@@ -10,6 +10,7 @@ import (
 	"groupsafe/internal/core"
 	"groupsafe/internal/sim"
 	"groupsafe/internal/storage"
+	"groupsafe/internal/tuning"
 )
 
 // The runner executes a scenario against a real cluster.  The schedule is
@@ -181,6 +182,7 @@ func Run(s *Scenario) (*RunRecord, error) {
 		Technique:     tech,
 		ExecTimeout:   cfg.TxnTimeout,
 		RecordApplied: true,
+		Pipeline:      pipelineFor(cfg),
 		Seed:          sim.DeriveSeed(cfg.Seed, streamNetwork),
 	})
 	if err != nil {
@@ -209,6 +211,23 @@ func Run(s *Scenario) (*RunRecord, error) {
 	r.rescue()
 	r.collect()
 	return rec, nil
+}
+
+// pipelineFor maps the scenario's broadcast-lane knobs onto the tuning
+// pipeline: Adaptive runs adaptive batching with the pipelined sequencer,
+// RotateEvery adds planned sequencer rotation (which implies pipelining).
+func pipelineFor(cfg Config) tuning.Pipeline {
+	var p tuning.Pipeline
+	if cfg.Adaptive {
+		p.BatchSize = 4
+		p.Mode = tuning.Adaptive
+		p.Pipelined = true
+	}
+	if cfg.RotateEvery > 0 {
+		p.RotateEvery = cfg.RotateEvery
+		p.Pipelined = true
+	}
+	return p
 }
 
 type runner struct {

@@ -46,6 +46,13 @@ type Config struct {
 	// changing the trace... except that it is part of the marshalled header,
 	// so corpus entries replay with the timeout they were found under.
 	TxnTimeout time.Duration
+	// Adaptive runs the cluster's broadcast lane in adaptive-batching +
+	// pipelined-sequencer mode (default fixed/unbatched).  Marshalled only
+	// when set, so pre-existing corpus traces keep their exact bytes.
+	Adaptive bool
+	// RotateEvery enables planned sequencer rotation after that many
+	// assignments (0: fixed sequencer).  Marshalled only when non-zero.
+	RotateEvery int
 }
 
 // Profiles lists the supported adversary profiles.
@@ -462,6 +469,13 @@ func (s *Scenario) Marshal() []byte {
 	fmt.Fprintf(&b, "steps %d\n", s.Cfg.Steps)
 	fmt.Fprintf(&b, "profile %s\n", s.Cfg.Profile)
 	fmt.Fprintf(&b, "txn-timeout %s\n", s.Cfg.TxnTimeout)
+	// Emitted only when non-default: older traces stay byte-identical.
+	if s.Cfg.Adaptive {
+		fmt.Fprintf(&b, "adaptive %t\n", s.Cfg.Adaptive)
+	}
+	if s.Cfg.RotateEvery != 0 {
+		fmt.Fprintf(&b, "rotate-every %d\n", s.Cfg.RotateEvery)
+	}
 	fmt.Fprintf(&b, "generated %t\n", s.Generated)
 	fmt.Fprintf(&b, "schedule %d\n", len(s.Steps))
 	for _, st := range s.Steps {
@@ -546,6 +560,10 @@ func ParseScenario(data []byte) (*Scenario, error) {
 			s.Cfg.Profile = val
 		case "txn-timeout":
 			s.Cfg.TxnTimeout, err = time.ParseDuration(val)
+		case "adaptive":
+			s.Cfg.Adaptive, err = strconv.ParseBool(val)
+		case "rotate-every":
+			s.Cfg.RotateEvery, err = strconv.Atoi(val)
 		case "generated":
 			s.Generated, err = strconv.ParseBool(val)
 		case "schedule":

@@ -56,10 +56,13 @@ type Config struct {
 	// executes the full transaction in delivery order, zero aborts), or
 	// lazy primary-copy (all update transactions execute at server 0).
 	Technique core.TechniqueID
-	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay,
-	// ApplyWorkers) mirroring core.ReplicaConfig; the simulator reads
-	// ApplyWorkers 0 as its historical default of one install slot per
-	// disk.  See the tuning package.
+	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay, Mode,
+	// DelayCap, ApplyWorkers) mirroring core.ReplicaConfig; the simulator
+	// reads ApplyWorkers 0 as its historical default of one install slot per
+	// disk, and models the Adaptive batching mode with the steady-state
+	// expected inter-arrival gap in place of the real sender's EWMA.  The
+	// Sequencer knobs are accepted but not modelled (the simulated sequencer
+	// is already a zero-latency oracle).  See the tuning package.
 	tuning.Pipeline
 	// Duration is the simulated time during which transactions are generated.
 	Duration time.Duration
@@ -125,6 +128,15 @@ func (c Config) Validate() error {
 	}
 	if c.BatchDelay < 0 {
 		return fmt.Errorf("simrep: batch delay must be non-negative")
+	}
+	if c.DelayCap < 0 {
+		return fmt.Errorf("simrep: delay cap must be non-negative")
+	}
+	if c.Mode != tuning.FixedDelay && c.Mode != tuning.Adaptive {
+		return fmt.Errorf("simrep: unknown batch mode %d", c.Mode)
+	}
+	if c.AckWindow < 0 || c.RotateEvery < 0 {
+		return fmt.Errorf("simrep: sequencer knobs must be non-negative")
 	}
 	if c.ApplyWorkers < 0 {
 		return fmt.Errorf("simrep: apply workers must be non-negative")

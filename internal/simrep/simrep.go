@@ -7,6 +7,7 @@ import (
 	"groupsafe/internal/core"
 	"groupsafe/internal/sim"
 	"groupsafe/internal/stats"
+	"groupsafe/internal/tuning"
 	"groupsafe/internal/workload"
 )
 
@@ -72,6 +73,12 @@ type simulation struct {
 
 	batchSize  int
 	batchDelay time.Duration
+	// adaptiveGap is the expected update inter-arrival time at one delegate
+	// (zero in FixedDelay mode): the simulator's closed-form stand-in for the
+	// EWMA the real abcast sender tracks.  A gap at or above the delay cap
+	// means the delegate is idle and partial batches flush without waiting.
+	adaptiveGap time.Duration
+	delayCap    time.Duration
 
 	nextSeq   uint64
 	warmupEnd time.Duration
@@ -117,8 +124,26 @@ func newSimulation(cfg Config, level core.SafetyLevel, loadTPS float64) *simulat
 	if s.batchSize < 1 {
 		s.batchSize = 1
 	}
-	if s.batchSize > 1 && s.batchDelay <= 0 {
-		s.batchDelay = time.Millisecond
+	// Mirror abcast.New: zero BatchDelay with batching on means adaptive
+	// idle-flush, not a hidden fixed stall.
+	mode := cfg.Mode
+	if s.batchSize > 1 && mode == tuning.FixedDelay && s.batchDelay <= 0 {
+		mode = tuning.Adaptive
+	}
+	if mode == tuning.Adaptive {
+		s.delayCap = cfg.DelayCap
+		if s.delayCap <= 0 {
+			s.delayCap = tuning.DefaultDelayCap
+		}
+		// Expected update inter-arrival at one delegate: offered load split
+		// across servers, thinned by the read-only fraction (queries never
+		// reach the broadcast stage).
+		updTPS := loadTPS * (1 - cfg.ReadFraction) / float64(cfg.Servers)
+		if updTPS > 0 {
+			s.adaptiveGap = time.Duration(float64(time.Second) / updTPS)
+		} else {
+			s.adaptiveGap = s.delayCap // no updates: always idle-flush
+		}
 	}
 	applyWorkers := cfg.ApplyWorkers
 	if applyWorkers <= 0 {
@@ -378,8 +403,10 @@ func (s *simulation) batcher(p *sim.Process, srv *server) {
 		// still waits the remainder — an upper bound on the real latency.)
 		take()
 		if len(batch) < s.batchSize {
-			p.Hold(s.batchDelay)
-			take()
+			if hold := s.coTravellerWindow(len(batch)); hold > 0 {
+				p.Hold(hold)
+				take()
+			}
 		}
 		srv.cpu.Use(p, peers*s.cfg.CPUPerNetworkOp)
 		s.network.Use(p, peers*s.cfg.NetworkDelay)
@@ -388,6 +415,25 @@ func (s *simulation) batcher(p *sim.Process, srv *server) {
 			s.orderAndEnqueue(t)
 		}
 	}
+}
+
+// coTravellerWindow is how long a partial batch of the given size waits for
+// co-travellers: the fixed BatchDelay, or in adaptive mode the expected time
+// for the remaining slots to fill, capped by delayCap — and zero (flush now)
+// when the delegate's update rate is too low for co-travellers to be worth
+// waiting for, so an idle delegate never pays the window at all.
+func (s *simulation) coTravellerWindow(have int) time.Duration {
+	if s.adaptiveGap == 0 {
+		return s.batchDelay
+	}
+	if s.adaptiveGap >= s.delayCap {
+		return 0
+	}
+	hold := s.adaptiveGap * time.Duration(s.batchSize-have)
+	if hold > s.delayCap {
+		hold = s.delayCap
+	}
+	return hold
 }
 
 // certify implements first-updater-wins certification against the logical

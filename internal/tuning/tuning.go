@@ -7,6 +7,37 @@ package tuning
 
 import "time"
 
+// BatchMode selects how the sender-side co-traveller window is chosen.
+type BatchMode int
+
+const (
+	// FixedDelay is the classical knob: a partial batch waits exactly
+	// BatchDelay for co-travellers.  Right at exactly one load point, wrong
+	// everywhere else (an idle sender stalls the full delay for nothing; a
+	// saturated one never needs it).
+	FixedDelay BatchMode = iota
+	// Adaptive clocks the co-traveller wait off the sender's own deliveries:
+	// a payload arriving while the sender has nothing in flight is sent
+	// immediately (zero added latency when idle), while payloads arriving
+	// behind an in-flight batch buffer and flush when that batch's delivery
+	// drains the pipe — group-commit discipline.  An EWMA of inter-arrival
+	// gaps only backstops the deadline; DelayCap bounds the worst-case added
+	// latency (the p99 budget).  BatchDelay is ignored in this mode.
+	Adaptive
+)
+
+// String returns the mode name for logs and flag round-trips.
+func (m BatchMode) String() string {
+	if m == Adaptive {
+		return "adaptive"
+	}
+	return "fixed"
+}
+
+// DefaultDelayCap bounds the adaptive co-traveller wait when the caller does
+// not set one: no payload is ever held back more than this for batching.
+const DefaultDelayCap = time.Millisecond
+
 // Batching tunes the sender-side coalescing of the atomic broadcast (and the
 // simulator's model of it).
 type Batching struct {
@@ -17,14 +48,41 @@ type Batching struct {
 	// drain delivered bursts and force the log once per drained batch.
 	BatchSize int
 	// BatchDelay bounds how long a payload waits for co-travellers before a
-	// partial batch is flushed (default 1ms when BatchSize > 1).
+	// partial batch is flushed, in FixedDelay mode.  With BatchSize > 1 a
+	// zero BatchDelay now selects the Adaptive mode (idle-flush) instead of
+	// the historical silent 1 ms stall.
 	BatchDelay time.Duration
+	// Mode selects fixed-delay or adaptive co-traveller windows.
+	Mode BatchMode
+	// DelayCap bounds the adaptive co-traveller wait (default
+	// DefaultDelayCap).  Ignored in FixedDelay mode.
+	DelayCap time.Duration
 }
 
-// Pipeline is the full replica-pipeline knob set: broadcast batching plus the
-// parallel apply stage.
+// Sequencer tunes the ordering hot path of the atomic broadcast.
+type Sequencer struct {
+	// Pipelined overlaps ORDER assignment with DATA reception: the sequencer
+	// queues decoded batches for a dedicated ordering goroutine (coalescing
+	// several DATA batches into one contiguous ORDER range) instead of
+	// assigning synchronously on the router thread, and members range-merge
+	// contiguous ACKs within a short window into one acknowledgement.
+	Pipelined bool
+	// AckWindow bounds how long a member may hold an ACK waiting for a
+	// mergeable neighbour when Pipelined is on (default 100µs; the window
+	// adapts below the cap exactly like the sender-side batching window).
+	AckWindow time.Duration
+	// RotateEvery, when > 0, rotates the sequencer role to the next member
+	// after that many sequence assignments: a planned, gather-free epoch
+	// handoff so ordering load is not pinned to one member.  0 keeps the
+	// fixed sequencer.
+	RotateEvery int
+}
+
+// Pipeline is the full replica-pipeline knob set: broadcast batching, the
+// sequencer hot path, and the parallel apply stage.
 type Pipeline struct {
 	Batching
+	Sequencer
 	// ApplyWorkers bounds how many certified write sets of one drained batch
 	// are installed concurrently.  Certification always stays serial in
 	// delivery order; with ApplyWorkers > 1 the committed write sets are
@@ -41,4 +99,13 @@ type Pipeline struct {
 // instead of nesting Pipeline{Batching{...}}.
 func Pipe(batchSize int, batchDelay time.Duration, applyWorkers int) Pipeline {
 	return Pipeline{Batching: Batching{BatchSize: batchSize, BatchDelay: batchDelay}, ApplyWorkers: applyWorkers}
+}
+
+// AdaptivePipe is Pipe for the adaptive batching mode: payloads flush
+// immediately when the sender is idle and wait up to delayCap under load.
+func AdaptivePipe(batchSize int, delayCap time.Duration, applyWorkers int) Pipeline {
+	return Pipeline{
+		Batching:     Batching{BatchSize: batchSize, Mode: Adaptive, DelayCap: delayCap},
+		ApplyWorkers: applyWorkers,
+	}
 }

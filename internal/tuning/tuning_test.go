@@ -16,3 +16,19 @@ func TestPipeBuildsNestedLiteral(t *testing.T) {
 		t.Fatalf("embedded batching = %+v", b)
 	}
 }
+
+func TestAdaptivePipe(t *testing.T) {
+	p := AdaptivePipe(32, 500*time.Microsecond, 2)
+	if p.Mode != Adaptive || p.BatchSize != 32 || p.DelayCap != 500*time.Microsecond || p.ApplyWorkers != 2 {
+		t.Fatalf("AdaptivePipe produced %+v", p)
+	}
+	if p.BatchDelay != 0 {
+		t.Fatalf("AdaptivePipe must leave BatchDelay zero, got %v", p.BatchDelay)
+	}
+}
+
+func TestBatchModeString(t *testing.T) {
+	if FixedDelay.String() != "fixed" || Adaptive.String() != "adaptive" {
+		t.Fatalf("mode strings: %q / %q", FixedDelay.String(), Adaptive.String())
+	}
+}
