@@ -374,13 +374,15 @@ func BenchmarkAbcastBatching(b *testing.B) {
 	}
 }
 
-// benchmarkLatencySweep runs one (config, producer-count) point of the
-// latency-versus-throughput sweep: `producers` closed-loop clients each
-// broadcast and wait for their own message's delivery, so per-op latency is
-// the real broadcast-to-delivery time under that offered load.  Reported
-// metrics: p50/p99 latency, protocol messages per broadcast, and the
-// sequencer's inbound messages per broadcast (the ACK-coalescing win).
-func benchmarkLatencySweep(b *testing.B, producers int, batching tuning.Batching, seqCfg tuning.Sequencer) {
+// benchmarkLatencySweep runs one (config, load) point of the latency-versus-
+// throughput sweep: each operation broadcasts and waits for its own message's
+// delivery, so per-op latency is the real broadcast-to-delivery time under
+// that offered load.  The load shape comes from the shared harness
+// (bench_load_test.go): closed-loop client counts or an open-loop Poisson
+// arrival rate.  Reported metrics: p50/p99 latency, protocol messages per
+// broadcast, and the sequencer's inbound messages per broadcast (the
+// ACK-coalescing win).
+func benchmarkLatencySweep(b *testing.B, mode loadMode, batching tuning.Batching, seqCfg tuning.Sequencer) {
 	network := transport.NewMemNetwork()
 	members := make([]string, 5)
 	for i := range members {
@@ -414,7 +416,7 @@ func benchmarkLatencySweep(b *testing.B, producers int, batching tuning.Batching
 	// registered (the id is only known once Broadcast returns), so those are
 	// parked in `delivered` for the producer to claim.
 	var mu sync.Mutex
-	waiters := make(map[string]chan struct{}, producers)
+	waiters := make(map[string]chan struct{})
 	delivered := make(map[string]bool)
 	go func() {
 		for {
@@ -446,64 +448,29 @@ func benchmarkLatencySweep(b *testing.B, producers int, batching tuning.Batching
 		}()
 	}
 
-	b.ResetTimer()
-	var next int64
-	latencies := make([][]time.Duration, producers)
-	errCh := make(chan error, producers)
-	var wg sync.WaitGroup
-	for g := 0; g < producers; g++ {
-		g := g
+	op := func(g int) error {
 		sender := nodes[g%len(nodes)].bc
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if atomic.AddInt64(&next, 1) > int64(b.N) {
-					return
-				}
-				done := make(chan struct{})
-				start := time.Now()
-				id, err := sender.Broadcast([]byte("sweep"))
-				if err != nil {
-					errCh <- err
-					return
-				}
-				mu.Lock()
-				if delivered[id] {
-					delete(delivered, id)
-					mu.Unlock()
-					latencies[g] = append(latencies[g], time.Since(start))
-					continue
-				}
-				waiters[id] = done
-				mu.Unlock()
-				<-done
-				latencies[g] = append(latencies[g], time.Since(start))
-			}
-		}()
-	}
-	wg.Wait()
-	b.StopTimer()
-	select {
-	case err := <-errCh:
-		b.Fatal(err)
-	default:
+		done := make(chan struct{})
+		id, err := sender.Broadcast([]byte("sweep"))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if delivered[id] {
+			delete(delivered, id)
+			mu.Unlock()
+			return nil
+		}
+		waiters[id] = done
+		mu.Unlock()
+		<-done
+		return nil
 	}
 
-	all := make([]time.Duration, 0, b.N)
-	for _, ls := range latencies {
-		all = append(all, ls...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) float64 {
-		if len(all) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(all)-1))
-		return float64(all[idx]) / float64(time.Microsecond)
-	}
-	b.ReportMetric(pct(0.50), "p50-µs")
-	b.ReportMetric(pct(0.99), "p99-µs")
+	b.ResetTimer()
+	all := mode.run(b, op)
+	b.StopTimer()
+	reportLatencyDistribution(b, all)
 
 	var sent uint64
 	for _, n := range nodes {
@@ -537,7 +504,32 @@ func BenchmarkLatencyThroughputSweep(b *testing.B) {
 		for _, producers := range []int{1, 4, 32} {
 			cfg, producers := cfg, producers
 			b.Run(cfg.name+"/load-"+itoa(producers), func(b *testing.B) {
-				benchmarkLatencySweep(b, producers, cfg.batching, cfg.seq)
+				benchmarkLatencySweep(b, closedLoop(producers), cfg.batching, cfg.seq)
+			})
+		}
+	}
+}
+
+// BenchmarkLatencyThroughputSweepOpenLoop is the open-loop companion of the
+// sweep above: Poisson arrivals at fixed offered rates instead of closed-loop
+// clients, so a config that falls behind shows the backlog as p99 latency
+// rather than silently slowing the offered load (coordinated omission).  Same
+// harness, same metrics — compare the p99 column between the fixed and
+// adaptive configs at the high rate.
+func BenchmarkLatencyThroughputSweepOpenLoop(b *testing.B) {
+	configs := []struct {
+		name     string
+		batching tuning.Batching
+		seq      tuning.Sequencer
+	}{
+		{"fixed-1", tuning.Batching{BatchSize: 1}, tuning.Sequencer{}},
+		{"adaptive", tuning.Batching{BatchSize: 32, Mode: tuning.Adaptive}, tuning.Sequencer{Pipelined: true}},
+	}
+	for _, cfg := range configs {
+		for _, mean := range []time.Duration{500 * time.Microsecond, 100 * time.Microsecond} {
+			cfg, mean := cfg, mean
+			b.Run(cfg.name+"/"+openLoop(mean).name(), func(b *testing.B) {
+				benchmarkLatencySweep(b, openLoop(mean), cfg.batching, cfg.seq)
 			})
 		}
 	}

@@ -29,6 +29,7 @@ func main() {
 	levelFlag := flag.String("level", "group-safe", "safety level: 0-safe | 1-safe-lazy | group-safe | group-1-safe | 2-safe | very-safe")
 	techniqueFlag := flag.String("technique", "certification", "replication technique: certification | active | lazy-primary")
 	replicas := flag.Int("replicas", 3, "number of replica servers")
+	partitions := flag.Int("partitions", 1, "hash partitions of the keyspace, each its own replica group and total order (1: single global order)")
 	txns := flag.Int("txns", 200, "number of transactions to run")
 	diskSync := flag.Duration("disk-sync", 2*time.Millisecond, "emulated log-force latency")
 	netLatency := flag.Duration("net-latency", 70*time.Microsecond, "emulated one-way network latency")
@@ -121,6 +122,9 @@ func main() {
 	if *rotateEvery > 0 {
 		openOpts = append(openOpts, gsdb.WithRotatingSequencer(*rotateEvery))
 	}
+	if *partitions > 1 {
+		openOpts = append(openOpts, gsdb.WithPartitions(*partitions))
+	}
 	client, err := gsdb.Open(ctx, openOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -128,7 +132,12 @@ func main() {
 	}
 	defer client.Close()
 
-	fmt.Printf("started %d-replica cluster: technique %s, safety level %s\n", *replicas, technique, client.Level())
+	if client.Partitions() > 1 {
+		fmt.Printf("started %d-replica cluster: technique %s, safety level %s, %d keyspace partitions\n",
+			*replicas, technique, client.Level(), client.Partitions())
+	} else {
+		fmt.Printf("started %d-replica cluster: technique %s, safety level %s\n", *replicas, technique, client.Level())
+	}
 	wcfg := gsdb.DefaultWorkloadConfig()
 	wcfg.ReadFraction = *readFraction
 	wcfg.QueryMinOps = *queryKeys

@@ -53,6 +53,7 @@ func main() {
 		delayCap     = flag.Duration("batch-delay-cap", 0, "upper bound on the adaptive co-traveller wait (0: default cap)")
 		pipelined    = flag.Bool("pipelined-sequencer", false, "overlap ORDER assignment with DATA reception and coalesce ACK fan-in")
 		rotateEvery  = flag.Int("rotate-sequencer-every", 0, "rotate the sequencer role after this many assignments (0: fixed sequencer)")
+		partitions   = flag.Int("partitions", 1, "keyspace partitions; a server process hosts one replica of ONE partition's group, so this must stay 1 (see docs/OPERATIONS.md)")
 	)
 	flag.VisitAll(envDefault)
 	flag.Parse()
@@ -81,6 +82,15 @@ func main() {
 	technique, err := gsdb.ParseTechnique(*techFlag)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *partitions > 1 {
+		fatalf("-partitions=%d: a gsdb-server process hosts one replica of a single partition's group; "+
+			"deploy %d independent replica groups (one per partition, each with its own -peers list and "+
+			"-wal-dir trees) and shard at the client — see docs/OPERATIONS.md, \"Partitioned keyspace\"",
+			*partitions, *partitions)
+	}
+	if *partitions < 1 {
+		fatalf("-partitions must be at least 1")
 	}
 
 	srv, err := server.Start(server.Config{

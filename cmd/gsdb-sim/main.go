@@ -43,6 +43,7 @@ func run() int {
 	adaptive := flag.Bool("batch-adaptive", false, "adapt the co-traveller wait to the offered load (ignores -batch-delay)")
 	delayCap := flag.Duration("batch-delay-cap", 0, "upper bound on the adaptive co-traveller wait (0: default cap)")
 	applyWorkers := flag.Int("apply-workers", 0, "concurrent write-set installs per server (0: one per disk)")
+	partitions := flag.Int("partitions", 1, "hash partitions of the keyspace, each with its own total order (certification technique only; 1: single global order)")
 	readFraction := flag.Float64("read-fraction", 0, "fraction of transactions that are pure read-only queries (0: Table 4 mix)")
 	queryKeys := flag.Int("query-keys", 0, "keys read per query transaction (0: transaction-length bounds)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -74,6 +75,7 @@ func run() int {
 	if *adaptive {
 		cfg.Pipeline = gsdb.AdaptivePipe(*batch, *delayCap, *applyWorkers)
 	}
+	cfg.Partitions = *partitions
 	cfg.ReadFraction = *readFraction
 	cfg.QueryMinOps = *queryKeys
 	cfg.QueryMaxOps = *queryKeys

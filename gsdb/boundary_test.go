@@ -33,6 +33,7 @@ func TestImportBoundary(t *testing.T) {
 	allowed := map[string][]string{
 		"gsdb": {
 			"groupsafe/internal/core",
+			"groupsafe/internal/partition",
 			"groupsafe/internal/workload",
 			"groupsafe/internal/tuning",
 			"groupsafe/internal/gcs/fd",

@@ -55,9 +55,5 @@ func (cm *Commit) Durable(ctx context.Context) error {
 	if res.CommitLSN == 0 {
 		return nil // read-only: nothing was logged
 	}
-	r := cm.client.cluster.ReplicaByID(res.Delegate)
-	if r == nil {
-		return fmt.Errorf("%w: delegate %s", ErrNotFound, res.Delegate)
-	}
-	return r.WaitDurable(ctx, res.CommitLSN)
+	return cm.client.cluster.WaitDurable(ctx, res)
 }

@@ -29,7 +29,11 @@ type ItemState = netproto.ItemState
 // and degrades gracefully: a dead or crashed replica is skipped with jittered
 // backoff, an ErrNotPrimary rejection from a lazy primary-copy secondary
 // rotates to the next replica, and a request fails — it never hangs — once
-// its bounded retry budget or its context is exhausted.
+// its bounded retry budget or its context is exhausted.  An endpoint whose
+// dial or handshake fails repeatedly is suspended from the round-robin for an
+// exponentially growing window (100ms doubling to a 15s cap), so a dead
+// server costs one probe per window instead of one timeout per transaction;
+// any successful connection clears the suspension.
 //
 // The same per-transaction options work as with the embedded client; only
 // Compute hooks are rejected (a Go closure cannot cross the network — fetch
@@ -43,8 +47,10 @@ func Dial(ctx context.Context, addrs ...string) (*RemoteClient, error) {
 		return nil, fmt.Errorf("gsdb: dial: %w", err)
 	}
 	c := &RemoteClient{
-		addrs: append([]string(nil), addrs...),
-		conns: make(map[string]*remoteConn),
+		addrs:  append([]string(nil), addrs...),
+		conns:  make(map[string]*remoteConn),
+		health: make(map[string]endpointHealth),
+		now:    time.Now,
 	}
 	return c, nil
 }
@@ -56,8 +62,21 @@ type RemoteClient struct {
 	closed atomic.Bool
 	rr     atomic.Uint64
 
-	mu    sync.Mutex
-	conns map[string]*remoteConn
+	mu     sync.Mutex
+	conns  map[string]*remoteConn
+	health map[string]endpointHealth
+	now    func() time.Time // injectable clock for the health tests
+}
+
+// endpointHealth is the rotation-skipping state of one server address: an
+// endpoint whose dial or handshake keeps failing is suspended from the
+// round-robin for an exponentially growing window (capped), so a dead server
+// costs one probe per window instead of one timeout per transaction.  Any
+// successful connection resets the state; an expired window means the next
+// rotation pass probes the endpoint again (the decay path).
+type endpointHealth struct {
+	fails int       // consecutive connection/handshake failures
+	until time.Time // suspended from rotation while now < until
 }
 
 // Close closes every server connection.  Calls after Close fail with
@@ -84,7 +103,58 @@ const (
 	remoteDialTimeout = 3 * time.Second
 	remoteBackoffMin  = 25 * time.Millisecond
 	remoteBackoffMax  = 1 * time.Second
+
+	// Per-endpoint suspension windows after repeated connection/handshake
+	// failures: 100ms after the first failure, doubling to a 15s cap.
+	endpointSuspendMin = 100 * time.Millisecond
+	endpointSuspendMax = 15 * time.Second
 )
+
+// noteEndpointFailure records one connection or handshake failure against
+// addr and extends its suspension window exponentially.
+func (c *RemoteClient) noteEndpointFailure(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[addr]
+	h.fails++
+	window := endpointSuspendMin << (h.fails - 1)
+	if h.fails > 8 || window > endpointSuspendMax {
+		window = endpointSuspendMax // also guards shift overflow
+	}
+	h.until = c.now().Add(window)
+	c.health[addr] = h
+}
+
+// noteEndpointOK clears addr's failure history after a successful connection.
+func (c *RemoteClient) noteEndpointOK(addr string) {
+	c.mu.Lock()
+	delete(c.health, addr)
+	c.mu.Unlock()
+}
+
+// endpointSuspended reports whether addr is inside its suspension window.
+func (c *RemoteClient) endpointSuspended(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now().Before(c.health[addr].until)
+}
+
+// pickAddr selects the delegate for one rotation slot, skipping forward past
+// suspended endpoints.  When every endpoint is suspended the slot's own
+// endpoint is probed anyway — total suspension must never starve the client,
+// and the probe is what discovers recovery.
+func (c *RemoteClient) pickAddr(slot int) string {
+	addr := c.addrs[slot%len(c.addrs)]
+	if !c.endpointSuspended(addr) {
+		return addr
+	}
+	for off := 1; off < len(c.addrs); off++ {
+		if cand := c.addrs[(slot+off)%len(c.addrs)]; !c.endpointSuspended(cand) {
+			return cand
+		}
+	}
+	return addr
+}
 
 // Execute runs one transaction against the cluster and blocks until its
 // safety level's notification condition holds at the serving replica, or
@@ -122,9 +192,9 @@ func (c *RemoteClient) Execute(ctx context.Context, req Request, opts ...TxnOpti
 		if err := ctx.Err(); err != nil {
 			return Result{}, c.exhausted(err, lastErr)
 		}
-		addr := c.addrs[(start+attempt)%len(c.addrs)]
+		addr := c.pickAddr(start + attempt)
 		if pinned >= 0 {
-			addr = c.addrs[pinned]
+			addr = c.addrs[pinned] // a pinned delegate is never skipped
 		}
 
 		res, err := c.roundTrip(ctx, addr, netproto.Frame{Type: netproto.MsgExec, Payload: netproto.AppendRequest(nil, req)})
@@ -246,19 +316,23 @@ func (c *RemoteClient) conn(ctx context.Context, addr string) (*remoteConn, erro
 	var d net.Dialer
 	nc, err := d.DialContext(dctx, "tcp", addr)
 	if err != nil {
+		c.noteEndpointFailure(addr)
 		return nil, err
 	}
 	if err := netproto.WriteHandshake(nc); err != nil {
 		nc.Close()
+		c.noteEndpointFailure(addr)
 		return nil, err
 	}
 	br := bufio.NewReader(nc)
 	nc.SetReadDeadline(time.Now().Add(remoteDialTimeout))
 	if err := netproto.ReadHandshake(br); err != nil {
 		nc.Close()
+		c.noteEndpointFailure(addr)
 		return nil, err
 	}
 	nc.SetReadDeadline(time.Time{})
+	c.noteEndpointOK(addr)
 
 	rc := &remoteConn{
 		conn:    nc,

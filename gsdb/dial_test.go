@@ -1,0 +1,152 @@
+package gsdb
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the endpoint-health windows without real sleeps.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newHealthClient(t *testing.T, addrs ...string) (*RemoteClient, *fakeClock) {
+	t.Helper()
+	c, err := Dial(context.Background(), addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = clk.now
+	return c, clk
+}
+
+// TestEndpointSuspensionGrowsAndDecays: each consecutive failure doubles the
+// suspension window up to the cap, an expired window re-admits the endpoint
+// (the probe path), and one success clears the history entirely.
+func TestEndpointSuspensionGrowsAndDecays(t *testing.T) {
+	c, clk := newHealthClient(t, "a:1", "b:1")
+
+	c.noteEndpointFailure("a:1")
+	if !c.endpointSuspended("a:1") {
+		t.Fatal("one failure should suspend the endpoint")
+	}
+	if c.endpointSuspended("b:1") {
+		t.Fatal("healthy endpoint suspended")
+	}
+	clk.advance(endpointSuspendMin + time.Millisecond)
+	if c.endpointSuspended("a:1") {
+		t.Fatal("first window should have expired")
+	}
+
+	// Second consecutive failure: double window.
+	c.noteEndpointFailure("a:1")
+	clk.advance(endpointSuspendMin + time.Millisecond)
+	if !c.endpointSuspended("a:1") {
+		t.Fatal("second failure should have doubled the window")
+	}
+	clk.advance(endpointSuspendMin)
+	if c.endpointSuspended("a:1") {
+		t.Fatal("second window should have expired")
+	}
+
+	// Many failures: window capped, not overflowed.
+	for i := 0; i < 40; i++ {
+		c.noteEndpointFailure("a:1")
+	}
+	clk.advance(endpointSuspendMax - time.Millisecond)
+	if !c.endpointSuspended("a:1") {
+		t.Fatal("capped window ended early")
+	}
+	clk.advance(2 * time.Millisecond)
+	if c.endpointSuspended("a:1") {
+		t.Fatal("window exceeded the cap")
+	}
+
+	// Success resets: the next failure starts at the minimum window again.
+	c.noteEndpointFailure("a:1")
+	c.noteEndpointOK("a:1")
+	if c.endpointSuspended("a:1") {
+		t.Fatal("success should clear the suspension")
+	}
+	c.noteEndpointFailure("a:1")
+	clk.advance(endpointSuspendMin + time.Millisecond)
+	if c.endpointSuspended("a:1") {
+		t.Fatal("failure count should have decayed to zero after a success")
+	}
+}
+
+// TestPickAddrSkipsSuspendedEndpoints: the rotation walks past suspended
+// endpoints to the next healthy one, and probes the slot's own endpoint when
+// every endpoint is suspended (no starvation).
+func TestPickAddrSkipsSuspendedEndpoints(t *testing.T) {
+	c, clk := newHealthClient(t, "a:1", "b:1", "c:1")
+
+	if got := c.pickAddr(0); got != "a:1" {
+		t.Fatalf("healthy slot 0 = %s, want a:1", got)
+	}
+	c.noteEndpointFailure("a:1")
+	if got := c.pickAddr(0); got != "b:1" {
+		t.Fatalf("slot 0 with a:1 suspended = %s, want b:1", got)
+	}
+	c.noteEndpointFailure("b:1")
+	if got := c.pickAddr(0); got != "c:1" {
+		t.Fatalf("slot 0 with a:1,b:1 suspended = %s, want c:1", got)
+	}
+	if got := c.pickAddr(1); got != "c:1" {
+		t.Fatalf("slot 1 with b:1 suspended = %s, want c:1", got)
+	}
+
+	// All suspended: the slot's own endpoint is probed anyway.
+	c.noteEndpointFailure("c:1")
+	if got := c.pickAddr(1); got != "b:1" {
+		t.Fatalf("slot 1 with all suspended = %s, want its own b:1", got)
+	}
+
+	// The earliest window to expire rejoins the rotation first.
+	clk.advance(endpointSuspendMin + time.Millisecond)
+	if got := c.pickAddr(0); got != "a:1" {
+		t.Fatalf("slot 0 after a:1's window expired = %s, want a:1", got)
+	}
+}
+
+// TestHandshakeFailureSuspendsEndpoint: a listener speaking the wrong
+// protocol (it answers the handshake with garbage) gets its endpoint
+// suspended after the failed connection attempt — the real-socket path of the
+// bookkeeping the tests above drive directly.
+func TestHandshakeFailureSuspendsEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Write([]byte("NOT-THE-PROTOCOL-YOU-EXPECT\n"))
+			conn.Close()
+		}
+	}()
+
+	addr := ln.Addr().String()
+	c, err := Dial(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.conn(ctx, addr); err == nil {
+		t.Fatal("handshake against a garbage server should fail")
+	}
+	if !c.endpointSuspended(addr) {
+		t.Fatal("failed handshake should suspend the endpoint")
+	}
+}

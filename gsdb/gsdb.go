@@ -88,7 +88,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"groupsafe/internal/core"
+	"groupsafe/internal/partition"
 )
 
 // Open builds and starts an in-process replicated database cluster (one
@@ -104,7 +104,7 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	cluster, err := core.NewCluster(cfg)
+	cluster, err := partition.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("gsdb: open: %w", err)
 	}
@@ -114,7 +114,7 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 // Client is a handle on a running replicated database cluster.  All methods
 // are safe for concurrent use.
 type Client struct {
-	cluster *core.Cluster
+	cluster *partition.Cluster
 	closed  atomic.Bool
 	rr      atomic.Uint64
 }
@@ -172,7 +172,7 @@ func (c *Client) pickDelegate(o *txnOptions) int {
 	start := int(c.rr.Add(1)-1) % n
 	for k := 0; k < n; k++ {
 		i := (start + k) % n
-		if r := c.cluster.Replica(i); r != nil && !r.Crashed() {
+		if !c.cluster.ReplicaCrashed(i) {
 			return i
 		}
 	}
@@ -212,25 +212,21 @@ func (c *Client) TotalStats() Stats { return c.cluster.TotalStats() }
 // Value returns the committed value of item at replica i.
 func (c *Client) Value(i, item int) (int64, error) { return c.cluster.Value(i, item) }
 
+// Partitions returns the number of keyspace partitions the cluster runs
+// (1 unless opened with WithPartitions).
+func (c *Client) Partitions() int { return c.cluster.NumPartitions() }
+
 // ReplicaID returns the network address of replica i ("" when out of range).
-func (c *Client) ReplicaID(i int) string {
-	if r := c.cluster.Replica(i); r != nil {
-		return r.ID()
-	}
-	return ""
-}
+func (c *Client) ReplicaID(i int) string { return c.cluster.ReplicaID(i) }
 
 // ReplicaCrashed reports whether replica i is currently crashed (false when
 // i is out of range).
-func (c *Client) ReplicaCrashed(i int) bool {
-	if r := c.cluster.Replica(i); r != nil {
-		return r.Crashed()
-	}
-	return false
-}
+func (c *Client) ReplicaCrashed(i int) bool { return c.cluster.ReplicaCrashed(i) }
 
-// Crash crash-stops replica i: its endpoint goes silent and all volatile
-// state (buffers, unsynced logs, queued lazy propagations) is lost.
+// Crash crash-stops server i: its endpoint goes silent and all volatile
+// state (buffers, unsynced logs, queued lazy propagations) is lost.  On a
+// partitioned cluster the whole server goes down — replica i of every
+// partition crashes together.
 func (c *Client) Crash(i int) { c.cluster.Crash(i) }
 
 // Recover restarts crashed replica i, installing a state-transfer checkpoint
@@ -243,10 +239,5 @@ func (c *Client) Recover(i int) (int, error) { return c.cluster.Recover(i) }
 // manual stand-in for a failure detector; see WithFailureDetectors for the
 // automatic one).
 func (c *Client) Suspect(observer, suspect int) {
-	obs := c.cluster.Replica(observer)
-	sus := c.cluster.Replica(suspect)
-	if obs == nil || sus == nil {
-		return
-	}
-	obs.Suspect(sus.ID())
+	c.cluster.Suspect(observer, suspect)
 }

@@ -46,6 +46,17 @@ type ClusterConfig struct {
 	Detector fd.Config
 	// Seed seeds the network randomness.
 	Seed int64
+	// Partitions is the number of keyspace partitions.  The core cluster
+	// itself is always one partition (one total order); the field is read by
+	// the partition router layered on top (internal/partition, gsdb), which
+	// builds one core cluster per partition.  Zero or one means unpartitioned.
+	Partitions int
+	// Network, when non-nil, attaches the replicas to the given transport
+	// instead of building a private in-memory network.  The partition layer
+	// uses it to share one simulated wire across per-partition clusters.
+	// When set, NetworkLatency/NetworkJitter/Seed are ignored here (the owner
+	// of the base network configures them) and Cluster.Network returns nil.
+	Network transport.Network
 	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay,
 	// ApplyWorkers) applied to every replica; see the tuning package.
 	tuning.Pipeline
@@ -73,20 +84,25 @@ type Cluster struct {
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cfg.applyDefaults()
-	netOpts := []transport.MemOption{transport.WithSeed(cfg.Seed)}
-	if cfg.NetworkLatency > 0 {
-		netOpts = append(netOpts, transport.WithLatency(cfg.NetworkLatency))
+	var memnet *transport.MemNetwork
+	network := cfg.Network
+	if network == nil {
+		netOpts := []transport.MemOption{transport.WithSeed(cfg.Seed)}
+		if cfg.NetworkLatency > 0 {
+			netOpts = append(netOpts, transport.WithLatency(cfg.NetworkLatency))
+		}
+		if cfg.NetworkJitter > 0 {
+			netOpts = append(netOpts, transport.WithJitter(cfg.NetworkJitter))
+		}
+		memnet = transport.NewMemNetwork(netOpts...)
+		network = memnet
 	}
-	if cfg.NetworkJitter > 0 {
-		netOpts = append(netOpts, transport.WithJitter(cfg.NetworkJitter))
-	}
-	network := transport.NewMemNetwork(netOpts...)
 
 	members := make([]string, cfg.Replicas)
 	for i := range members {
 		members[i] = fmt.Sprintf("s%d", i+1)
 	}
-	c := &Cluster{cfg: cfg, network: network}
+	c := &Cluster{cfg: cfg, network: memnet}
 	for i, id := range members {
 		r, err := NewReplica(ReplicaConfig{
 			ID:                   id,
@@ -117,6 +133,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 }
 
 // Network exposes the underlying in-memory network (for partition injection).
+// It is nil when the cluster was attached to an injected transport via
+// ClusterConfig.Network — fault injection then goes through the owner of that
+// transport.
 func (c *Cluster) Network() *transport.MemNetwork { return c.network }
 
 // Size returns the number of replicas.

@@ -63,6 +63,7 @@ type applyState struct {
 	batchOK   []bool            // per-slot decode success
 	tasks     [][]storage.Write // committed write sets handed to the scheduler
 	certBumps map[int]uint64    // per-item version bumps staged by this batch
+	readItems []int             // scratch for prepared-lock conflict checks
 
 	// Active-technique arenas (technique_active.go).
 	opsRec    opsRecord       // decode arena (one delivery at a time, serial)
@@ -88,6 +89,7 @@ type stagedTxn struct {
 	delegate string
 	level    SafetyLevel
 	outcome  Outcome
+	vote     bool // a 2PC prepare vote, not a final transaction outcome
 	lsn      wal.LSN
 	reads    map[int]int64 // delegate read results (active technique only)
 }
@@ -359,7 +361,7 @@ func (r *Replica) externalize(staged []stagedTxn) {
 		r.advanceAppliedSeqLocked(a.item.seq)
 		if r.cfg.RecordApplied {
 			r.appliedLog = append(r.appliedLog, AppliedRecord{
-				Seq: a.item.seq, TxnID: a.txnID, Outcome: a.outcome, Level: a.level,
+				Seq: a.item.seq, TxnID: a.txnID, Outcome: a.outcome, Level: a.level, Vote: a.vote,
 			})
 		}
 		if ch, ok := r.pending[a.txnID]; ok {

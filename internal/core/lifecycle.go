@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"groupsafe/internal/db"
 	"groupsafe/internal/gcs"
 	"groupsafe/internal/gcs/abcast"
 	"groupsafe/internal/gcs/e2e"
@@ -155,6 +156,13 @@ type StateSnapshot struct {
 	Items          []storage.Item
 	AppliedTxns    []uint64
 	LastAppliedSeq uint64
+	// Prepared and AbortedGIDs carry the cross-partition two-phase-commit
+	// bookkeeping: in-doubt prepared sub-transactions (with their
+	// certification locks) and the gids decided abort.  Without them a
+	// recovered replica would certify conflicting transactions differently
+	// from the rest of its partition.  Empty on unpartitioned clusters.
+	Prepared    []db.PreparedTxn
+	AbortedGIDs []uint64
 }
 
 // Snapshot produces a state-transfer checkpoint of this replica.  It takes
@@ -167,10 +175,13 @@ type StateSnapshot struct {
 func (r *Replica) Snapshot() StateSnapshot {
 	r.applyMu.Lock()
 	defer r.applyMu.Unlock()
+	prepared, aborted := r.dbase.PreparedSnapshot()
 	return StateSnapshot{
 		Items:          r.dbase.SnapshotState(),
 		AppliedTxns:    r.dbase.AppliedTxns(),
 		LastAppliedSeq: r.LastAppliedSeq(),
+		Prepared:       prepared,
+		AbortedGIDs:    aborted,
 	}
 }
 
@@ -260,6 +271,7 @@ func (r *Replica) installSnapshot(s StateSnapshot) {
 		items = merged
 	}
 	r.dbase.RestoreState(items, s.AppliedTxns)
+	_ = r.dbase.InstallPrepared(s.Prepared, s.AbortedGIDs)
 	r.mu.Lock()
 	r.advanceAppliedSeqLocked(s.LastAppliedSeq)
 	ab := r.ab
@@ -279,6 +291,7 @@ func (r *Replica) installSnapshot(s StateSnapshot) {
 // with fresh deliveries.  Returns the number of items taken.
 func (r *Replica) MergeSnapshot(s StateSnapshot) int {
 	merged := r.dbase.MergeNewerState(s.Items, s.AppliedTxns)
+	_ = r.dbase.InstallPrepared(s.Prepared, s.AbortedGIDs)
 	r.mu.Lock()
 	r.advanceAppliedSeqLocked(s.LastAppliedSeq)
 	ab := r.ab

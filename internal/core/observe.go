@@ -23,6 +23,11 @@ type AppliedRecord struct {
 	Outcome Outcome
 	// Level is the safety level the transaction was externalised at.
 	Level SafetyLevel
+	// Vote marks a cross-partition PREPARE entry: Outcome is this
+	// partition's certification vote, not a final transaction outcome (the
+	// later decide entry, same TxnID, carries that).  Always false outside
+	// partitioned 2PC.
+	Vote bool
 }
 
 // AppliedLog returns a copy of the replica's applied-transaction log, in

@@ -49,6 +49,14 @@ type Request struct {
 	// Freshness token of an earlier Result yields monotonic session reads
 	// ("read your writes" across replicas).  Zero imposes no floor.
 	MinFreshness uint64
+	// MinFreshnessVec is the partitioned form of MinFreshness: entry p floors
+	// partition p's applied sequence.  It is consumed by the partition router
+	// (which forwards each entry to the owning partition) and ignored by a
+	// single core replica; feeding back Result.FreshnessVec gives monotonic
+	// session reads on a partitioned cluster.  A scalar MinFreshness on a
+	// partitioned cluster floors every touched partition instead.  Nil or a
+	// short vector imposes no floor on the missing entries.
+	MinFreshnessVec []uint64
 }
 
 // Outcome is the terminal state of a replicated transaction.
@@ -104,6 +112,19 @@ type Result struct {
 	// freshness token to reason about it: a secondary replica of the lazy
 	// primary-copy technique (the paper's 1-safe query trade-off).
 	Stale bool
+	// CommitPartition is the partition whose replica write-ahead log holds
+	// CommitLSN on a partitioned cluster — the owning partition for a
+	// single-partition transaction, the coordinator partition for a
+	// cross-partition one.  Always zero on unpartitioned clusters (the only
+	// partition).  Set by the partition router; a core replica leaves it zero.
+	CommitPartition int
+	// FreshnessVec is the per-partition freshness vector of a partitioned
+	// cluster: entry p is the transaction's position in partition p's total
+	// order (zero for partitions it did not touch).  Populated by the
+	// partition router when the cluster runs more than one partition; nil
+	// otherwise.  Freshness is then the vector's maximum, so scalar session
+	// code keeps working unchanged.
+	FreshnessVec []uint64
 }
 
 // Committed reports whether the transaction committed.
@@ -129,7 +150,22 @@ type txnRecord struct {
 	Level    SafetyLevel
 	Reads    []readVer
 	Writes   []storage.Write
+	// Phase distinguishes a cross-partition two-phase-commit message from a
+	// normal one-shot transaction (phaseNone).  Prepares carry the full read
+	// and write sets for certification and staging; decides carry the write
+	// set so a replica without a local prepare still installs the commit.
+	Phase byte
+	// Coord is the coordinator partition id (prepare messages only).
+	Coord int
 }
+
+// Two-phase-commit message phases (txnRecord.Phase).
+const (
+	phaseNone byte = iota
+	phasePrepare
+	phaseDecideCommit
+	phaseDecideAbort
+)
 
 // lazyPayload is the write set propagated asynchronously by the lazy (1-safe)
 // technique.
@@ -197,6 +233,53 @@ func encodeTxnPayload(txnID uint64, delegate string, level SafetyLevel, readVers
 	buf = binary.AppendUvarint(buf, uint64(len(delegate)))
 	buf = append(buf, delegate...)
 	buf = binary.AppendUvarint(buf, uint64(level))
+
+	items := s.items[:0]
+	for it := range readVers {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(it))
+		buf = binary.AppendUvarint(buf, readVers[it])
+	}
+
+	items = items[:0]
+	for it := range writes {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(it))
+		buf = binary.AppendVarint(buf, writes[it])
+	}
+
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	s.buf = buf
+	s.items = items
+	payloadPool.Put(s)
+	return out
+}
+
+// twoPCMagic versions the binary cross-partition (two-phase-commit) payload:
+// the txnMagic layout with a phase byte and a coordinator partition id after
+// the level.  A separate magic keeps the single-partition fast path's payload
+// byte-identical to before partitioning existed.
+const twoPCMagic = 0xA9
+
+// encode2PCPayload encodes one cross-partition sub-transaction message
+// (prepare or decide) for broadcast through a partition's total order.
+func encode2PCPayload(phase byte, gid uint64, delegate string, level SafetyLevel, coord int, readVers map[int]uint64, writes map[int]int64) []byte {
+	s := payloadPool.Get().(*payloadScratch)
+	buf := append(s.buf[:0], twoPCMagic, phase)
+	buf = binary.AppendUvarint(buf, gid)
+	buf = binary.AppendUvarint(buf, uint64(len(delegate)))
+	buf = append(buf, delegate...)
+	buf = binary.AppendUvarint(buf, uint64(level))
+	buf = binary.AppendUvarint(buf, uint64(coord))
 
 	items := s.items[:0]
 	for it := range readVers {
@@ -337,13 +420,23 @@ func decodeOpsRecord(data []byte, rec *opsRecord) error {
 
 var errBadTxnPayload = errors.New("core: malformed transaction payload")
 
-// decodeTxnRecord decodes a binary transaction payload into rec, reusing
-// rec's slices (the apply loop's decode arena).
+// decodeTxnRecord decodes a binary transaction payload (txnMagic or
+// twoPCMagic) into rec, reusing rec's slices (the apply loop's decode arena).
 func decodeTxnRecord(data []byte, rec *txnRecord) error {
-	if len(data) == 0 || data[0] != txnMagic {
+	if len(data) == 0 || (data[0] != txnMagic && data[0] != twoPCMagic) {
 		return errBadTxnPayload
 	}
+	twoPC := data[0] == twoPCMagic
 	pos := 1
+	rec.Phase = phaseNone
+	rec.Coord = 0
+	if twoPC {
+		if len(data) < 2 || data[1] == phaseNone || data[1] > phaseDecideAbort {
+			return errBadTxnPayload
+		}
+		rec.Phase = data[1]
+		pos = 2
+	}
 	next := func() (uint64, bool) {
 		v, n := binary.Uvarint(data[pos:])
 		if n <= 0 {
@@ -368,6 +461,13 @@ func decodeTxnRecord(data []byte, rec *txnRecord) error {
 		return errBadTxnPayload
 	}
 	rec.Level = SafetyLevel(lvl)
+	if twoPC {
+		coord, ok := next()
+		if !ok {
+			return errBadTxnPayload
+		}
+		rec.Coord = int(coord)
+	}
 
 	nReads, ok := next()
 	if !ok || nReads > uint64(len(data)-pos) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"groupsafe/internal/storage"
 	"groupsafe/internal/wal"
 	"groupsafe/internal/workload"
 )
@@ -218,17 +219,104 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 			}
 		}
 
-		outcome := certify(r, st, rec)
+		var outcome Outcome
 		var commitLSN wal.LSN
-		if outcome == OutcomeCommitted {
-			if !writesInRange(rec.Writes, numItems) {
+		switch rec.Phase {
+		case phaseNone:
+			outcome = certify(r, st, rec)
+			// A transaction conflicting with a prepared-but-undecided
+			// cross-partition transaction must abort: the prepared one was
+			// certified at its prepare and its outcome may not be invalidated
+			// by later deliveries.  The atomic HasPrepared gate keeps the
+			// unpartitioned hot path free of the check.
+			if outcome == OutcomeCommitted && r.dbase.HasPrepared() && preparedConflict(r, st, rec) {
+				outcome = OutcomeAborted
+			}
+			if outcome == OutcomeCommitted {
+				if !writesInRange(rec.Writes, numItems) {
+					continue
+				}
+				fresh, lsn, err := r.dbase.StageWrites(rec.TxnID, rec.Writes)
+				if err != nil {
+					continue
+				}
+				if fresh {
+					commitLSN = lsn
+					if lsn > maxLSN {
+						maxLSN = lsn
+					}
+					if rec.Level.SyncOnCommit() && !(mutationSkip2SafeForce && rec.Level == Safety2) {
+						needSync = true
+					}
+					for _, w := range rec.Writes {
+						st.certBumps[w.Item]++
+					}
+					tasks = append(tasks, rec.Writes)
+				}
+			} else {
+				_ = r.dbase.RecordAbort(rec.TxnID)
+			}
+
+		case phasePrepare:
+			// Prepare of a cross-partition sub-transaction: certify exactly
+			// like a one-shot transaction (version check plus prepared-lock
+			// conflicts), then stage the write set with a KindPrepare record
+			// instead of a commit.  The reported outcome is this partition's
+			// vote; nothing becomes visible until a decide.  A vote-no leaves
+			// no trace — the coordinator's abort decision is what gets logged.
+			outcome = certify(r, st, rec)
+			if outcome == OutcomeCommitted && !writesInRange(rec.Writes, numItems) {
+				outcome = OutcomeAborted
+			}
+			if outcome == OutcomeCommitted && preparedConflict(r, st, rec) {
+				outcome = OutcomeAborted
+			}
+			if outcome == OutcomeCommitted {
+				// The decode arena reuses rec's slices across batches, while
+				// the prepared-transaction table retains them until the
+				// decision: copy.
+				readItems := make([]int, len(rec.Reads))
+				for j, rv := range rec.Reads {
+					readItems[j] = rv.Item
+				}
+				writes := make([]storage.Write, len(rec.Writes))
+				copy(writes, rec.Writes)
+				fresh, lsn, err := r.dbase.StagePrepare(rec.TxnID, rec.Coord, readItems, writes)
+				if err != nil {
+					continue
+				}
+				if fresh {
+					commitLSN = lsn
+					if lsn > maxLSN {
+						maxLSN = lsn
+					}
+					// The prepare record is this partition's vote; levels that
+					// force on commit force the vote before it is reported.
+					if rec.Level.SyncOnCommit() && !(mutationSkip2SafeForce && rec.Level == Safety2) {
+						needSync = true
+					}
+				}
+			}
+
+		case phaseDecideCommit, phaseDecideAbort:
+			// Decision for a prepared transaction: first decision wins,
+			// replays and late deliveries return the recorded outcome.  The
+			// decide payload carries the write set, so a replica that lost
+			// its prepare (recovered from a checkpoint) still installs the
+			// commit.
+			commit := rec.Phase == phaseDecideCommit
+			if commit && !writesInRange(rec.Writes, numItems) {
 				continue
 			}
-			fresh, lsn, err := r.dbase.StageWrites(rec.TxnID, rec.Writes)
+			committed, install, fresh, lsn, err := r.dbase.DecidePrepared(rec.TxnID, commit, rec.Writes)
 			if err != nil {
 				continue
 			}
-			if fresh {
+			outcome = OutcomeAborted
+			if committed {
+				outcome = OutcomeCommitted
+			}
+			if fresh && committed {
 				commitLSN = lsn
 				if lsn > maxLSN {
 					maxLSN = lsn
@@ -236,15 +324,16 @@ func (certTechnique) applyBatch(r *Replica, st *applyState, stop chan struct{}, 
 				if rec.Level.SyncOnCommit() && !(mutationSkip2SafeForce && rec.Level == Safety2) {
 					needSync = true
 				}
-				for _, w := range rec.Writes {
+				for _, w := range install {
 					st.certBumps[w.Item]++
 				}
-				tasks = append(tasks, rec.Writes)
+				tasks = append(tasks, install)
 			}
-		} else {
-			_ = r.dbase.RecordAbort(rec.TxnID)
+
+		default:
+			continue
 		}
-		staged = append(staged, stagedTxn{item: batch[i], txnID: rec.TxnID, delegate: rec.Delegate, level: rec.Level, outcome: outcome, lsn: commitLSN})
+		staged = append(staged, stagedTxn{item: batch[i], txnID: rec.TxnID, delegate: rec.Delegate, level: rec.Level, outcome: outcome, vote: rec.Phase == phasePrepare, lsn: commitLSN})
 	}
 	st.staged, st.tasks = staged, tasks
 
@@ -290,4 +379,17 @@ func certify(r *Replica, st *applyState, rec *txnRecord) Outcome {
 		}
 	}
 	return OutcomeCommitted
+}
+
+// preparedConflict reports whether rec conflicts with any in-doubt prepared
+// cross-partition transaction (shared/exclusive rule; see DB.PreparedConflict).
+// The read-item scratch slice lives in the apply state so the check allocates
+// nothing in steady state.
+func preparedConflict(r *Replica, st *applyState, rec *txnRecord) bool {
+	items := st.readItems[:0]
+	for _, rv := range rec.Reads {
+		items = append(items, rv.Item)
+	}
+	st.readItems = items
+	return r.dbase.PreparedConflict(items, rec.Writes)
 }

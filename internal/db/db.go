@@ -86,6 +86,17 @@ type DB struct {
 	closed  bool
 	stats   Stats
 
+	// Cross-partition two-phase commit state (see prepare.go): in-doubt
+	// prepared transactions, their shared/exclusive item lock counts, and the
+	// gids decided abort (presumed-abort bookkeeping so a late prepare or a
+	// replayed decide is a no-op).  preparedCount mirrors len(prepared) so the
+	// apply hot path can skip conflict checks without taking mu.
+	prepared       map[uint64]*PreparedTxn
+	preparedShared map[int]int
+	preparedExcl   map[int]int
+	decidedAbort   map[uint64]bool
+	preparedCount  atomic.Int64
+
 	// closedFlag mirrors closed for the lock-free read-transaction hot path;
 	// readTxns counts BeginRead calls without taking mu.
 	closedFlag atomic.Bool
@@ -136,12 +147,37 @@ func (d *DB) recoverLocked() error {
 				}
 				delete(pending, r.TxnID)
 			}
+			d.dropPreparedLocked(r.TxnID)
 			d.applied[r.TxnID] = true
 			if r.TxnID >= d.nextID {
 				d.nextID = r.TxnID + 1
 			}
 		case wal.KindAbort:
 			delete(pending, r.TxnID)
+			if d.dropPreparedLocked(r.TxnID) != nil {
+				if d.decidedAbort == nil {
+					d.decidedAbort = make(map[uint64]bool)
+				}
+				d.decidedAbort[r.TxnID] = true
+			}
+		case wal.KindPrepare:
+			coord, readItems, err := decodePrepareData(r.Data)
+			if err != nil {
+				return fmt.Errorf("db: redo prepare %d: %w", r.TxnID, err)
+			}
+			// The prepare's own update records precede it in the log;
+			// snapshot them as the sub-transaction's in-doubt write set.
+			// The writes stay in pending too: a decision record later in the
+			// log resolves them like any other transaction.
+			ws := pending[r.TxnID]
+			writes := make([]storage.Write, 0, len(ws))
+			for it, v := range ws {
+				writes = append(writes, storage.Write{Item: it, Value: v})
+			}
+			sort.Slice(writes, func(i, j int) bool { return writes[i].Item < writes[j].Item })
+			d.registerPreparedLocked(&PreparedTxn{
+				GID: r.TxnID, Coord: coord, ReadItems: readItems, Writes: writes,
+			})
 		}
 		return nil
 	})

@@ -89,6 +89,7 @@ const (
 	MsgData     = "ab.data"
 	MsgOrder    = "ab.order"
 	MsgAck      = "ab.ack"
+	MsgNack     = "ab.nack"
 	MsgNewEpoch = "ab.newepoch"
 	MsgState    = "ab.state"
 	MsgHandoff  = "ab.handoff"
@@ -119,6 +120,12 @@ type Config struct {
 	// RotateEvery); see the tuning package.  The zero value keeps the
 	// classical synchronous fixed-sequencer behaviour.
 	tuning.Sequencer
+	// NackDelay bounds how long a member waits on an order-without-data
+	// stall (an assigned ORDER whose DATA payload has not arrived) before
+	// asking the group to retransmit the payload (default 3ms — comfortably
+	// above a LAN message but far below any client timeout).  The request
+	// retries at the same cadence while the stall lasts.
+	NackDelay time.Duration
 	// Incarnation namespaces this member's message ids.  In the dynamic
 	// crash no-recovery model a recovered process is a new process: if it
 	// reuses its address, it MUST use a fresh incarnation, or its message
@@ -147,6 +154,12 @@ type Stats struct {
 	// members).  With ACK coalescing, Ordered/AckSends is the achieved mean
 	// merge width.
 	AckSends uint64
+	// NacksSent counts retransmission requests this member emitted after an
+	// order-without-data stall outlived the bounded NackDelay wait.
+	NacksSent uint64
+	// Retransmits counts payloads this member re-sent in answer to another
+	// member's NACK.
+	Retransmits uint64
 }
 
 // ErrClosed is returned by Broadcast after Close.
@@ -242,6 +255,13 @@ type Broadcaster struct {
 	idPrefix      string // "self/incarnation/", precomputed for message ids
 	idBuf         []byte // scratch for message-id formatting (under mu)
 
+	// Retransmission state (see nack.go): the bounded wait on the current
+	// order-without-data stall of the delivery cursor.
+	nackTimer *time.Timer
+	nackArmed bool
+	nackSeq   uint64
+	nackID    string
+
 	// Pipelined-sequencer state: DATA batches queue here and a dedicated
 	// goroutine assigns ORDER ranges, overlapping with router-side decoding.
 	orderQ    []dataEntry
@@ -299,6 +319,9 @@ func New(cfg Config, router *gcs.Router) (*Broadcaster, error) {
 	}
 	if cfg.Pipelined && cfg.AckWindow <= 0 {
 		cfg.AckWindow = 100 * time.Microsecond
+	}
+	if cfg.NackDelay <= 0 {
+		cfg.NackDelay = 3 * time.Millisecond
 	}
 	if cfg.RotateEvery > 0 && !cfg.Pipelined {
 		// Rotation reuses the pipelined assignment path so the handoff is
@@ -406,6 +429,9 @@ func (b *Broadcaster) Close() {
 	b.closed = true
 	if b.ackTimer != nil {
 		b.ackTimer.Stop()
+	}
+	if b.nackTimer != nil {
+		b.nackTimer.Stop()
 	}
 	b.mu.Unlock()
 	if b.orderStop != nil {
@@ -691,6 +717,12 @@ func (b *Broadcaster) onMessage(m transport.Message) {
 			return
 		}
 		b.handleAck(a, m.From)
+	case MsgNack:
+		var n nackMsg
+		if err := decode(m.Payload, &n); err != nil {
+			return
+		}
+		b.handleNack(n, m.From)
 	case MsgNewEpoch:
 		var ne newEpochMsg
 		if err := decode(m.Payload, &ne); err != nil {
@@ -776,6 +808,14 @@ func (b *Broadcaster) assignLocked(entries []dataEntry) (order orderMsg, handoff
 		order.MsgIDs = append(order.MsgIDs, e.MsgID)
 		b.nextSeq++
 		b.stats.Ordered++
+	}
+	if b.cfg.OrderDelay > 0 && len(order.MsgIDs) > 0 {
+		// Emulated ordering service cost, per assigned payload.  Slept under
+		// mu on purpose: the ordering site is one serial resource, and while
+		// it is busy the member's whole protocol engine is busy — exactly the
+		// sequencer bottleneck the knob exists to model (cf. DiskSyncDelay,
+		// which likewise serialises the forces of one simulated disk).
+		time.Sleep(b.cfg.OrderDelay * time.Duration(len(order.MsgIDs)))
 	}
 	b.epochAssigned += len(order.MsgIDs)
 	if b.cfg.RotateEvery > 0 && b.epochAssigned >= b.cfg.RotateEvery && !b.gathering {
@@ -1229,15 +1269,26 @@ func (b *Broadcaster) tryDeliver() {
 		seq := b.nextDeliver
 		rec, ordered := b.orders[seq]
 		if !ordered {
+			b.disarmNackLocked()
 			b.mu.Unlock()
 			return
 		}
 		payload, haveData := b.pendingData[rec.MsgID]
-		voters := b.acks[seq][rec.MsgID]
-		if !haveData || len(voters) < b.majority() {
+		if !haveData {
+			// Order-without-data: the one stall the positive-ack flow can
+			// never clear by itself.  Start (or keep) the bounded wait that
+			// ends in a retransmission request — see nack.go.
+			b.armNackLocked(seq, rec.MsgID)
 			b.mu.Unlock()
 			return
 		}
+		voters := b.acks[seq][rec.MsgID]
+		if len(voters) < b.majority() {
+			b.disarmNackLocked()
+			b.mu.Unlock()
+			return
+		}
+		b.disarmNackLocked()
 		b.nextDeliver++
 		if b.deliveredID[rec.MsgID] {
 			// Chained planned rotations can assign one message id at two

@@ -1,0 +1,119 @@
+package abcast
+
+import (
+	"time"
+
+	"groupsafe/internal/gcs/transport"
+)
+
+// Retransmission (negative acknowledgement).  The protocol's only
+// unrecoverable in-epoch stall is an assigned ORDER whose DATA payload never
+// arrived: the delivery cursor sits on the sequence number, every later
+// delivery queues behind it, and nothing in the positive-ack flow ever
+// re-sends a payload.  A single dropped DATA message to one member (loss
+// injection, an inbox overflow under burst, a sender crashing mid-fan-out
+// after the sequencer already got its copy) would previously wedge that
+// member until a state transfer happened by.
+//
+// The NACK closes the gap at the broadcast layer: when the delivery cursor
+// stalls on order-without-data, the member waits a bounded NackDelay (the
+// payload is usually just still in flight — DATA and ORDER race on
+// independent links), then asks the whole group for the payload by id.  ANY
+// member holding it in pendingData answers with a point-to-point re-send of
+// the original DATA entry; handleData's idempotence makes duplicate answers
+// harmless.  The request keeps re-arming while the stall lasts, so a lost
+// NACK or a lost retransmission is retried, and it disarms the moment the
+// cursor moves for any reason (payload arrived, state transfer, epoch
+// change).
+
+// nackMsg requests the retransmission of one payload by message id.  Seq is
+// the stalled sequence number, carried for observability only — holders
+// answer by MsgID.
+type nackMsg struct {
+	Seq   uint64
+	MsgID string
+}
+
+// armNackLocked starts (or keeps) the bounded stall wait for sequence seq.
+// Re-arming for the same sequence is a no-op: the timer from the first
+// observation of the stall keeps running, so repeated tryDeliver passes do
+// not push the NACK out indefinitely.
+func (b *Broadcaster) armNackLocked(seq uint64, msgID string) {
+	if b.nackArmed && b.nackSeq == seq {
+		return
+	}
+	b.nackSeq = seq
+	b.nackID = msgID
+	b.nackArmed = true
+	if b.nackTimer == nil {
+		b.nackTimer = time.AfterFunc(b.cfg.NackDelay, b.fireNack)
+	} else {
+		b.nackTimer.Reset(b.cfg.NackDelay)
+	}
+}
+
+// disarmNackLocked cancels the stall wait (the cursor moved or the stall is
+// not an order-without-data one).
+func (b *Broadcaster) disarmNackLocked() {
+	if !b.nackArmed {
+		return
+	}
+	b.nackArmed = false
+	b.nackTimer.Stop()
+}
+
+// fireNack runs when the bounded wait expires: if the delivery cursor still
+// sits on the same order-without-data stall, it broadcasts the NACK and
+// re-arms for the next retry round.
+func (b *Broadcaster) fireNack() {
+	b.mu.Lock()
+	if b.closed || !b.nackArmed {
+		b.mu.Unlock()
+		return
+	}
+	b.nackArmed = false
+	seq, id := b.nackSeq, b.nackID
+	rec, ordered := b.orders[seq]
+	_, haveData := b.pendingData[id]
+	if b.nextDeliver != seq || !ordered || rec.MsgID != id || haveData {
+		// The stall cleared (or changed shape) between arming and firing;
+		// the next tryDeliver pass re-arms if a new stall exists.
+		b.mu.Unlock()
+		return
+	}
+	b.stats.NacksSent++
+	// Re-arm before releasing the lock: the stall persists until a
+	// retransmission lands, and a lost NACK or a lost answer must be retried.
+	b.nackArmed = true
+	b.nackTimer.Reset(b.cfg.NackDelay)
+	b.mu.Unlock()
+	b.sendAll(transport.Message{Type: MsgNack, Payload: encode(nackMsg{Seq: seq, MsgID: id})})
+}
+
+// handleNack answers a retransmission request when this member holds the
+// payload.  The answer is a normal DATA message with the single entry, sent
+// point-to-point to the requester; receivers treat it exactly like the
+// original fan-out (idempotent).
+func (b *Broadcaster) handleNack(n nackMsg, from string) {
+	if from == b.cfg.Self {
+		return // our own fan-out looping back
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	payload, ok := b.pendingData[n.MsgID]
+	if ok {
+		b.stats.Retransmits++
+	}
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	b.msgsSent.Add(1)
+	_ = b.router.Send(from, transport.Message{
+		Type:    MsgData,
+		Payload: encodeData(dataMsg{Entries: []dataEntry{{MsgID: n.MsgID, Payload: payload}}}),
+	})
+}

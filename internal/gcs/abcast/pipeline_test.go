@@ -463,3 +463,33 @@ func TestCrashTakeoverVoidsOlderOrders(t *testing.T) {
 		t.Fatal("an epoch-0 ORDER was adopted after the epoch-1 crash takeover voided it")
 	}
 }
+
+// TestOrderDelayTotalOrder pins the emulated ordering service cost: with a
+// per-payload OrderDelay the broadcaster still satisfies the uniform total
+// order contract on both the inline and the pipelined assignment paths, and
+// the sequencer actually pays the cost (the run takes at least payloads ×
+// OrderDelay of wall clock).  Zero OrderDelay stays the default everywhere
+// else in the suite, so the knob cannot silently distort other timings.
+func TestOrderDelayTotalOrder(t *testing.T) {
+	const perSender = 6
+	addrs := []string{"a", "b", "c"}
+	for _, pipelined := range []bool{false, true} {
+		name := "inline"
+		if pipelined {
+			name = "pipelined"
+		}
+		t.Run(name, func(t *testing.T) {
+			net := transport.NewMemNetwork()
+			delay := 2 * time.Millisecond
+			nodes := makeTunedGroup(t, net, addrs,
+				tuning.Batching{},
+				tuning.Sequencer{Pipelined: pipelined, OrderDelay: delay})
+			start := time.Now()
+			broadcastConcurrently(t, nodes, perSender)
+			assertUniformTotalOrder(t, nodes, len(addrs)*perSender)
+			if min := time.Duration(len(addrs)*perSender) * delay; time.Since(start) < min {
+				t.Fatalf("run finished in %v, below the %v floor the ordering cost imposes — OrderDelay was not paid", time.Since(start), min)
+			}
+		})
+	}
+}

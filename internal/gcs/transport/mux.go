@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"strings"
+	"sync"
+)
+
+// Mux multiplexes several independent virtual networks ("instances") onto one
+// base Network.  Each instance sees the full Network interface — endpoints,
+// crashes, recoveries — while sharing the base network's physical links, so
+// failure injection applied to the base (latency, loss, partitions, blocked
+// links, crashes) affects every instance's traffic at once, exactly like
+// co-located processes sharing one NIC.
+//
+// The partitioned cluster uses one instance per keyspace partition: every
+// partition runs its own abcast/router stack over the same simulated wire.
+// Messages are namespaced on the wire by prefixing Message.Type with
+// "<instance>!"; the receiving side's pump strips the prefix and routes to
+// the matching instance's endpoint, so protocol handlers never see the
+// namespace.
+type Mux struct {
+	base Network
+
+	mu     sync.Mutex
+	insts  map[string]*muxNet
+	eps    map[string]Endpoint // base endpoints, one per address
+	pumped map[string]bool     // addresses with a running pump goroutine
+	stop   chan struct{}
+	closed bool
+}
+
+// muxSep separates the instance namespace from the payload message type on
+// the wire.  No protocol type contains it.
+const muxSep = "!"
+
+// NewMux wraps base so independent protocol stacks can share it.
+func NewMux(base Network) *Mux {
+	return &Mux{
+		base:   base,
+		insts:  make(map[string]*muxNet),
+		eps:    make(map[string]Endpoint),
+		pumped: make(map[string]bool),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Instance returns the virtual network for the given namespace, creating it
+// on first use.  Namespaces must not contain the "!" separator.
+func (x *Mux) Instance(ns string) Network {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if inst, ok := x.insts[ns]; ok {
+		return inst
+	}
+	inst := &muxNet{mux: x, ns: ns, eps: make(map[string]*muxEndpoint)}
+	x.insts[ns] = inst
+	return inst
+}
+
+// Close stops the per-address pump goroutines.  Virtual endpoints become
+// inert; the base network is left untouched.
+func (x *Mux) Close() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return
+	}
+	x.closed = true
+	close(x.stop)
+}
+
+// baseEndpoint returns (attaching if needed) the base endpoint for addr and
+// ensures its pump goroutine is running.  One pump per address serves every
+// instance: it reads the base endpoint's inbound channel and routes each
+// message to the owning instance by namespace prefix.
+func (x *Mux) baseEndpoint(addr string) Endpoint {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ep, ok := x.eps[addr]
+	if !ok {
+		ep = x.base.Endpoint(addr)
+		x.eps[addr] = ep
+	}
+	if !x.pumped[addr] && !x.closed {
+		x.pumped[addr] = true
+		go x.pump(ep)
+	}
+	return ep
+}
+
+func (x *Mux) pump(ep Endpoint) {
+	for {
+		select {
+		case m, ok := <-ep.Recv():
+			if !ok {
+				return
+			}
+			x.route(m)
+		case <-x.stop:
+			return
+		}
+	}
+}
+
+// route delivers one inbound base message to the matching instance endpoint.
+// Messages with no namespace prefix, an unknown instance, or no attached
+// endpoint are dropped (same best-effort contract as the base network).
+func (x *Mux) route(m Message) {
+	i := strings.Index(m.Type, muxSep)
+	if i < 0 {
+		return
+	}
+	ns := m.Type[:i]
+	m.Type = m.Type[i+1:]
+	x.mu.Lock()
+	inst, ok := x.insts[ns]
+	x.mu.Unlock()
+	if !ok {
+		return
+	}
+	inst.mu.Lock()
+	vep, ok := inst.eps[m.To]
+	inst.mu.Unlock()
+	if !ok {
+		return
+	}
+	vep.deliver(m)
+}
+
+// muxNet is one instance's view of the shared network.
+type muxNet struct {
+	mux *Mux
+	ns  string
+
+	mu  sync.Mutex
+	eps map[string]*muxEndpoint
+}
+
+// Endpoint implements Network.  Like MemNetwork, the same endpoint is
+// returned across re-attachments of one address.
+func (n *muxNet) Endpoint(addr string) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[addr]; ok {
+		return ep
+	}
+	ep := &muxEndpoint{
+		net:   n,
+		addr:  addr,
+		base:  n.mux.baseEndpoint(addr),
+		inbox: make(chan Message, memInboxSize),
+	}
+	n.eps[addr] = ep
+	return ep
+}
+
+// Crash implements Network.  A crash is a whole-server event: it silences the
+// base endpoint (so every instance at addr stops sending and receiving) and
+// drops this instance's queued inbound messages.  The partition layer crashes
+// every instance of a server together, so each instance drains its own inbox.
+func (n *muxNet) Crash(addr string) {
+	n.mux.base.Crash(addr)
+	n.mu.Lock()
+	ep, ok := n.eps[addr]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.crashed = true
+	for {
+		select {
+		case <-ep.inbox:
+		default:
+			return
+		}
+	}
+}
+
+// Recover implements Network.
+func (n *muxNet) Recover(addr string) {
+	n.mux.base.Recover(addr)
+	n.mu.Lock()
+	ep, ok := n.eps[addr]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	ep.mu.Lock()
+	ep.crashed = false
+	ep.mu.Unlock()
+}
+
+// muxEndpoint is one instance's attachment at one address.
+type muxEndpoint struct {
+	net  *muxNet
+	addr string
+	base Endpoint
+
+	mu      sync.Mutex
+	inbox   chan Message
+	crashed bool
+	closed  bool
+}
+
+// Addr implements Endpoint.
+func (ep *muxEndpoint) Addr() string { return ep.addr }
+
+// Recv implements Endpoint.
+func (ep *muxEndpoint) Recv() <-chan Message { return ep.inbox }
+
+// Close implements Endpoint.
+func (ep *muxEndpoint) Close() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.closed = true
+	ep.crashed = true
+	return nil
+}
+
+// Send implements Endpoint: the message rides the base network with its type
+// prefixed by the instance namespace.
+func (ep *muxEndpoint) Send(to string, m Message) error {
+	ep.mu.Lock()
+	if ep.closed || ep.crashed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	ep.mu.Unlock()
+	m.Type = ep.net.ns + muxSep + m.Type
+	return ep.base.Send(to, m)
+}
+
+// deliver places an inbound (already de-namespaced) message in the
+// endpoint's inbox, dropping on overflow like the base network.
+func (ep *muxEndpoint) deliver(m Message) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.crashed || ep.closed {
+		return
+	}
+	select {
+	case ep.inbox <- m:
+	default:
+	}
+}

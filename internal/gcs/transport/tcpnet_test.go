@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -186,10 +187,13 @@ func TestTCPDeadPeerBackpressure(t *testing.T) {
 // magic+version header is rejected before any frame is decoded, and the
 // failure is counted — mismatched binaries fail fast and visibly.
 func TestTCPHandshakeMismatch(t *testing.T) {
+	var logMu sync.Mutex // Logf is called from concurrent per-stream readLoops
 	var logged []string
 	ep, err := ListenTCPConfig("127.0.0.1:0", TCPConfig{
 		Logf: func(format string, args ...interface{}) {
+			logMu.Lock()
 			logged = append(logged, format)
+			logMu.Unlock()
 		},
 	})
 	if err != nil {

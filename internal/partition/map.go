@@ -1,0 +1,61 @@
+// Package partition implements the partitioned keyspace on top of the core
+// replicated engine: a static hash partition map, one core.Cluster (its own
+// replica group, total order and write-ahead logs) per partition sharing a
+// single simulated wire, and a router that decomposes client transactions
+// into per-partition sub-transactions.
+//
+// Single-partition transactions take the unchanged core fast path (one atomic
+// broadcast, deterministic certification).  Cross-partition updates run an
+// ordered two-phase commit whose prepare and decide records ride each
+// participant's own total order; the coordinator partition's decide record is
+// the commit point, and recovery is presumed-abort (see ResolveInDoubt).
+// Read-only transactions fan out to per-partition MVCC snapshots and report a
+// per-partition freshness vector.
+package partition
+
+// Map is the static partition map: it assigns every global item to exactly
+// one partition by hash (modulo), and gives each partition a dense local item
+// space so a partition's core cluster stores only the items it owns.
+//
+// Global item g lives on partition g mod P at local index g div P; partition
+// p therefore owns the arithmetic sequence p, p+P, p+2P, ...  The map is pure
+// arithmetic — no state, no lookups — so routing a transaction costs nothing
+// and every layer (router, fuzzer, tools) derives identical placement.
+type Map struct {
+	items int
+	parts int
+}
+
+// NewMap builds the partition map for a database of items global items split
+// into parts partitions.  parts < 1 is treated as 1 (unpartitioned).
+func NewMap(items, parts int) Map {
+	if parts < 1 {
+		parts = 1
+	}
+	return Map{items: items, parts: parts}
+}
+
+// Items returns the global database size.
+func (m Map) Items() int { return m.items }
+
+// NumPartitions returns the number of partitions.
+func (m Map) NumPartitions() int { return m.parts }
+
+// Owner returns the partition that owns global item g.  The caller must have
+// validated 0 <= g < Items.
+func (m Map) Owner(g int) int { return g % m.parts }
+
+// Local translates global item g into the owning partition's local index.
+func (m Map) Local(g int) int { return g / m.parts }
+
+// Global translates a (partition, local index) pair back to the global item.
+func (m Map) Global(part, local int) int { return local*m.parts + part }
+
+// Size returns the number of items partition part owns: the count of g in
+// [0, Items) with g mod P == part.
+func (m Map) Size(part int) int {
+	if part < 0 || part >= m.parts {
+		return 0
+	}
+	return (m.items - part + m.parts - 1) / m.parts
+}

@@ -33,6 +33,26 @@
 //     identical state (WaitConsistent), for the lazy technique only when the
 //     scenario contained no message-destroying fault.
 //
+// The "sharded" profile runs the same schedules against a PARTITIONED
+// keyspace (internal/partition: 2-4 hash partitions, each its own replica
+// group and total order, crashes hitting every co-located partition replica
+// at once) and adds the partitioned claims:
+//
+//   - atomic commitment of cross-partition transactions: a transaction
+//     writing several partitions installs at all of them or at none; an
+//     acknowledged abort installs nowhere, unconditionally, and a partial
+//     install is excused only in the group-safe window (every server that
+//     externalised the commit on the missing partition crashed) — a
+//     coordinator killed mid-2PC must never yield a partial install at
+//     2-safe or above;
+//   - per-partition one-copy serializability: each partition's committed
+//     history (2PC installs at their decide positions) replays to the
+//     reference server's per-partition store;
+//   - vector freshness floors: a query carrying per-partition floors is
+//     served at or above the floor entry of every partition it read from
+//     (scalar token monotonicity is not asserted — the partitions' orders
+//     are independent sequences).
+//
 // On a violation the greedy shrinker (shrink.go) minimises the adversary
 // schedule while the violation reproduces, and the result is written as a
 // replayable seed+trace file.  Committed traces under corpus/ replay as

@@ -94,18 +94,25 @@ func TestFuzzPinned(t *testing.T) {
 		seed                      int64
 		adaptive                  bool
 		rotateEvery               int
+		partitions                int
 	}{
-		{"certification", "group-safe", "mixed", 11, false, 0},
-		{"certification", "2-safe", "storm", 12, false, 0},
-		{"certification", "very-safe", "partition", 13, false, 0},
-		{"active", "group-safe", "mixed", 14, false, 0},
-		{"lazy-primary", "", "mixed", 15, false, 0},
+		{"certification", "group-safe", "mixed", 11, false, 0, 0},
+		{"certification", "2-safe", "storm", 12, false, 0, 0},
+		{"certification", "very-safe", "partition", 13, false, 0, 0},
+		{"active", "group-safe", "mixed", 14, false, 0, 0},
+		{"lazy-primary", "", "mixed", 15, false, 0, 0},
 		// The broadcast hot-path variants: adaptive batching + pipelined
 		// sequencer under the certification technique, planned sequencer
 		// rotation under active replication.  Same invariant suite — the
 		// ordering optimisations must be invisible to safety.
-		{"certification", "group-safe", "mixed", 16, true, 0},
-		{"active", "group-safe", "storm", 17, false, 6},
+		{"certification", "group-safe", "mixed", 16, true, 0, 0},
+		{"active", "group-safe", "storm", 17, false, 6, 0},
+		// The partitioned keyspace: cross-partition 2PC under the full fault
+		// mix (crashes hit every co-located partition replica at once), at a
+		// group-safe level where the coordinator's decide record can die with
+		// its holders, and at 2-safe where atomicity has no excuse.
+		{"certification", "group-safe", "sharded", 18, false, 0, 2},
+		{"certification", "2-safe", "sharded", 19, false, 0, 3},
 	}
 	for _, c := range cases {
 		c := c
@@ -116,11 +123,15 @@ func TestFuzzPinned(t *testing.T) {
 		if c.rotateEvery > 0 {
 			name += "-rotating"
 		}
+		if c.partitions > 0 {
+			name += fmt.Sprintf("-p%d", c.partitions)
+		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			cfg := sweepConfig(c.seed)
 			cfg.Technique, cfg.Level, cfg.Profile = c.technique, c.level, c.profile
 			cfg.Adaptive, cfg.RotateEvery = c.adaptive, c.rotateEvery
+			cfg.Partitions = c.partitions
 			sc, err := Generate(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -162,6 +173,45 @@ func TestTraceHotPathHeaderRoundTrip(t *testing.T) {
 	}
 	if bytes.Contains(plain.Marshal(), []byte("adaptive")) || bytes.Contains(plain.Marshal(), []byte("rotate-every")) {
 		t.Fatal("default config leaked hot-path header lines into the trace")
+	}
+}
+
+// TestTracePartitionsHeaderRoundTrip pins the trace codec for the partitioned
+// keyspace: the partitions header is emitted only when >1 (committed
+// unpartitioned corpus traces keep their exact bytes) and survives a
+// marshal/parse/marshal cycle.
+func TestTracePartitionsHeaderRoundTrip(t *testing.T) {
+	cfg := sweepConfig(32)
+	cfg.Profile = "sharded"
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cfg.Partitions < 2 {
+		t.Fatalf("sharded profile derived %d partitions, want >= 2", sc.Cfg.Partitions)
+	}
+	data := sc.Marshal()
+	if !bytes.Contains(data, []byte(fmt.Sprintf("partitions %d\n", sc.Cfg.Partitions))) {
+		t.Fatalf("partitions header line missing from trace:\n%s", data[:200])
+	}
+	parsed, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Cfg.Partitions != sc.Cfg.Partitions {
+		t.Fatalf("parsed config lost the partition count: %+v", parsed.Cfg)
+	}
+	if !bytes.Equal(parsed.Marshal(), data) {
+		t.Fatal("marshal/parse/marshal is not byte-stable with the partitions header")
+	}
+
+	// Unpartitioned configs must not add the header line (corpus stability).
+	plain, err := Generate(sweepConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain.Marshal(), []byte("partitions")) {
+		t.Fatal("unpartitioned config leaked a partitions header line into the trace")
 	}
 }
 

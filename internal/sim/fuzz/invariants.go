@@ -36,7 +36,10 @@ func CheckAll(rec *RunRecord) []Violation {
 	checkDurability(rec, &out)
 	checkRefDurability(rec, &out)
 	checkOneCopy(rec, &out)
+	checkOneCopyPartitioned(rec, &out)
+	checkAtomicCommit(rec, &out)
 	checkFreshness(rec, &out)
+	checkFreshnessVec(rec, &out)
 	checkTimeline(rec, &out)
 	checkStale(rec, &out)
 	checkConvergence(rec, &out)
@@ -134,13 +137,15 @@ func allHoldersCrashed(rec *RunRecord, txnID uint64) bool {
 
 // checkRefDurability: a replica that never crashed can never lose anything —
 // every transaction it externalised as committed must be in its applied set.
+// Prepare votes are skipped: a yes vote with no decision resolves by presumed
+// abort, so "externalised committed" only counts decide and certify records.
 func checkRefDurability(rec *RunRecord, out *[]Violation) {
 	if rec.RefReplica < 0 {
 		return
 	}
 	applied := rec.FinalApplied[rec.RefReplica]
-	for _, e := range rec.RefLog {
-		if e.Outcome == core.OutcomeCommitted && !applied[e.TxnID] {
+	for _, e := range rec.AppliedLogs[rec.RefReplica] {
+		if !e.Vote && e.Outcome == core.OutcomeCommitted && !applied[e.TxnID] {
 			violationf(out, "durability",
 				"replica %d never crashed but txn %#x (committed at seq %d in its own applied log) is missing from its applied set",
 				rec.RefReplica, e.TxnID, e.Seq)
@@ -148,15 +153,16 @@ func checkRefDurability(rec *RunRecord, out *[]Violation) {
 	}
 }
 
-// refHistory is the deduplicated committed history of the reference replica:
-// for each transaction, its FIRST externalisation (re-deliveries after a
-// peer's end-to-end replay are idempotent — only the first occurrence
-// installed writes).
-func refHistory(rec *RunRecord) []core.AppliedRecord {
+// committedHistory is the deduplicated committed history of one applied log:
+// for each transaction, its FIRST non-vote externalisation (re-deliveries
+// after a peer's end-to-end replay are idempotent — only the first occurrence
+// installed writes; a 2PC prepare vote installs nothing, the decide record
+// with the same TxnID is the install point).
+func committedHistory(log []core.AppliedRecord) []core.AppliedRecord {
 	seen := make(map[uint64]bool)
 	var hist []core.AppliedRecord
-	for _, e := range rec.RefLog {
-		if seen[e.TxnID] {
+	for _, e := range log {
+		if e.Vote || seen[e.TxnID] {
 			continue
 		}
 		seen[e.TxnID] = true
@@ -166,6 +172,8 @@ func refHistory(rec *RunRecord) []core.AppliedRecord {
 	}
 	return hist
 }
+
+func refHistory(rec *RunRecord) []core.AppliedRecord { return committedHistory(rec.RefLog) }
 
 // checkOneCopy replays the committed write sets in the total order a
 // never-crashed replica recorded and compares the resulting one-copy database
@@ -204,6 +212,150 @@ func checkOneCopy(rec *RunRecord, out *[]Violation) {
 	}
 }
 
+// checkOneCopyPartitioned is the one-copy replay for partitioned runs, per
+// partition: each partition's total order is an independent sequence, so each
+// is replayed separately against the reference server's per-partition store.
+// A cross-partition transaction installs at its decide position in each
+// participant's order (committedHistory skips its prepare vote), with the
+// write set filtered to the items the partition owns.
+func checkOneCopyPartitioned(rec *RunRecord, out *[]Violation) {
+	if rec.Partitions <= 1 || rec.RefReplica < 0 {
+		return
+	}
+	for p, log := range rec.RefLogs {
+		final := rec.FinalItemsByPart[p][rec.RefReplica]
+		values := make([]int64, len(final))
+		versions := make([]uint64, len(final))
+		for _, e := range committedHistory(log) {
+			t := rec.TxnByID[e.TxnID]
+			if t == nil {
+				return // not a harness transaction: the replay would be guessing
+			}
+			for g, v := range t.Writes {
+				if rec.PMap.Owner(g) != p {
+					continue
+				}
+				if local := rec.PMap.Local(g); local < len(final) {
+					values[local] = v
+					versions[local]++
+				}
+			}
+		}
+		for i := range final {
+			if final[i].Value != values[i] || final[i].Version != versions[i] {
+				violationf(out, "one-copy",
+					"partition %d server %d item %d (global %d): serial replay of the partition's committed history gives value=%d version=%d, store holds value=%d version=%d",
+					p, rec.RefReplica, i, rec.PMap.Global(p, i), values[i], versions[i], final[i].Value, final[i].Version)
+			}
+		}
+	}
+}
+
+// writePartitions returns the sorted partitions owning any item of t's write
+// set.
+func writePartitions(rec *RunRecord, t *TxnRec) []int {
+	seen := make([]bool, rec.Partitions)
+	for g := range t.Writes {
+		if g < rec.PMap.Items() {
+			seen[rec.PMap.Owner(g)] = true
+		}
+	}
+	var out []int
+	for p, s := range seen {
+		if s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// partHoldersAllCrashed reports whether every server that externalised the
+// COMMIT of txnID through partition q's total order (decide or certify record,
+// votes excluded) crashed at some point.  A never-crashed holder must still
+// have the install — if partition q lost it anyway, the loss is real.
+func partHoldersAllCrashed(rec *RunRecord, q int, txnID uint64) bool {
+	for i, log := range rec.AppliedLogsByPart[q] {
+		if rec.EverCrashed[i] {
+			continue
+		}
+		for _, e := range log {
+			if e.TxnID == txnID && !e.Vote && e.Outcome == core.OutcomeCommitted {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkAtomicCommit is the cross-partition atomicity invariant: a transaction
+// writing several partitions installs at ALL of them or at NONE.
+//
+//   - An acknowledged ABORT must be installed nowhere, unconditionally: the
+//     abort decision is recorded at the coordinator before the client learns
+//     it, and the first decision wins against every later prepare or resolve.
+//   - A transaction installed at SOME write partition must be installed at
+//     every other write partition too.  At 2-safe and very-safe there is no
+//     excuse: the prepare and the decide are forced durable, so recovery plus
+//     the presumed-abort resolver always completes the commit.  At the
+//     group-safe levels a partition's prepare or the coordinator's decide
+//     record can die with its holders (the same responded-but-not-durable
+//     window the durability check grades), so the missing partition is excused
+//     only when every server that externalised the commit there crashed.
+//
+// "Installed" is judged at live servers after the rescue phase resolved every
+// in-doubt transaction.
+func checkAtomicCommit(rec *RunRecord, out *[]Violation) {
+	if rec.Partitions <= 1 {
+		return
+	}
+	for _, t := range allTxns(rec) {
+		if !t.Update() {
+			continue
+		}
+		parts := writePartitions(rec, t)
+		if len(parts) < 2 {
+			continue
+		}
+		present := make(map[int]bool)
+		for _, q := range parts {
+			for i, applied := range rec.FinalAppliedByPart[q] {
+				if !rec.FinalCrashed[i] && applied[t.TxnID] {
+					present[q] = true
+					break
+				}
+			}
+		}
+		if t.Acked && t.Outcome == core.OutcomeAborted {
+			for _, q := range parts {
+				if present[q] {
+					violationf(out, "atomic-commit",
+						"txn %#x (session %d, step %d) was acknowledged aborted but partition %d installed its writes",
+						t.TxnID, t.Session, t.StepIdx, q)
+				}
+			}
+			continue
+		}
+		if len(present) == 0 {
+			continue // installed nowhere: total loss is the durability check's business
+		}
+		level := rec.Level
+		if t.Acked {
+			level = t.Level
+		}
+		for _, q := range parts {
+			if present[q] {
+				continue
+			}
+			if level != core.Safety2 && level != core.VerySafe && partHoldersAllCrashed(rec, q, t.TxnID) {
+				continue // the group-safe loss window, per partition
+			}
+			violationf(out, "atomic-commit",
+				"txn %#x (session %d, step %d, level %v) installed its writes at %d of %d write partitions but is missing from partition %d at every live server",
+				t.TxnID, t.Session, t.StepIdx, level, len(present), len(parts), q)
+		}
+	}
+}
+
 // tfBetween reports whether a total failure was stamped in (a, b): across
 // such a point the broadcast sequence may have restarted, so freshness tokens
 // on either side are not comparable.
@@ -219,7 +371,11 @@ func tfBetween(rec *RunRecord, a, b uint64) bool {
 // checkFreshness checks the session-freshness claims: a floored query is
 // never answered below its floor, and the freshness tokens of one session's
 // committed updates are strictly monotone (each update is a distinct position
-// in the total order, and the session submits them one at a time).
+// in the total order, and the session submits them one at a time).  The
+// monotonicity claim is scalar-only: a partitioned result's scalar token is
+// the max over independent per-partition sequences, so two updates touching
+// different partitions are legally non-monotone (checkFreshnessVec holds the
+// per-partition claim instead).
 func checkFreshness(rec *RunRecord, out *[]Violation) {
 	for _, session := range rec.Sessions {
 		var prev *TxnRec
@@ -232,13 +388,46 @@ func checkFreshness(rec *RunRecord, out *[]Violation) {
 					"session %d txn %#x asked for freshness >= %d but was served token %d",
 					t.Session, t.TxnID, t.Floor, t.Freshness)
 			}
-			if t.Committed() && t.Update() && t.Freshness > 0 {
+			if rec.Partitions == 1 && t.Committed() && t.Update() && t.Freshness > 0 {
 				if prev != nil && !tfBetween(rec, prev.AckIdx, t.AckIdx) && t.Freshness <= prev.Freshness {
 					violationf(out, "freshness-monotonic",
 						"session %d: update %#x has token %d, not above the session's earlier update %#x at token %d",
 						t.Session, t.TxnID, t.Freshness, prev.TxnID, prev.Freshness)
 				}
 				prev = t
+			}
+		}
+	}
+}
+
+// checkFreshnessVec checks vector floors on partitioned runs: a query carrying
+// a per-partition floor must be served, on every partition it actually read
+// from, at or above that partition's floor entry (untouched partitions impose
+// nothing — their vector entries stay zero).
+func checkFreshnessVec(rec *RunRecord, out *[]Violation) {
+	if rec.Partitions <= 1 {
+		return
+	}
+	for _, t := range allTxns(rec) {
+		if !t.Acked || len(t.FloorVec) == 0 {
+			continue
+		}
+		for item := range t.ReadValues {
+			if item >= rec.PMap.Items() {
+				continue
+			}
+			p := rec.PMap.Owner(item)
+			if p >= len(t.FloorVec) || t.FloorVec[p] == 0 {
+				continue
+			}
+			served := uint64(0)
+			if p < len(t.FreshnessVec) {
+				served = t.FreshnessVec[p]
+			}
+			if served < t.FloorVec[p] {
+				violationf(out, "freshness-floor",
+					"session %d txn %#x read item %d from partition %d asking for freshness >= %d but was served token %d",
+					t.Session, t.TxnID, item, p, t.FloorVec[p], served)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"groupsafe/internal/core"
+	"groupsafe/internal/partition"
 	"groupsafe/internal/sim"
 	"groupsafe/internal/storage"
 	"groupsafe/internal/tuning"
@@ -34,6 +35,9 @@ type TxnRec struct {
 	Query bool
 	// Floor is the MinFreshness actually sent (0: none).
 	Floor uint64
+	// FloorVec is the per-partition freshness floor actually sent (nil:
+	// none; partitioned runs use vector floors instead of the scalar).
+	FloorVec []uint64
 	// Writes is the transaction's effective write set (last write per item
 	// wins, matching both the certification write set and active replication's
 	// in-order execution).  Empty for queries and read-only updates.
@@ -47,8 +51,11 @@ type TxnRec struct {
 	Level      core.SafetyLevel
 	DelegateID string
 	Freshness  uint64
-	Stale      bool
-	ReadValues map[int]int64
+	// FreshnessVec is the per-partition freshness vector of the result
+	// (partitioned runs only; global item keys in ReadValues).
+	FreshnessVec []uint64
+	Stale        bool
+	ReadValues   map[int]int64
 	// SubmitIdx and AckIdx are global event-counter stamps taken immediately
 	// before submission and after the response.
 	SubmitIdx uint64
@@ -90,6 +97,10 @@ type RunRecord struct {
 	Level     core.SafetyLevel
 	Technique core.TechniqueID
 	Faults    FaultSummary
+	// Partitions is the keyspace partition count (1: unpartitioned) and PMap
+	// the item→partition map the router used.
+	Partitions int
+	PMap       partition.Map
 
 	// Sessions holds the per-session transaction records in submission order.
 	Sessions [][]*TxnRec
@@ -109,20 +120,37 @@ type RunRecord struct {
 	Converged   bool
 	ConvergeErr error
 
-	// RefReplica is the index of a replica that never crashed (-1 when the
+	// RefReplica is the index of a server that never crashed (-1 when the
 	// run had none): its AppliedLog (RefLog) is a complete record of the
-	// delivered total order, the reference for the one-copy replay.
+	// delivered total order, the reference for the one-copy replay.  RefLog
+	// is only set for unpartitioned runs; partitioned runs keep the
+	// reference server's per-partition logs in RefLogs (one independent
+	// total order each — there is no single comparable sequence).
 	RefReplica int
 	RefLog     []core.AppliedRecord
+	RefLogs    [][]core.AppliedRecord
 
-	// Final state per replica, collected after the rescue phase.
+	// Final state per server, collected after the rescue phase.  FinalItems
+	// is the stitched global keyspace view; FinalApplied the union of the
+	// per-partition applied sets.
 	FinalItems   [][]storage.Item
 	FinalApplied []map[uint64]bool
 	FinalCrashed []bool
-	// AppliedLogs holds every replica's harness-side applied log (the
-	// observer survives simulated crashes, so for replica i it records every
-	// transaction any incarnation of i externalised).
-	AppliedLogs [][]core.AppliedRecord
+	// Per-partition final state, indexed [partition][server]: the store in
+	// the partition's local item space, and the partition's own applied set
+	// (a committed cross-partition transaction must appear in EVERY write
+	// partition's set — the atomic-commit invariant).
+	FinalItemsByPart   [][][]storage.Item
+	FinalAppliedByPart [][]map[uint64]bool
+	// AppliedLogs holds every server's harness-side applied log (the
+	// observer survives simulated crashes, so for server i it records every
+	// transaction any incarnation of i externalised; for partitioned runs it
+	// is the concatenation of the per-partition logs).  AppliedLogsByPart
+	// keeps the same logs separated per partition, indexed
+	// [partition][server] — the atomic-commit check needs to know WHICH
+	// partition's decide record a never-crashed server externalised.
+	AppliedLogs       [][]core.AppliedRecord
+	AppliedLogsByPart [][][]core.AppliedRecord
 }
 
 // faultSummary scans the schedule for destructive faults.
@@ -175,11 +203,12 @@ func Run(s *Scenario) (*RunRecord, error) {
 		return nil, err
 	}
 
-	cluster, err := core.NewCluster(core.ClusterConfig{
+	cluster, err := partition.New(core.ClusterConfig{
 		Replicas:      cfg.Replicas,
 		Items:         cfg.Items,
 		Level:         level,
 		Technique:     tech,
+		Partitions:    cfg.Partitions,
 		ExecTimeout:   cfg.TxnTimeout,
 		RecordApplied: true,
 		Pipeline:      pipelineFor(cfg),
@@ -195,6 +224,8 @@ func Run(s *Scenario) (*RunRecord, error) {
 		Level:       cluster.Level(),
 		Technique:   cluster.Technique(),
 		Faults:      faultSummary(s.Steps),
+		Partitions:  cluster.NumPartitions(),
+		PMap:        cluster.Map(),
 		Sessions:    make([][]*TxnRec, cfg.Sessions),
 		TxnByID:     make(map[uint64]*TxnRec),
 		EverCrashed: make([]bool, cfg.Replicas),
@@ -232,7 +263,7 @@ func pipelineFor(cfg Config) tuning.Pipeline {
 
 type runner struct {
 	cfg     Config
-	cluster *core.Cluster
+	cluster *partition.Cluster
 	rec     *RunRecord
 
 	events  atomic.Uint64 // global event counter (ack/fault ordering)
@@ -272,18 +303,18 @@ func (r *runner) drive(steps []Step) {
 		case StepPartition:
 			r.partition(st.Group)
 		case StepHeal:
-			r.cluster.Network().Heal()
+			r.cluster.BaseNetwork().Heal()
 		case StepDelay:
-			r.cluster.Network().SetLatency(st.Latency)
-			r.cluster.Network().SetJitter(st.Jitter)
+			r.cluster.BaseNetwork().SetLatency(st.Latency)
+			r.cluster.BaseNetwork().SetJitter(st.Jitter)
 		case StepLoss:
-			r.cluster.Network().SetLoss(st.Loss)
+			r.cluster.BaseNetwork().SetLoss(st.Loss)
 		case StepBlock:
 			if st.From != st.To && st.From < r.cfg.Replicas && st.To < r.cfg.Replicas {
-				r.cluster.Network().BlockLink(r.addr(st.From), r.addr(st.To))
+				r.cluster.BaseNetwork().BlockLink(r.addr(st.From), r.addr(st.To))
 			}
 		case StepUnblock:
-			r.cluster.Network().UnblockAllLinks()
+			r.cluster.BaseNetwork().UnblockAllLinks()
 		case StepSleep:
 			time.Sleep(st.Dur)
 		case StepBarrier:
@@ -308,15 +339,15 @@ func (r *runner) barrier(queues []chan sessionCmd) {
 	}
 }
 
-// crash injects a crash of replica i.  Ill-formed schedules (the shrinker
-// produces them) are tolerated: crashing a crashed replica is a no-op.
+// crash injects a crash of server i (replica i of every partition goes down
+// together).  Ill-formed schedules (the shrinker produces them) are tolerated:
+// crashing a crashed server is a no-op.
 func (r *runner) crash(i int) {
 	if i < 0 || i >= r.cfg.Replicas || r.crashed[i] {
 		return
 	}
-	rep := r.cluster.Replica(i)
-	lsn := rep.DurableLSN()
-	rep.Crash()
+	lsn := r.cluster.DurableLSN(i)
+	r.cluster.Crash(i)
 	r.crashed[i] = true
 	total := r.cluster.LiveCount() == 0
 	idx := r.events.Add(1)
@@ -337,7 +368,7 @@ func (r *runner) crash(i int) {
 	// broadcast does not wait forever for a dead member.
 	for j := 0; j < r.cfg.Replicas; j++ {
 		if j != i && !r.crashed[j] {
-			r.cluster.Replica(j).Suspect(r.addr(i))
+			r.cluster.Suspect(j, i)
 		}
 	}
 }
@@ -358,9 +389,9 @@ func (r *runner) recover(i int) {
 			continue
 		}
 		if r.crashed[j] {
-			r.cluster.Replica(i).Suspect(r.addr(j))
+			r.cluster.Suspect(i, j)
 		} else {
-			r.cluster.Replica(j).Unsuspect(r.addr(i))
+			r.cluster.Unsuspect(j, i)
 		}
 	}
 }
@@ -382,17 +413,25 @@ func (r *runner) partition(group []int) {
 	if len(a) == 0 || len(b) == 0 {
 		return
 	}
-	r.cluster.Network().Partition(a, b)
+	r.cluster.BaseNetwork().Partition(a, b)
 }
 
 // sessionLoop is one client session: it executes its transactions strictly in
 // order and maintains the session freshness floor (largest token seen, reset
-// when a total failure may have restarted the sequence).
+// when a total failure may have restarted the sequence).  Partitioned runs
+// track one floor per partition — the partitions' total orders are independent
+// sequences, so a scalar floor (which floorFor applies to EVERY touched
+// partition) could demand a token a short partition order never reaches.
 func (r *runner) sessionLoop(session int, q chan sessionCmd) {
 	var recs []*TxnRec
 	var maxFresh uint64
 	var tfSeen uint64
 	useFloors := r.rec.Level.UsesGroupCommunication()
+	parts := r.rec.Partitions
+	var maxVec []uint64
+	if parts > 1 {
+		maxVec = make([]uint64, parts)
+	}
 
 	for cmd := range q {
 		if cmd.barrier != nil {
@@ -405,6 +444,9 @@ func (r *runner) sessionLoop(session int, q chan sessionCmd) {
 			// floor could be unreachable forever.
 			tfSeen = tf
 			maxFresh = 0
+			for p := range maxVec {
+				maxVec[p] = 0
+			}
 		}
 
 		t := &TxnRec{
@@ -421,9 +463,16 @@ func (r *runner) sessionLoop(session int, q chan sessionCmd) {
 				t.Writes[op.Item] = op.Value
 			}
 		}
-		if st.Query && st.Floor && useFloors && maxFresh > 0 {
-			t.Floor = maxFresh
-			req.MinFreshness = maxFresh
+		if st.Query && st.Floor && useFloors {
+			if parts > 1 {
+				if vecAnyPositive(maxVec) {
+					t.FloorVec = append([]uint64(nil), maxVec...)
+					req.MinFreshnessVec = append([]uint64(nil), maxVec...)
+				}
+			} else if maxFresh > 0 {
+				t.Floor = maxFresh
+				req.MinFreshness = maxFresh
+			}
 		}
 
 		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.TxnTimeout)
@@ -439,10 +488,16 @@ func (r *runner) sessionLoop(session int, q chan sessionCmd) {
 			t.Level = res.Level
 			t.DelegateID = res.Delegate
 			t.Freshness = res.Freshness
+			t.FreshnessVec = res.FreshnessVec
 			t.Stale = res.Stale
 			t.ReadValues = res.ReadValues
 			if res.Freshness > maxFresh {
 				maxFresh = res.Freshness
+			}
+			for p, f := range res.FreshnessVec {
+				if p < len(maxVec) && f > maxVec[p] {
+					maxVec[p] = f
+				}
 			}
 		}
 		recs = append(recs, t)
@@ -465,7 +520,7 @@ func (r *runner) sessionLoop(session int, q chan sessionCmd) {
 // checkpoint recovery does: crash and recover the stragglers, which pulls a
 // state snapshot from the most advanced peer.
 func (r *runner) rescue() {
-	net := r.cluster.Network()
+	net := r.cluster.BaseNetwork()
 	net.Heal()
 	net.UnblockAllLinks()
 	net.SetLatency(0)
@@ -477,7 +532,7 @@ func (r *runner) rescue() {
 	for len(r.crashed) > 0 {
 		best, bestLSN := -1, uint64(0)
 		for i := range r.crashed {
-			if lsn := r.cluster.Replica(i).DurableLSN(); best == -1 || lsn > bestLSN {
+			if lsn := r.cluster.DurableLSN(i); best == -1 || lsn > bestLSN {
 				best, bestLSN = i, lsn
 			}
 		}
@@ -486,6 +541,7 @@ func (r *runner) rescue() {
 			delete(r.crashed, best) // recovery failed; don't loop forever
 		}
 	}
+	r.resolveInDoubt()
 
 	groupComm := r.rec.Technique != core.TechLazyPrimary && r.rec.Level.UsesGroupCommunication()
 	deadline := 1500 * time.Millisecond
@@ -508,31 +564,101 @@ func (r *runner) rescue() {
 			r.crash(i)
 			r.recover(i)
 		}
+		r.resolveInDoubt()
 		time.Sleep(10 * time.Millisecond)
 		deadline = 2500 * time.Millisecond
 	}
 }
 
-// collect gathers the final state and the reference log.
+// resolveInDoubt settles orphaned cross-partition prepares (the coordinator's
+// client died mid-2PC): presumed abort asks each coordinator partition for the
+// authoritative decision and propagates it, releasing the certification locks
+// that would otherwise abort every conflicting transaction forever.  A real
+// deployment runs this resolver periodically; the rescue phase runs it once
+// after recovery (and once per straggler-repair round, which can replay a
+// prepare from a donor's snapshot).
+func (r *runner) resolveInDoubt() {
+	if r.rec.Partitions <= 1 {
+		return
+	}
+	// A round can miss (the bounded context expires under a long in-doubt
+	// backlog); retry a few times — each round gets a fresh budget and the
+	// backlog only shrinks.
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		n, err := r.cluster.ResolveInDoubt(ctx)
+		cancel()
+		if n == 0 && err == nil {
+			return
+		}
+	}
+}
+
+// collect gathers the final state and the reference logs: per-partition state
+// as the partitions hold it, plus the stitched global view (FinalItems in
+// global item order, FinalApplied as the union) the scalar invariants consume.
 func (r *runner) collect() {
 	rec := r.rec
+	parts := rec.Partitions
 	rec.FinalItems = make([][]storage.Item, r.cfg.Replicas)
 	rec.FinalApplied = make([]map[uint64]bool, r.cfg.Replicas)
 	rec.FinalCrashed = make([]bool, r.cfg.Replicas)
 	rec.AppliedLogs = make([][]core.AppliedRecord, r.cfg.Replicas)
+	rec.FinalItemsByPart = make([][][]storage.Item, parts)
+	rec.FinalAppliedByPart = make([][]map[uint64]bool, parts)
+	rec.AppliedLogsByPart = make([][][]core.AppliedRecord, parts)
+	for p := 0; p < parts; p++ {
+		rec.FinalItemsByPart[p] = make([][]storage.Item, r.cfg.Replicas)
+		rec.FinalAppliedByPart[p] = make([]map[uint64]bool, r.cfg.Replicas)
+		rec.AppliedLogsByPart[p] = make([][]core.AppliedRecord, r.cfg.Replicas)
+	}
+
 	for i := 0; i < r.cfg.Replicas; i++ {
-		rep := r.cluster.Replica(i)
-		rec.FinalCrashed[i] = rep.Crashed()
-		rec.FinalItems[i] = rep.StoreItems()
-		applied := make(map[uint64]bool)
-		for _, id := range rep.DB().AppliedTxns() {
-			applied[id] = true
+		rec.FinalCrashed[i] = r.cluster.ReplicaCrashed(i)
+		global := make([]storage.Item, rec.PMap.Items())
+		union := make(map[uint64]bool)
+		for p := 0; p < parts; p++ {
+			rep := r.cluster.Part(p).Replica(i)
+			items := rep.StoreItems()
+			rec.FinalItemsByPart[p][i] = items
+			for local, it := range items {
+				if g := rec.PMap.Global(p, local); g < len(global) {
+					global[g] = it
+				}
+			}
+			pApplied := make(map[uint64]bool)
+			for _, id := range rep.DB().AppliedTxns() {
+				pApplied[id] = true
+				union[id] = true
+			}
+			rec.FinalAppliedByPart[p][i] = pApplied
+			rec.AppliedLogsByPart[p][i] = rep.AppliedLog()
+			rec.AppliedLogs[i] = append(rec.AppliedLogs[i], rec.AppliedLogsByPart[p][i]...)
 		}
-		rec.FinalApplied[i] = applied
-		rec.AppliedLogs[i] = rep.AppliedLog()
+		rec.FinalItems[i] = global
+		rec.FinalApplied[i] = union
 		if !rec.EverCrashed[i] && rec.RefReplica == -1 {
 			rec.RefReplica = i
-			rec.RefLog = rec.AppliedLogs[i]
 		}
 	}
+	if rec.RefReplica >= 0 {
+		if parts == 1 {
+			rec.RefLog = rec.AppliedLogs[rec.RefReplica]
+		} else {
+			rec.RefLogs = make([][]core.AppliedRecord, parts)
+			for p := 0; p < parts; p++ {
+				rec.RefLogs[p] = r.cluster.Part(p).Replica(rec.RefReplica).AppliedLog()
+			}
+		}
+	}
+}
+
+// vecAnyPositive reports whether any entry of a freshness vector is set.
+func vecAnyPositive(vec []uint64) bool {
+	for _, v := range vec {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
 }

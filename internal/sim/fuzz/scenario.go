@@ -37,9 +37,11 @@ type Config struct {
 	Steps int
 	// Profile shapes the adversary mix: "mixed" (default), "storm"
 	// (crash-recover heavy, always ends in a total-failure storm),
-	// "partition" (split-brain heavy) or "calm" (delay/sleep only — every
+	// "partition" (split-brain heavy), "calm" (delay/sleep only — every
 	// message still arrives, which is what the lazy convergence invariant
-	// needs).
+	// needs) or "sharded" (the mixed fault mix over a PARTITIONED keyspace:
+	// Partitions derives to >1, pinning the certification technique and a
+	// group-communication level, so cross-partition 2PC runs under fire).
 	Profile string
 	// TxnTimeout bounds each transaction submission (0: 300ms).  Scenario
 	// generation does not depend on it, so tests may stretch it without
@@ -53,10 +55,17 @@ type Config struct {
 	// RotateEvery enables planned sequencer rotation after that many
 	// assignments (0: fixed sequencer).  Marshalled only when non-zero.
 	RotateEvery int
+	// Partitions splits the keyspace into that many hash partitions routed
+	// through internal/partition (0 or 1: unpartitioned, today's exact code
+	// path).  More than one partition requires the certification technique
+	// and a group-communication level; the "sharded" profile derives a count
+	// from the seed.  Marshalled only when > 1, so pre-existing corpus
+	// traces keep their exact bytes.
+	Partitions int
 }
 
 // Profiles lists the supported adversary profiles.
-func Profiles() []string { return []string{"mixed", "storm", "partition", "calm"} }
+func Profiles() []string { return []string{"mixed", "storm", "partition", "calm", "sharded"} }
 
 // resolve fills defaults and derives the free cluster parameters from the
 // seed.  The returned config is fully concrete: resolving it again is the
@@ -92,6 +101,21 @@ func (c Config) resolve() (Config, error) {
 		rng := rand.New(rand.NewSource(sim.DeriveSeed(c.Seed, streamReplicas)))
 		c.Replicas = 3 + rng.Intn(3)
 	}
+	// The sharded profile is the partitioned-keyspace sweep: the partition
+	// count derives from its own stream, and the technique/level draws are
+	// constrained to what partitioned operation supports.
+	if c.Profile == "sharded" {
+		if c.Technique == "" {
+			c.Technique = core.TechCertification.String()
+		}
+		if c.Partitions == 0 {
+			rng := rand.New(rand.NewSource(sim.DeriveSeed(c.Seed, streamPartitions)))
+			c.Partitions = 2 + rng.Intn(2)
+		}
+	}
+	if c.Partitions < 1 {
+		c.Partitions = 1
+	}
 	if c.Technique == "" {
 		rng := rand.New(rand.NewSource(sim.DeriveSeed(c.Seed, streamTechnique)))
 		switch rng.Intn(4) {
@@ -109,10 +133,17 @@ func (c Config) resolve() (Config, error) {
 	}
 	if c.Level == "" {
 		rng := rand.New(rand.NewSource(sim.DeriveSeed(c.Seed, streamLevel)))
-		switch tech {
-		case core.TechActive:
+		switch {
+		case c.Partitions > 1:
+			c.Level = pick(rng, []core.SafetyLevel{
+				core.GroupSafe, core.GroupSafe, core.GroupSafe,
+				core.Group1Safe, core.Group1Safe,
+				core.Safety2, core.Safety2,
+				core.VerySafe,
+			}).String()
+		case tech == core.TechActive:
 			c.Level = pick(rng, []core.SafetyLevel{core.GroupSafe, core.GroupSafe, core.Group1Safe, core.Safety2, core.Safety2, core.VerySafe}).String()
-		case core.TechLazyPrimary:
+		case tech == core.TechLazyPrimary:
 			c.Level = core.Safety1Lazy.String()
 		default:
 			c.Level = pick(rng, []core.SafetyLevel{
@@ -132,6 +163,14 @@ func (c Config) resolve() (Config, error) {
 		return c, err
 	}
 	c.Level = level.String()
+	if c.Partitions > 1 {
+		if tech != core.TechCertification {
+			return c, fmt.Errorf("fuzz: %d partitions require the certification technique (got %s)", c.Partitions, c.Technique)
+		}
+		if !level.UsesGroupCommunication() {
+			return c, fmt.Errorf("fuzz: %d partitions require a group-communication level (got %s)", c.Partitions, c.Level)
+		}
+	}
 	return c, nil
 }
 
@@ -145,6 +184,7 @@ const (
 	streamLevel
 	streamSteps
 	streamNetwork
+	streamPartitions
 )
 
 // StepKind enumerates the adversary schedule's step types.
@@ -265,7 +305,7 @@ type stepGen struct {
 }
 
 func (g *stepGen) next() Step {
-	txnProb := map[string]float64{"mixed": 0.72, "storm": 0.58, "partition": 0.66, "calm": 0.9}[g.cfg.Profile]
+	txnProb := map[string]float64{"mixed": 0.72, "storm": 0.58, "partition": 0.66, "calm": 0.9, "sharded": 0.72}[g.cfg.Profile]
 	if g.rng.Float64() < txnProb {
 		return g.txnStep()
 	}
@@ -310,7 +350,7 @@ func (g *stepGen) faultWeights() ([]StepKind, []float64) {
 			[]float64{0.28, 0.20, 0.14, 0.10, 0.08, 0.08, 0.06, 0.06}
 	case "calm":
 		return []StepKind{StepDelay, StepSleep}, []float64{0.5, 0.5}
-	default: // mixed
+	default: // mixed, sharded
 		return []StepKind{StepCrash, StepRecover, StepPartition, StepHeal, StepDelay, StepLoss, StepBlock, StepUnblock, StepSleep},
 			[]float64{0.26, 0.20, 0.12, 0.08, 0.10, 0.07, 0.07, 0.04, 0.06}
 	}
@@ -476,6 +516,9 @@ func (s *Scenario) Marshal() []byte {
 	if s.Cfg.RotateEvery != 0 {
 		fmt.Fprintf(&b, "rotate-every %d\n", s.Cfg.RotateEvery)
 	}
+	if s.Cfg.Partitions > 1 {
+		fmt.Fprintf(&b, "partitions %d\n", s.Cfg.Partitions)
+	}
 	fmt.Fprintf(&b, "generated %t\n", s.Generated)
 	fmt.Fprintf(&b, "schedule %d\n", len(s.Steps))
 	for _, st := range s.Steps {
@@ -564,6 +607,8 @@ func ParseScenario(data []byte) (*Scenario, error) {
 			s.Cfg.Adaptive, err = strconv.ParseBool(val)
 		case "rotate-every":
 			s.Cfg.RotateEvery, err = strconv.Atoi(val)
+		case "partitions":
+			s.Cfg.Partitions, err = strconv.Atoi(val)
 		case "generated":
 			s.Generated, err = strconv.ParseBool(val)
 		case "schedule":

@@ -76,6 +76,15 @@ type Sequencer struct {
 	// handoff so ordering load is not pinned to one member.  0 keeps the
 	// fixed sequencer.
 	RotateEvery int
+	// OrderDelay emulates the ordering site's per-payload service cost: the
+	// sequencer spends OrderDelay per message it assigns a sequence number
+	// to, serialised with every other assignment.  Zero (the default)
+	// disables the emulation.  It is the ordering-path sibling of the
+	// replica's DiskSyncDelay: where DiskSyncDelay gives the simulated
+	// cluster a disk whose forces cost something, OrderDelay gives it a
+	// sequencer whose total order costs something — the serial resource a
+	// partitioned deployment splits into independent per-partition orders.
+	OrderDelay time.Duration
 }
 
 // Pipeline is the full replica-pipeline knob set: broadcast batching, the

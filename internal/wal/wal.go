@@ -38,6 +38,13 @@ const (
 	KindAck
 	// KindCheckpoint marks a state snapshot boundary.
 	KindCheckpoint
+	// KindPrepare marks a cross-partition transaction as prepared (voted yes
+	// in the ordered two-phase commit): its staged KindUpdate records are
+	// in-doubt until a later KindCommit or KindAbort decides them.  Data
+	// carries the coordinator partition id and the transaction's read items
+	// (shared locks).  Appended at the end of the enum so persisted record
+	// kinds keep their numbering.
+	KindPrepare
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +64,8 @@ func (k Kind) String() string {
 		return "ack"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindPrepare:
+		return "prepare"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
