@@ -872,3 +872,118 @@ func BenchmarkReadMix(b *testing.B) {
 	b.Run("reads-50", func(b *testing.B) { benchmarkReadMix(b, 0.5) })
 	b.Run("reads-90", func(b *testing.B) { benchmarkReadMix(b, 0.9) })
 }
+
+// benchmarkReadScalingReal drives a pure-query closed loop against the real
+// stack at a given cluster size: every client reads three items from its
+// delegate's local MVCC snapshot, clients spread round-robin over the
+// replicas, and the reported reads/sec is the aggregate snapshot-read rate.
+// Queries never touch the broadcast, so each replica added is an independent
+// read server and throughput scales with the replica count — on a host with
+// enough cores to run the replicas concurrently.  (On a single-core host the
+// replicas time-share one CPU and the wall-clock ratio flattens toward 1; the
+// companion model variant below shows the scaling in virtual time on any
+// host, and CI runs this one on the multicore runner.)
+func benchmarkReadScalingReal(b *testing.B, replicas int) {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		Replicas: replicas,
+		Items:    8192,
+		Level:    core.GroupSafe,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	// Warm the stores so queries read installed data, and give every replica
+	// time to apply the last write before the clock starts.
+	var last core.Result
+	for i := 0; i < 64; i++ {
+		res, err := cluster.Execute(context.Background(), i%replicas, core.Request{
+			Ops: []workload.Op{{Item: i, Write: true, Value: int64(i)}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for i := 0; i < replicas; i++ {
+		for deadline := time.Now().Add(2 * time.Second); cluster.Replica(i).LastAppliedSeq() < last.Freshness; {
+			if time.Now().After(deadline) {
+				b.Fatalf("replica %d never warmed up", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	var clientSeq uint64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := atomic.AddUint64(&clientSeq, 1)
+		delegate := int(seed) % replicas
+		i := 0
+		for pb.Next() {
+			i++
+			req := core.Request{ReadOnly: true, Ops: []workload.Op{
+				{Item: (i * 31) % 8192}, {Item: (i*31 + 1) % 8192}, {Item: (i*31 + 2) % 8192},
+			}}
+			if _, err := cluster.Execute(context.Background(), delegate, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
+}
+
+// benchmarkReadScalingModel runs the paper's simulator at a saturating
+// offered load with a 95% read mix and reports the virtual-time throughput:
+// the model charges every query to its delegate's own CPUs and disks and
+// nothing else, so completed work per simulated second grows with the server
+// count no matter how many host cores execute the simulation.  This is the
+// portable form of the read scale-out claim (the simulator floor is 3
+// servers, so the sweep runs 3/6/12 — the ratio per doubling is the figure
+// of merit).
+func benchmarkReadScalingModel(b *testing.B, servers int) {
+	cfg := benchSimConfig()
+	cfg.Servers = servers
+	cfg.ClientsPerServer = 8
+	cfg.ReadFraction = 0.95
+	cfg.QueryMinOps = 2
+	cfg.QueryMaxOps = 4
+	cfg.MinOps = 2
+	cfg.MaxOps = 4
+	cfg.Duration = 5 * time.Second
+	var last simrep.Result
+	for i := 0; i < b.N; i++ {
+		// Offered load above every sweep point's capacity: the measured
+		// throughput is the cluster's saturated completion rate, not the
+		// arrival rate.
+		r, err := simrep.Run(cfg, core.GroupSafe, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ThroughputTPS, "tps")
+	b.ReportMetric(last.QueryMeanMs, "query-ms")
+}
+
+// BenchmarkReadScaling is the read scale-out acceptance benchmark: aggregate
+// read throughput versus replica count.  The real/ variants measure the
+// actual stack (wall-clock, needs cores >= replicas to show the ratio); the
+// model/ variants measure the Table 4 simulator in virtual time (host-core
+// independent).  CI's bench-read-scaling job uploads the output; BENCH.md
+// keeps the reference table.
+func BenchmarkReadScaling(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run("real/replicas-"+itoa(replicas), func(b *testing.B) {
+			benchmarkReadScalingReal(b, replicas)
+		})
+	}
+	for _, servers := range []int{3, 6, 12} {
+		b.Run("model/servers-"+itoa(servers), func(b *testing.B) {
+			benchmarkReadScalingModel(b, servers)
+		})
+	}
+}

@@ -47,10 +47,16 @@ func Dial(ctx context.Context, addrs ...string) (*RemoteClient, error) {
 		return nil, fmt.Errorf("gsdb: dial: %w", err)
 	}
 	c := &RemoteClient{
-		addrs:  append([]string(nil), addrs...),
-		conns:  make(map[string]*remoteConn),
-		health: make(map[string]endpointHealth),
-		now:    time.Now,
+		addrs:   append([]string(nil), addrs...),
+		addrIdx: make(map[string]int, len(addrs)),
+		advert:  make([]atomic.Uint64, len(addrs)),
+		load:    make([]atomic.Int64, len(addrs)),
+		conns:   make(map[string]*remoteConn),
+		health:  make(map[string]endpointHealth),
+		now:     time.Now,
+	}
+	for i, a := range addrs {
+		c.addrIdx[a] = i
 	}
 	return c, nil
 }
@@ -58,9 +64,12 @@ func Dial(ctx context.Context, addrs ...string) (*RemoteClient, error) {
 // RemoteClient is a client for a cluster of gsdb-server processes.  All
 // methods are safe for concurrent use.
 type RemoteClient struct {
-	addrs  []string
-	closed atomic.Bool
-	rr     atomic.Uint64
+	addrs   []string
+	addrIdx map[string]int  // addr -> index in addrs (immutable after Dial)
+	advert  []atomic.Uint64 // per-endpoint last advertised applied sequence
+	load    []atomic.Int64  // per-endpoint in-flight requests
+	closed  atomic.Bool
+	rr      atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[string]*remoteConn
@@ -139,6 +148,64 @@ func (c *RemoteClient) endpointSuspended(addr string) bool {
 	return c.now().Before(c.health[addr].until)
 }
 
+// noteAdvert folds a freshness token observed from endpoint idx into its
+// advertised applied sequence (monotone: stale observations are ignored).
+// Every successful Execute and Info refreshes the advertisement, so the
+// router learns each server's progress from traffic it pays for anyway.
+func (c *RemoteClient) noteAdvert(idx int, seq uint64) {
+	if idx < 0 || idx >= len(c.advert) {
+		return
+	}
+	for {
+		cur := c.advert[idx].Load()
+		if seq <= cur || c.advert[idx].CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// routeSlot picks the rotation start for one transaction.  With a freshness
+// floor: the least-loaded endpoint whose last advertised applied sequence
+// satisfies the floor, falling back to the most-advanced advertisement when
+// none does.  Without a floor: the least-loaded endpoint.  Round-robin
+// breaks ties.  Advertisements lag reality (they come from previous results
+// and Info calls), so the floor is only a routing hint — the serving replica
+// re-checks it, and a wrong guess costs one rotation, never correctness.
+func (c *RemoteClient) routeSlot(o *txnOptions) int {
+	n := len(c.addrs)
+	start := int(c.rr.Add(1)-1) % n
+	floor := o.freshness
+	for _, f := range o.freshnessVec {
+		if f > floor {
+			floor = f
+		}
+	}
+	best, freshest := -1, start
+	var bestLoad int64
+	var freshestSeq uint64
+	haveLive := false
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if c.endpointSuspended(c.addrs[i]) {
+			continue
+		}
+		seq := c.advert[i].Load()
+		if !haveLive || seq > freshestSeq {
+			freshest, freshestSeq, haveLive = i, seq, true
+		}
+		if seq < floor {
+			continue
+		}
+		if load := c.load[i].Load(); best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return freshest
+}
+
 // pickAddr selects the delegate for one rotation slot, skipping forward past
 // suspended endpoints.  When every endpoint is suspended the slot's own
 // endpoint is probed anyway — total suspension must never starve the client,
@@ -178,7 +245,7 @@ func (c *RemoteClient) Execute(ctx context.Context, req Request, opts ...TxnOpti
 		}
 		pinned = o.delegate
 	}
-	start := int(c.rr.Add(1)-1) % len(c.addrs)
+	start := c.routeSlot(&o)
 
 	// Budget: every replica gets a few chances; a pinned delegate gets the
 	// whole budget itself.  The budget bounds work, the context bounds time.
@@ -197,12 +264,16 @@ func (c *RemoteClient) Execute(ctx context.Context, req Request, opts ...TxnOpti
 			addr = c.addrs[pinned] // a pinned delegate is never skipped
 		}
 
+		idx := c.addrIdx[addr]
+		c.load[idx].Add(1)
 		res, err := c.roundTrip(ctx, addr, netproto.Frame{Type: netproto.MsgExec, Payload: netproto.AppendRequest(nil, req)})
+		c.load[idx].Add(-1)
 		if err == nil {
 			result, derr := netproto.DecodeResult(res.Payload)
 			if derr != nil {
 				return Result{}, fmt.Errorf("gsdb: server %s: %w", addr, derr)
 			}
+			c.noteAdvert(idx, result.Freshness)
 			return result, nil
 		}
 		lastErr = fmt.Errorf("server %s: %w", addr, err)
@@ -238,6 +309,9 @@ func (c *RemoteClient) Info(ctx context.Context, addr string) (ServerInfo, error
 	if err != nil {
 		return ServerInfo{}, fmt.Errorf("gsdb: info %s: %w", addr, err)
 	}
+	if idx, ok := c.addrIdx[addr]; ok {
+		c.noteAdvert(idx, info.LastAppliedSeq)
+	}
 	return info, nil
 }
 
@@ -248,9 +322,11 @@ func retryable(err error, pinnedDelegate bool) bool {
 	if errors.As(err, &re) {
 		// The server answered: only "this replica cannot serve you right
 		// now" answers are worth retrying — a crashed replica may recover,
-		// and a non-primary rejection means another replica is the primary
-		// (pointless to re-ask the same secondary).
-		if errors.Is(err, ErrNotPrimary) {
+		// a non-primary rejection means another replica is the primary
+		// (pointless to re-ask the same secondary), and a too-stale lease
+		// rejection means this replica lags while a fresher one may qualify
+		// (the redirect half of the bounded-staleness contract).
+		if errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrTooStale) {
 			return !pinnedDelegate
 		}
 		return errors.Is(err, ErrCrashed)

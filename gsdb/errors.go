@@ -45,4 +45,14 @@ var (
 	// ErrReadOnlyWrites is returned when a request declared ReadOnly
 	// carries a write operation (or a Compute hook, which could emit one).
 	ErrReadOnlyWrites = core.ErrReadOnlyWrites
+	// ErrTooStale is returned for a WithMaxStaleness query when the serving
+	// replica cannot prove its applied state is within the requested bound
+	// of the freshest advertised state.  The lease never waits: redirect to
+	// a fresher replica (RemoteClient retries elsewhere automatically) or
+	// relax the bound.
+	ErrTooStale = core.ErrTooStale
+	// ErrSnapshotTooOld is returned by a read when its pinned MVCC snapshot
+	// outlived the cluster's WithMaxPinAge cap and was evicted; restart the
+	// transaction on a fresh snapshot.
+	ErrSnapshotTooOld = core.ErrSnapshotTooOld
 )

@@ -86,6 +86,7 @@ package gsdb
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"groupsafe/internal/partition"
@@ -108,15 +109,16 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gsdb: open: %w", err)
 	}
-	return &Client{cluster: cluster}, nil
+	return &Client{cluster: cluster, inflight: make([]atomic.Int64, cluster.Size())}, nil
 }
 
 // Client is a handle on a running replicated database cluster.  All methods
 // are safe for concurrent use.
 type Client struct {
-	cluster *partition.Cluster
-	closed  atomic.Bool
-	rr      atomic.Uint64
+	cluster  *partition.Cluster
+	closed   atomic.Bool
+	rr       atomic.Uint64
+	inflight []atomic.Int64 // per-replica requests currently being served
 }
 
 // Close shuts every replica down.  Calls after Close fail with ErrClosed.
@@ -139,7 +141,10 @@ func (c *Client) Execute(ctx context.Context, req Request, opts ...TxnOption) (R
 	}
 	o := newTxnOptions(opts)
 	o.apply(&req)
-	return c.cluster.Execute(ctx, c.pickDelegate(&o), req)
+	delegate := c.pickDelegate(&o)
+	done := c.track(delegate)
+	defer done()
+	return c.cluster.Execute(ctx, delegate, req)
 }
 
 // Submit starts one transaction asynchronously and returns a Commit handle
@@ -153,30 +158,87 @@ func (c *Client) Submit(ctx context.Context, req Request, opts ...TxnOption) (*C
 	o := newTxnOptions(opts)
 	o.apply(&req)
 	delegate := c.pickDelegate(&o)
+	doneTracking := c.track(delegate)
 	cm := &Commit{client: c, done: make(chan struct{})}
 	go func() {
 		defer close(cm.done)
+		defer doneTracking()
 		cm.res, cm.err = c.cluster.Execute(ctx, delegate, req)
 	}()
 	return cm, nil
 }
 
-// pickDelegate returns the pinned delegate, or the next live replica in
-// round-robin order (falling back to the raw round-robin slot when every
-// replica is down, so the caller still gets a meaningful ErrCrashed).
+// track counts one in-flight request against replica i for the load-aware
+// routing, returning the matching decrement (a no-op for an out-of-range
+// pinned delegate — Execute surfaces ErrNotFound for those).
+func (c *Client) track(i int) func() {
+	if i < 0 || i >= len(c.inflight) {
+		return func() {}
+	}
+	c.inflight[i].Add(1)
+	return func() { c.inflight[i].Add(-1) }
+}
+
+// pickDelegate routes one call: the pinned delegate when Via was given;
+// otherwise the least-loaded live replica whose applied sequences already
+// satisfy the call's freshness floor, so a floored session read lands on a
+// replica that can answer without blocking whenever one exists.  When no
+// live replica satisfies the floor, the least-lagging live replica is picked
+// and its read path parks on the freshness gate until the floor is applied —
+// waiting is the fallback, not the routing default.  Ties rotate round-robin
+// so equally idle replicas share the query load.
 func (c *Client) pickDelegate(o *txnOptions) int {
 	if o.delegate >= 0 {
 		return o.delegate
 	}
 	n := c.cluster.Size()
 	start := int(c.rr.Add(1)-1) % n
+	best := -1
+	var bestLoad int64
+	closest, closestLag := start, uint64(math.MaxUint64)
 	for k := 0; k < n; k++ {
 		i := (start + k) % n
-		if !c.cluster.ReplicaCrashed(i) {
-			return i
+		if c.cluster.ReplicaCrashed(i) {
+			continue
+		}
+		lag := c.floorLag(i, o)
+		if lag < closestLag {
+			closest, closestLag = i, lag
+		}
+		if lag > 0 {
+			continue
+		}
+		if load := c.inflight[i].Load(); best < 0 || load < bestLoad {
+			best, bestLoad = i, load
 		}
 	}
-	return start
+	if best >= 0 {
+		return best
+	}
+	// No qualifying replica (or none live): the least-lagging live replica,
+	// or the raw round-robin slot when everything is down, so the caller
+	// still gets a meaningful ErrCrashed.
+	return closest
+}
+
+// floorLag returns how far replica i's applied sequences fall short of the
+// call's freshness floor, summed across partitions; 0 means the replica can
+// serve the floored read without waiting.
+func (c *Client) floorLag(i int, o *txnOptions) uint64 {
+	if o.freshness == 0 && len(o.freshnessVec) == 0 {
+		return 0
+	}
+	var lag uint64
+	for p := 0; p < c.cluster.NumPartitions(); p++ {
+		floor := o.freshness
+		if p < len(o.freshnessVec) && o.freshnessVec[p] > floor {
+			floor = o.freshnessVec[p]
+		}
+		if applied := c.cluster.AppliedSeq(i, p); applied < floor {
+			lag += floor - applied
+		}
+	}
+	return lag
 }
 
 // WaitConsistent blocks until every live replica holds identical committed

@@ -215,3 +215,52 @@ func TestDialErrorIdentityAcrossWire(t *testing.T) {
 		t.Fatalf("err = %v, want ErrSafetyUnavailable identity", err)
 	}
 }
+
+// TestDialSessionReadYourWrites: the Session abstraction behaves identically
+// over TCP — the freshness token and floor ride the wire protocol, so every
+// session query sees the session's own committed writes no matter which
+// server the remote router picks.
+func TestDialSessionReadYourWrites(t *testing.T) {
+	_, addrs := startCluster(t, 3, gsdb.GroupSafe)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	client, err := gsdb.Dial(ctx, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	s := client.NewSession()
+	var last uint64
+	for i := 0; i < 6; i++ {
+		res, err := s.Execute(ctx, gsdb.Request{Ops: []gsdb.Op{
+			{Item: 2, Write: true, Value: int64(200 + i)},
+		}})
+		if err != nil || !res.Committed() {
+			t.Fatalf("write %d: %+v, %v", i, res, err)
+		}
+		if s.Token() <= last {
+			t.Fatalf("write %d: token %d did not grow past %d", i, s.Token(), last)
+		}
+		last = s.Token()
+		read, err := s.Execute(ctx, gsdb.Query(2))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got := read.ReadValues[2]; got != int64(200+i) {
+			t.Fatalf("session read %d = %d, want %d", i, got, 200+i)
+		}
+		if s.Token() < last {
+			t.Fatalf("read %d regressed the token: %d < %d", i, s.Token(), last)
+		}
+		last = s.Token()
+	}
+
+	// A bounded-staleness query succeeds against a live cluster: the freshest
+	// server always satisfies its own lease, and a server that rejects with
+	// ErrTooStale makes the client redirect rather than fail.
+	if _, err := s.Execute(ctx, gsdb.Query(2), gsdb.WithMaxStaleness(time.Hour)); err != nil {
+		t.Fatalf("bounded-staleness query: %v", err)
+	}
+}

@@ -358,7 +358,7 @@ func (r *Replica) externalize(staged []stagedTxn) {
 	notifyCh := make([]chan txnOutcome, len(staged))
 	for i, a := range staged {
 		r.stats.Delivered++
-		r.advanceAppliedSeqLocked(a.item.seq)
+		r.advanceAppliedSeq(a.item.seq)
 		if r.cfg.RecordApplied {
 			r.appliedLog = append(r.appliedLog, AppliedRecord{
 				Seq: a.item.seq, TxnID: a.txnID, Outcome: a.outcome, Level: a.level, Vote: a.vote,
@@ -369,6 +369,10 @@ func (r *Replica) externalize(staged []stagedTxn) {
 		}
 	}
 	r.mu.Unlock()
+	// One delivery-rate sample per externalised batch (not per transaction)
+	// keeps time.Now off the apply hot path; the estimate backs the
+	// bounded-staleness lease check of the read path.
+	r.fresh.sampleRate(r.fresh.appliedSeq())
 
 	for i, a := range staged {
 		if ch := notifyCh[i]; ch != nil {

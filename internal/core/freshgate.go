@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the freshness gate of the read scale-out layer: the replica's
+// applied-sequence watermark, the ordered wakeup structure for
+// freshness-floored sessions, and the delivery-rate estimate that converts a
+// wall-clock staleness bound into a sequence floor.
+//
+// The gate replaces the old close-and-remake broadcast channel, which woke
+// EVERY floored waiter on every applied sequence (a thundering herd under
+// many concurrent sessions).  Waiters now sit in a min-heap ordered by their
+// floor; each delivery pops only the waiters it satisfies, so a waiter is
+// woken exactly once, ever — O(1) amortised wakeups per delivery regardless
+// of how many sessions are parked.
+
+// freshWaiter is one parked freshness-floored session.
+type freshWaiter struct {
+	floor uint64
+	ch    chan struct{}
+}
+
+// freshGate tracks the replica's applied broadcast sequence and wakes parked
+// waiters in floor order.
+type freshGate struct {
+	// applied is the highest applied sequence; reads are lock-free (the
+	// query hot path samples it for every freshness token).
+	applied atomic.Uint64
+
+	// mu guards the waiter heap (min-heap by floor) and the wake counter.
+	mu    sync.Mutex
+	heap  []freshWaiter
+	wakes uint64
+
+	// Delivery-rate estimate: an EWMA of applied sequences per second,
+	// sampled once per externalised batch (not per transaction, to keep
+	// time.Now off the apply hot path).  rateMu guards the sample state;
+	// the estimate feeds the bounded-staleness lease check.
+	rateMu     sync.Mutex
+	rateEWMA   float64
+	lastSample time.Time
+	lastSeq    uint64
+}
+
+// appliedSeq returns the current applied sequence, lock-free.
+func (g *freshGate) appliedSeq() uint64 { return g.applied.Load() }
+
+// advance raises the applied sequence (monotonic; stale values are ignored)
+// and wakes exactly the parked waiters whose floor is now satisfied.
+func (g *freshGate) advance(seq uint64) {
+	for {
+		cur := g.applied.Load()
+		if seq <= cur {
+			return
+		}
+		if g.applied.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	g.mu.Lock()
+	for len(g.heap) > 0 && g.heap[0].floor <= seq {
+		close(g.heap[0].ch)
+		g.popLocked()
+		g.wakes++
+	}
+	g.mu.Unlock()
+}
+
+// subscribe registers a waiter for the given floor.  When the floor is
+// already satisfied it returns (nil, true) and the caller proceeds without
+// blocking; otherwise the returned channel is closed by the advance() that
+// first satisfies the floor.  A waiter abandoned by its caller (context
+// expiry, crash) stays in the heap until some advance satisfies it — closing
+// a channel nobody reads is free, and reset() clears the heap on recovery.
+func (g *freshGate) subscribe(floor uint64) (chan struct{}, bool) {
+	if g.applied.Load() >= floor {
+		return nil, true
+	}
+	g.mu.Lock()
+	// Re-check under mu: an advance that stored a satisfying sequence before
+	// we acquired mu would otherwise never see this waiter.
+	if g.applied.Load() >= floor {
+		g.mu.Unlock()
+		return nil, true
+	}
+	ch := make(chan struct{})
+	g.pushLocked(freshWaiter{floor: floor, ch: ch})
+	g.mu.Unlock()
+	return ch, false
+}
+
+// reset zeroes the applied sequence (crash/recovery: the new incarnation
+// re-applies from its durable prefix) and wakes every parked waiter so none
+// sleeps on a watermark that no longer exists; woken waiters re-check and
+// either re-subscribe or exit via their crash channel.
+func (g *freshGate) reset() {
+	g.applied.Store(0)
+	g.mu.Lock()
+	for _, w := range g.heap {
+		close(w.ch)
+		g.wakes++
+	}
+	g.heap = g.heap[:0]
+	g.mu.Unlock()
+}
+
+// wakeCount returns the cumulative number of waiter wakeups (observability
+// for the O(1)-wakeups-per-delivery benchmark).
+func (g *freshGate) wakeCount() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.wakes
+}
+
+// waiting returns the number of parked waiters.
+func (g *freshGate) waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.heap)
+}
+
+// pushLocked inserts a waiter into the min-heap (mu held).
+func (g *freshGate) pushLocked(w freshWaiter) {
+	g.heap = append(g.heap, w)
+	i := len(g.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if g.heap[parent].floor <= g.heap[i].floor {
+			break
+		}
+		g.heap[parent], g.heap[i] = g.heap[i], g.heap[parent]
+		i = parent
+	}
+}
+
+// popLocked removes the minimum-floor waiter (mu held, heap non-empty).
+func (g *freshGate) popLocked() {
+	n := len(g.heap) - 1
+	g.heap[0] = g.heap[n]
+	g.heap[n] = freshWaiter{}
+	g.heap = g.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && g.heap[l].floor < g.heap[min].floor {
+			min = l
+		}
+		if r < n && g.heap[r].floor < g.heap[min].floor {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		g.heap[i], g.heap[min] = g.heap[min], g.heap[i]
+		i = min
+	}
+}
+
+// sampleRate feeds one externalised batch into the delivery-rate EWMA.  The
+// caller passes the batch's final applied sequence; samples closer together
+// than 100µs are folded into the next one to keep the instantaneous rate
+// numerically sane.
+func (g *freshGate) sampleRate(seq uint64) {
+	now := time.Now()
+	g.rateMu.Lock()
+	defer g.rateMu.Unlock()
+	if g.lastSample.IsZero() || seq < g.lastSeq {
+		g.lastSample, g.lastSeq = now, seq
+		return
+	}
+	dt := now.Sub(g.lastSample)
+	if dt < 100*time.Microsecond {
+		return
+	}
+	inst := float64(seq-g.lastSeq) / dt.Seconds()
+	if g.rateEWMA == 0 {
+		g.rateEWMA = inst
+	} else {
+		g.rateEWMA = 0.2*inst + 0.8*g.rateEWMA
+	}
+	g.lastSample, g.lastSeq = now, seq
+}
+
+// rate returns the estimated delivery rate in sequences per second, decayed
+// by the time since the last sample: a replica that stopped applying (stalled
+// or partitioned) must not keep claiming its historical catch-up speed, so
+// the estimate halves for every second of silence beyond the first.
+func (g *freshGate) rate() float64 {
+	g.rateMu.Lock()
+	ewma := g.rateEWMA
+	last := g.lastSample
+	g.rateMu.Unlock()
+	if ewma == 0 || last.IsZero() {
+		return 0
+	}
+	if idle := time.Since(last); idle > time.Second {
+		ewma /= idle.Seconds()
+	}
+	return ewma
+}

@@ -45,6 +45,12 @@ func (r *Replica) startGroupCommunication() error {
 			Batching:    r.cfg.Batching,
 			Sequencer:   r.cfg.Sequencer,
 			Incarnation: r.cfg.IncarnationBase + uint64(r.incarnation),
+			// Advertised freshness rides the existing ACK/ORDER traffic:
+			// every broadcast-layer message stamps the sender's applied
+			// watermark, and received stamps feed the peer-advert cache
+			// backing freshness-aware routing and staleness leases.
+			AdvertiseSeq: r.LastAppliedSeq,
+			OnPeerAdvert: r.notePeerApplied,
 		}, router)
 		if err != nil {
 			return err
@@ -59,7 +65,13 @@ func (r *Replica) startGroupCommunication() error {
 			}
 		}
 		if r.cfg.StartDetector {
-			det = fd.New(r.cfg.ID, r.cfg.Members, router, r.cfg.Detector)
+			detCfg := r.cfg.Detector
+			// Heartbeats double as freshness adverts (the membership path
+			// for the server build, where ACK traffic pauses under an idle
+			// or partitioned workload).
+			detCfg.Annotate = r.LastAppliedSeq
+			detCfg.OnAnnotation = r.notePeerApplied
+			det = fd.New(r.cfg.ID, r.cfg.Members, router, detCfg)
 			router.Handle(fd.MsgHeartbeat, det.OnMessage)
 			onEvent := r.cfg.OnDetectorEvent
 			det.OnEvent(func(ev fd.Event) {
@@ -223,8 +235,10 @@ func (r *Replica) Recover(snapshot *StateSnapshot) (int, error) {
 	r.veryDone = make(map[uint64]chan struct{})
 	r.crashed = false
 	r.crashCh = make(chan struct{})
-	r.lastAppliedSeq = 0
 	r.mu.Unlock()
+	// The new incarnation re-applies from its durable prefix: zero the
+	// freshness gate and wake any straggling floored waiters of the old life.
+	r.fresh.reset()
 
 	if err := r.startGroupCommunication(); err != nil {
 		return 0, err
@@ -272,8 +286,8 @@ func (r *Replica) installSnapshot(s StateSnapshot) {
 	}
 	r.dbase.RestoreState(items, s.AppliedTxns)
 	_ = r.dbase.InstallPrepared(s.Prepared, s.AbortedGIDs)
+	r.advanceAppliedSeq(s.LastAppliedSeq)
 	r.mu.Lock()
-	r.advanceAppliedSeqLocked(s.LastAppliedSeq)
 	ab := r.ab
 	r.mu.Unlock()
 	if ab != nil {
@@ -292,8 +306,8 @@ func (r *Replica) installSnapshot(s StateSnapshot) {
 func (r *Replica) MergeSnapshot(s StateSnapshot) int {
 	merged := r.dbase.MergeNewerState(s.Items, s.AppliedTxns)
 	_ = r.dbase.InstallPrepared(s.Prepared, s.AbortedGIDs)
+	r.advanceAppliedSeq(s.LastAppliedSeq)
 	r.mu.Lock()
-	r.advanceAppliedSeqLocked(s.LastAppliedSeq)
 	ab := r.ab
 	r.mu.Unlock()
 	if ab != nil {

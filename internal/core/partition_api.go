@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // This file is the per-partition API consumed by the partition router
@@ -32,16 +33,27 @@ func (r *Replica) ResolveLevel(override *SafetyLevel) (SafetyLevel, error) {
 // SnapshotReads reads the given items from one MVCC snapshot of this replica,
 // returning the values, the observed versions (the certification read set of
 // the router-side read phase), and the freshness token sampled before the
-// snapshot.  minFreshness imposes the usual floor.  countQuery selects
-// whether the read is accounted as a served query (the read-only fan-out
-// path) or as the invisible read phase of an update transaction.
-func (r *Replica) SnapshotReads(ctx context.Context, items []int, minFreshness uint64, countQuery bool) (values map[int]int64, versions map[int]uint64, token uint64, err error) {
+// snapshot.  minFreshness imposes the usual floor; maxStaleness imposes the
+// bounded-staleness lease (ErrTooStale when this partition replica cannot
+// prove it is within the bound).  countQuery selects whether the read is
+// accounted as a served query (the read-only fan-out path) or as the
+// invisible read phase of an update transaction.
+func (r *Replica) SnapshotReads(ctx context.Context, items []int, minFreshness uint64, maxStaleness time.Duration, countQuery bool) (values map[int]int64, versions map[int]uint64, token uint64, err error) {
 	crashCh, err := r.submitGate()
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	ctx, cancel := r.withDefaultTimeout(ctx)
 	defer cancel()
+	if maxStaleness > 0 {
+		if !r.cfg.Level.UsesGroupCommunication() {
+			return nil, nil, 0, r.errNoFreshnessSequence()
+		}
+		if floor := r.stalenessFloor(maxStaleness); r.fresh.appliedSeq() < floor {
+			return nil, nil, 0, fmt.Errorf("%w: applied %d, need %d for %v",
+				ErrTooStale, r.fresh.appliedSeq(), floor, maxStaleness)
+		}
+	}
 	if minFreshness > 0 {
 		if !r.cfg.Level.UsesGroupCommunication() {
 			return nil, nil, 0, r.errNoFreshnessSequence()

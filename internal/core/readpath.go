@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"context"
 )
@@ -36,6 +37,17 @@ func (r *Replica) executeReadOnly(ctx context.Context, req Request, crashCh chan
 	ctx, cancel := r.withDefaultTimeout(ctx)
 	defer cancel()
 
+	if req.MaxStaleness > 0 {
+		if !r.cfg.Level.UsesGroupCommunication() {
+			return Result{}, r.errNoFreshnessSequence()
+		}
+		// Bounded-staleness lease: answer only when the snapshot is provably
+		// within the bound; never wait — the client redirects on ErrTooStale.
+		if floor := r.stalenessFloor(req.MaxStaleness); r.fresh.appliedSeq() < floor {
+			return Result{}, fmt.Errorf("%w: applied %d, need %d for %v (max known %d, rate %.0f seq/s)",
+				ErrTooStale, r.fresh.appliedSeq(), floor, req.MaxStaleness, r.maxKnownSeq(), r.fresh.rate())
+		}
+	}
 	if req.MinFreshness > 0 {
 		if !r.cfg.Level.UsesGroupCommunication() {
 			return Result{}, r.errNoFreshnessSequence()
@@ -86,14 +98,15 @@ func (r *Replica) errNoFreshnessSequence() error {
 }
 
 // waitFreshness blocks until the replica has applied broadcast sequence min,
-// or until ctx/crash ends the wait.
+// or until ctx/crash ends the wait.  The wait parks on the freshness gate's
+// ordered min-heap: the delivery that first satisfies the floor closes this
+// waiter's channel and nobody else's (no thundering herd — see freshgate.go).
+// A reset (crash recovery) also closes the channel; the loop then re-checks
+// and either re-subscribes or exits through crashCh.
 func (r *Replica) waitFreshness(ctx context.Context, min uint64, crashCh chan struct{}) error {
 	for {
-		r.mu.Lock()
-		applied := r.lastAppliedSeq
-		ch := r.seqAdvance
-		r.mu.Unlock()
-		if applied >= min {
+		ch, ok := r.fresh.subscribe(min)
+		if ok {
 			return nil
 		}
 		select {
@@ -101,18 +114,26 @@ func (r *Replica) waitFreshness(ctx context.Context, min uint64, crashCh chan st
 		case <-crashCh:
 			return ErrCrashed
 		case <-ctx.Done():
-			return ctxWaitError(ctx, 0, fmt.Sprintf("waiting for freshness %d (applied %d)", min, applied))
+			return ctxWaitError(ctx, 0, fmt.Sprintf("waiting for freshness %d (applied %d)", min, r.fresh.appliedSeq()))
 		}
 	}
 }
 
-// advanceAppliedSeqLocked raises lastAppliedSeq (r.mu held) and wakes every
-// freshness waiter by rotating the broadcast channel.
-func (r *Replica) advanceAppliedSeqLocked(seq uint64) {
-	if seq <= r.lastAppliedSeq {
-		return
+// advanceAppliedSeq raises the applied watermark and wakes exactly the
+// freshness waiters the new sequence satisfies.  Safe with or without r.mu
+// held (the gate has its own leaf lock).
+func (r *Replica) advanceAppliedSeq(seq uint64) { r.fresh.advance(seq) }
+
+// stalenessFloor maps a wall-clock staleness bound to a sequence floor: the
+// oldest applied sequence that is still provably within d of the freshest
+// advertised state, assuming deliveries continue at the estimated rate.  With
+// no rate estimate yet the floor degrades to "be as fresh as the freshest
+// known replica" — conservative, never wrong.
+func (r *Replica) stalenessFloor(d time.Duration) uint64 {
+	maxKnown := r.maxKnownSeq()
+	allowed := uint64(r.fresh.rate() * d.Seconds())
+	if allowed >= maxKnown {
+		return 0
 	}
-	r.lastAppliedSeq = seq
-	close(r.seqAdvance)
-	r.seqAdvance = make(chan struct{})
+	return maxKnown - allowed
 }

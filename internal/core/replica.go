@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"groupsafe/internal/db"
@@ -13,6 +14,7 @@ import (
 	"groupsafe/internal/gcs/e2e"
 	"groupsafe/internal/gcs/fd"
 	"groupsafe/internal/gcs/transport"
+	"groupsafe/internal/storage"
 	"groupsafe/internal/tuning"
 	"groupsafe/internal/wal"
 )
@@ -40,6 +42,18 @@ var (
 	// cannot provide — e.g. 2-safe on a cluster built without the end-to-end
 	// message log, or any group-communication level on a lazy cluster.
 	ErrSafetyUnavailable = errors.New("core: requested per-transaction safety level is unavailable on this cluster")
+	// ErrTooStale is returned by a read-only execution carrying a
+	// Request.MaxStaleness bound when the serving replica cannot prove its
+	// snapshot is within the bound: it lags the freshest advertised sequence
+	// by more than the bound's worth of deliveries at the estimated delivery
+	// rate.  The client should redirect the query to a fresher replica
+	// instead of waiting here.
+	ErrTooStale = errors.New("core: replica lags beyond the requested staleness bound")
+	// ErrSnapshotTooOld is returned by a read whose MVCC snapshot was evicted
+	// by the pin-age cap (ReplicaConfig.MaxPinAge): the snapshot trailed the
+	// apply watermark too far and its version history has been reclaimed.
+	// Retry on a fresh snapshot.
+	ErrSnapshotTooOld = storage.ErrSnapshotTooOld
 )
 
 // ReplicaConfig configures one replica server.
@@ -108,6 +122,11 @@ type ReplicaConfig struct {
 	// every failure detector transition (after the broadcaster has been
 	// informed).  The server layer uses it to drive membership view changes.
 	OnDetectorEvent func(fd.Event)
+	// MaxPinAge bounds how many apply sequences a read-only MVCC snapshot may
+	// trail the visible watermark before it is evicted and its reads return
+	// ErrSnapshotTooOld (0: unlimited).  It caps the version history one slow
+	// analytic scan can retain under a write storm.
+	MaxPinAge uint64
 	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay,
 	// ApplyWorkers); see the tuning package for their semantics.
 	tuning.Pipeline
@@ -185,29 +204,34 @@ type Replica struct {
 	// captures between batches.
 	applyMu sync.Mutex
 
-	mu             sync.Mutex
-	dbase          *db.DB
-	dbLog          wal.Log
-	msgLog         wal.Log
-	router         *gcs.Router
-	ab             *abcast.Broadcaster
-	e2eb           *e2e.Broadcaster
-	detector       *fd.Detector
-	pending        map[uint64]chan txnOutcome
-	veryAcks       map[uint64]map[string]bool
-	veryDone       map[uint64]chan struct{}
-	crashed        bool
-	crashCh        chan struct{}
-	incarnation    int
-	applierStop    chan struct{}
-	lastAppliedSeq uint64
-	// seqAdvance is closed and replaced whenever lastAppliedSeq advances;
-	// freshness-floored queries (Request.MinFreshness) wait on it.
-	seqAdvance  chan struct{}
+	mu          sync.Mutex
+	dbase       *db.DB
+	dbLog       wal.Log
+	msgLog      wal.Log
+	router      *gcs.Router
+	ab          *abcast.Broadcaster
+	e2eb        *e2e.Broadcaster
+	detector    *fd.Detector
+	pending     map[uint64]chan txnOutcome
+	veryAcks    map[uint64]map[string]bool
+	veryDone    map[uint64]chan struct{}
+	crashed     bool
+	crashCh     chan struct{}
+	incarnation int
+	applierStop chan struct{}
 	nextTxn     uint64
 	deliverHook func(txnID uint64)
 	stats       ReplicaStats
 	appliedLog  []AppliedRecord
+
+	// fresh is the freshness gate: the applied-sequence watermark, the
+	// ordered wakeup heap for floored sessions, and the delivery-rate
+	// estimate backing bounded-staleness leases (freshgate.go).
+	fresh freshGate
+	// peerApplied caches the applied sequence each peer last advertised
+	// (piggybacked on abcast ACK/ORDER traffic and on heartbeats).  The map
+	// is created once from Members and never mutated, so reads are lock-free.
+	peerApplied map[string]*atomic.Uint64
 
 	// Ordered asynchronous write-set propagation of the lazy modes
 	// (technique_lazy.go).
@@ -232,15 +256,18 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("core: replica %q not in member list %v", cfg.ID, cfg.Members)
 	}
 	r := &Replica{
-		cfg:        cfg,
-		index:      index,
-		tech:       tech,
-		pending:    make(map[uint64]chan txnOutcome),
-		veryAcks:   make(map[uint64]map[string]bool),
-		veryDone:   make(map[uint64]chan struct{}),
-		crashCh:    make(chan struct{}),
-		seqAdvance: make(chan struct{}),
-		nextTxn:    cfg.IncarnationBase,
+		cfg:         cfg,
+		index:       index,
+		tech:        tech,
+		pending:     make(map[uint64]chan txnOutcome),
+		veryAcks:    make(map[uint64]map[string]bool),
+		veryDone:    make(map[uint64]chan struct{}),
+		crashCh:     make(chan struct{}),
+		nextTxn:     cfg.IncarnationBase,
+		peerApplied: make(map[string]*atomic.Uint64, len(cfg.Members)),
+	}
+	for _, m := range cfg.Members {
+		r.peerApplied[m] = new(atomic.Uint64)
 	}
 
 	r.dbLog = cfg.DBLog
@@ -252,7 +279,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.Level.SyncOnCommit() {
 		policy = db.SyncOnCommit
 	}
-	dbase, err := db.Open(db.Config{Items: cfg.Items, Policy: policy, Log: r.dbLog})
+	dbase, err := db.Open(db.Config{Items: cfg.Items, Policy: policy, Log: r.dbLog, MaxPinAge: cfg.MaxPinAge})
 	if err != nil {
 		return nil, fmt.Errorf("core: open database: %w", err)
 	}
@@ -309,12 +336,62 @@ func (r *Replica) BroadcastStats() abcast.Stats {
 }
 
 // LastAppliedSeq returns the highest atomic broadcast sequence number applied
-// to the database.
-func (r *Replica) LastAppliedSeq() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.lastAppliedSeq
+// to the database.  The read is lock-free: it runs on the query hot path (one
+// sample per read-only transaction) and inside the broadcast ACK path (the
+// advertised-freshness piggyback).
+func (r *Replica) LastAppliedSeq() uint64 { return r.fresh.appliedSeq() }
+
+// notePeerApplied records the applied sequence a peer advertised (monotonic;
+// stale adverts are ignored).  It is invoked from the abcast ACK/ORDER
+// receive path and from heartbeat annotations, so it must stay lock-free.
+func (r *Replica) notePeerApplied(peer string, seq uint64) {
+	c, ok := r.peerApplied[peer]
+	if !ok {
+		return
+	}
+	for {
+		cur := c.Load()
+		if seq <= cur || c.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
+
+// PeerAppliedSeq returns the last applied sequence advertised by a peer (zero
+// when none was heard yet); for the local replica it returns the live value.
+func (r *Replica) PeerAppliedSeq(peer string) uint64 {
+	if peer == r.cfg.ID {
+		return r.fresh.appliedSeq()
+	}
+	if c, ok := r.peerApplied[peer]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// maxKnownSeq returns the highest applied sequence known anywhere in the
+// group: the local watermark or the freshest peer advert.
+func (r *Replica) maxKnownSeq() uint64 {
+	m := r.fresh.appliedSeq()
+	for peer, c := range r.peerApplied {
+		if peer == r.cfg.ID {
+			continue
+		}
+		if v := c.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// DeliveryRate returns the replica's estimated apply rate in broadcast
+// sequences per second (an EWMA sampled per externalised batch; zero before
+// the first sample).  It is the estimate backing bounded-staleness leases.
+func (r *Replica) DeliveryRate() float64 { return r.fresh.rate() }
+
+// FreshnessWakeups returns the cumulative number of freshness-waiter wakeups
+// (observability for the O(1)-wakeups-per-delivery property).
+func (r *Replica) FreshnessWakeups() uint64 { return r.fresh.wakeCount() }
 
 // SetDeliverHook installs a test hook invoked after a message is delivered by
 // the group communication component but before the database processes it —

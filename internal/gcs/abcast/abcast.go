@@ -132,6 +132,15 @@ type Config struct {
 	// ids collide with its pre-crash broadcasts and the sequencer silently
 	// refuses to order the new payloads.
 	Incarnation uint64
+	// AdvertiseSeq, when set, is sampled on every outbound ORDER and ACK to
+	// piggyback the caller's applied-sequence watermark on traffic the
+	// protocol sends anyway.  It runs on the ordering hot path and must be
+	// cheap and lock-free (an atomic load).
+	AdvertiseSeq func() uint64
+	// OnPeerAdvert, when set, receives the applied-sequence watermark
+	// piggybacked on inbound ORDER/ACK traffic from other members.  Called
+	// from the receive path with no broadcaster locks held; must not block.
+	OnPeerAdvert func(peer string, seq uint64)
 }
 
 // Stats are cumulative counters of the broadcaster.
@@ -192,6 +201,9 @@ type orderMsg struct {
 	MinEpoch uint64
 	BaseSeq  uint64
 	MsgIDs   []string
+	// AppliedSeq advertises the sender's applied-sequence watermark (see
+	// Config.AdvertiseSeq); 0 when the sender has no watermark to share.
+	AppliedSeq uint64
 }
 
 // ackMsg acknowledges a whole order range at once.
@@ -199,6 +211,8 @@ type ackMsg struct {
 	Epoch   uint64
 	BaseSeq uint64
 	MsgIDs  []string
+	// AppliedSeq advertises the sender's applied-sequence watermark.
+	AppliedSeq uint64
 }
 
 type newEpochMsg struct {
@@ -710,12 +724,14 @@ func (b *Broadcaster) onMessage(m transport.Message) {
 		if err := decodeOrder(m.Payload, &o); err != nil {
 			return
 		}
+		b.noteAdvert(m.From, o.AppliedSeq)
 		b.handleOrder(o)
 	case MsgAck:
 		var a ackMsg
 		if err := decodeAck(m.Payload, &a); err != nil {
 			return
 		}
+		b.noteAdvert(m.From, a.AppliedSeq)
 		b.handleAck(a, m.From)
 	case MsgNack:
 		var n nackMsg
@@ -781,7 +797,7 @@ func (b *Broadcaster) handleData(d dataMsg) {
 	}
 	b.mu.Unlock()
 	if len(order.MsgIDs) > 0 {
-		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(order)})
+		b.sendOrder(order)
 	}
 	if rotate {
 		b.sendAll(transport.Message{Type: MsgHandoff, Payload: encodeHandoff(handoff)})
@@ -876,7 +892,7 @@ func (b *Broadcaster) orderLoop() {
 			order, handoff, rotate := b.assignLocked(entries)
 			b.mu.Unlock()
 			if len(order.MsgIDs) > 0 {
-				b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(order)})
+				b.sendOrder(order)
 			}
 			if rotate {
 				b.sendAll(transport.Message{Type: MsgHandoff, Payload: encodeHandoff(handoff)})
@@ -937,7 +953,7 @@ func (b *Broadcaster) handleHandoff(h handoffMsg) {
 	}
 	b.mu.Unlock()
 	if len(fresh.MsgIDs) > 0 {
-		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(fresh)})
+		b.sendOrder(fresh)
 	}
 	b.tryDeliver()
 }
@@ -1116,10 +1132,36 @@ func (b *Broadcaster) flushAck() {
 }
 
 // sendAck fans an ACK out to every member, counting it for the coalescing
-// stats.
+// stats and stamping the applied-seq advertisement.
 func (b *Broadcaster) sendAck(a ackMsg) {
+	a.AppliedSeq = b.advertisedSeq()
 	b.ackSends.Add(1)
 	b.sendAll(transport.Message{Type: MsgAck, Payload: encodeAck(a)})
+}
+
+// sendOrder fans an ORDER out to every member, stamping the applied-seq
+// advertisement.
+func (b *Broadcaster) sendOrder(o orderMsg) {
+	o.AppliedSeq = b.advertisedSeq()
+	b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(o)})
+}
+
+// advertisedSeq samples the applied-seq advertisement hook (an atomic load
+// upstream, so safe from any goroutine, with or without b.mu held).
+func (b *Broadcaster) advertisedSeq() uint64 {
+	if b.cfg.AdvertiseSeq == nil {
+		return 0
+	}
+	return b.cfg.AdvertiseSeq()
+}
+
+// noteAdvert forwards a piggybacked applied-seq advertisement to the
+// configured hook, skipping our own loopback copies.
+func (b *Broadcaster) noteAdvert(from string, seq uint64) {
+	if seq == 0 || from == b.cfg.Self || b.cfg.OnPeerAdvert == nil {
+		return
+	}
+	b.cfg.OnPeerAdvert(from, seq)
 }
 
 func (b *Broadcaster) handleAck(a ackMsg, from string) {
@@ -1249,10 +1291,10 @@ func (b *Broadcaster) maybeFinishGatherLocked() {
 	}
 	b.mu.Unlock()
 	for _, o := range reannounce {
-		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(o)})
+		b.sendOrder(o)
 	}
 	if len(fresh.MsgIDs) > 0 {
-		b.sendAll(transport.Message{Type: MsgOrder, Payload: encodeOrder(fresh)})
+		b.sendOrder(fresh)
 	}
 	b.mu.Lock()
 }

@@ -77,9 +77,13 @@ func decodeData(data []byte, d *dataMsg) error {
 }
 
 // encodeSeqRange encodes the shared shape of ORDER and ACK messages: an
-// epoch, a base sequence number and the message ids of the covered range.
-func encodeSeqRange(epoch, baseSeq uint64, ids []string) []byte {
-	size := uvarintLen(epoch) + uvarintLen(baseSeq) + uvarintLen(uint64(len(ids)))
+// epoch, a base sequence number, the message ids of the covered range, and
+// the sender's applied-sequence advertisement.  The advertisement rides as a
+// trailing field so it costs one uvarint on messages the protocol sends
+// anyway — replicas learn how fresh their peers are without any extra
+// message type.
+func encodeSeqRange(epoch, baseSeq uint64, ids []string, appliedSeq uint64) []byte {
+	size := uvarintLen(epoch) + uvarintLen(baseSeq) + uvarintLen(uint64(len(ids))) + uvarintLen(appliedSeq)
 	for _, id := range ids {
 		size += uvarintLen(uint64(len(id))) + len(id)
 	}
@@ -91,44 +95,48 @@ func encodeSeqRange(epoch, baseSeq uint64, ids []string) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(id)))
 		buf = append(buf, id...)
 	}
-	return buf
+	return binary.AppendUvarint(buf, appliedSeq)
 }
 
 // decodeSeqRange decodes the shared ORDER/ACK shape.
-func decodeSeqRange(data []byte) (epoch, baseSeq uint64, ids []string, err error) {
+func decodeSeqRange(data []byte) (epoch, baseSeq uint64, ids []string, appliedSeq uint64, err error) {
 	pos := 0
 	epoch, w := binary.Uvarint(data)
 	if w <= 0 {
-		return 0, 0, nil, errBadWire
+		return 0, 0, nil, 0, errBadWire
 	}
 	pos += w
 	baseSeq, w = binary.Uvarint(data[pos:])
 	if w <= 0 {
-		return 0, 0, nil, errBadWire
+		return 0, 0, nil, 0, errBadWire
 	}
 	pos += w
 	n, w := binary.Uvarint(data[pos:])
 	if w <= 0 || n > uint64(len(data)) {
-		return 0, 0, nil, errBadWire
+		return 0, 0, nil, 0, errBadWire
 	}
 	pos += w
 	ids = make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		id, adv, err := readBytes(data, pos)
 		if err != nil {
-			return 0, 0, nil, err
+			return 0, 0, nil, 0, err
 		}
 		pos = adv
 		ids = append(ids, string(id))
 	}
-	return epoch, baseSeq, ids, nil
+	appliedSeq, w = binary.Uvarint(data[pos:])
+	if w <= 0 {
+		return 0, 0, nil, 0, errBadWire
+	}
+	return epoch, baseSeq, ids, appliedSeq, nil
 }
 
 // encodeOrder prepends the order-epoch floor (MinEpoch) to the shared
 // seq-range shape: ORDER carries the floor so every receiver learns how far
 // back in-flight assignments remain valid; ACK does not need it.
 func encodeOrder(o orderMsg) []byte {
-	size := uvarintLen(o.MinEpoch) + uvarintLen(o.Epoch) + uvarintLen(o.BaseSeq) + uvarintLen(uint64(len(o.MsgIDs)))
+	size := uvarintLen(o.MinEpoch) + uvarintLen(o.Epoch) + uvarintLen(o.BaseSeq) + uvarintLen(uint64(len(o.MsgIDs))) + uvarintLen(o.AppliedSeq)
 	for _, id := range o.MsgIDs {
 		size += uvarintLen(uint64(len(id))) + len(id)
 	}
@@ -141,7 +149,7 @@ func encodeOrder(o orderMsg) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(id)))
 		buf = append(buf, id...)
 	}
-	return buf
+	return binary.AppendUvarint(buf, o.AppliedSeq)
 }
 
 func decodeOrder(data []byte, o *orderMsg) error {
@@ -151,7 +159,7 @@ func decodeOrder(data []byte, o *orderMsg) error {
 	}
 	o.MinEpoch = minEpoch
 	var err error
-	o.Epoch, o.BaseSeq, o.MsgIDs, err = decodeSeqRange(data[w:])
+	o.Epoch, o.BaseSeq, o.MsgIDs, o.AppliedSeq, err = decodeSeqRange(data[w:])
 	return err
 }
 
@@ -180,11 +188,13 @@ func decodeHandoff(data []byte, h *handoffMsg) error {
 	return nil
 }
 
-func encodeAck(a ackMsg) []byte { return encodeSeqRange(a.Epoch, a.BaseSeq, a.MsgIDs) }
+func encodeAck(a ackMsg) []byte {
+	return encodeSeqRange(a.Epoch, a.BaseSeq, a.MsgIDs, a.AppliedSeq)
+}
 
 func decodeAck(data []byte, a *ackMsg) error {
 	var err error
-	a.Epoch, a.BaseSeq, a.MsgIDs, err = decodeSeqRange(data)
+	a.Epoch, a.BaseSeq, a.MsgIDs, a.AppliedSeq, err = decodeSeqRange(data)
 	return err
 }
 

@@ -47,12 +47,12 @@ func TestSeqRangeCodecRoundTrip(t *testing.T) {
 			rng.Read(b)
 			ids[i] = string(b)
 		}
-		in := orderMsg{Epoch: rng.Uint64(), MinEpoch: rng.Uint64(), BaseSeq: rng.Uint64(), MsgIDs: ids}
+		in := orderMsg{Epoch: rng.Uint64(), MinEpoch: rng.Uint64(), BaseSeq: rng.Uint64(), MsgIDs: ids, AppliedSeq: rng.Uint64()}
 		var out orderMsg
 		if err := decodeOrder(encodeOrder(in), &out); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if out.Epoch != in.Epoch || out.MinEpoch != in.MinEpoch || out.BaseSeq != in.BaseSeq || len(out.MsgIDs) != len(in.MsgIDs) {
+		if out.Epoch != in.Epoch || out.MinEpoch != in.MinEpoch || out.BaseSeq != in.BaseSeq || out.AppliedSeq != in.AppliedSeq || len(out.MsgIDs) != len(in.MsgIDs) {
 			t.Fatalf("trial %d: header mismatch: %+v vs %+v", trial, out, in)
 		}
 		for i := range ids {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"groupsafe/internal/core"
 	"groupsafe/internal/workload"
@@ -15,8 +16,9 @@ var errTruncated = errors.New("netproto: truncated payload")
 // --- Request ---
 
 const (
-	reqFlagReadOnly  = 1 << 0
-	reqFlagHasSafety = 1 << 1
+	reqFlagReadOnly     = 1 << 0
+	reqFlagHasSafety    = 1 << 1
+	reqFlagHasStaleness = 1 << 2
 )
 
 // AppendRequest encodes a client transaction.  Compute hooks cannot cross the
@@ -31,9 +33,15 @@ func AppendRequest(buf []byte, req core.Request) []byte {
 	if req.Safety != nil {
 		flags |= reqFlagHasSafety
 	}
+	if req.MaxStaleness > 0 {
+		flags |= reqFlagHasStaleness
+	}
 	buf = binary.AppendUvarint(buf, flags)
 	if req.Safety != nil {
 		buf = binary.AppendUvarint(buf, uint64(*req.Safety))
+	}
+	if req.MaxStaleness > 0 {
+		buf = binary.AppendUvarint(buf, uint64(req.MaxStaleness))
 	}
 	buf = binary.AppendUvarint(buf, req.MinFreshness)
 	buf = binary.AppendUvarint(buf, uint64(len(req.Ops)))
@@ -61,6 +69,9 @@ func DecodeRequest(data []byte) (core.Request, error) {
 	if flags&reqFlagHasSafety != 0 {
 		lvl := core.SafetyLevel(d.uvarint())
 		req.Safety = &lvl
+	}
+	if flags&reqFlagHasStaleness != 0 {
+		req.MaxStaleness = time.Duration(d.uvarint())
 	}
 	req.MinFreshness = d.uvarint()
 	n := d.uvarint()
@@ -231,6 +242,8 @@ const (
 	CodeComputeNotRepl    byte = 5
 	CodeReadOnlyWrites    byte = 6
 	CodeNotFound          byte = 7
+	CodeTooStale          byte = 8
+	CodeSnapshotTooOld    byte = 9
 )
 
 var codeToSentinel = map[byte]error{
@@ -241,6 +254,8 @@ var codeToSentinel = map[byte]error{
 	CodeComputeNotRepl:    core.ErrComputeNotReplicable,
 	CodeReadOnlyWrites:    core.ErrReadOnlyWrites,
 	CodeNotFound:          core.ErrNotFound,
+	CodeTooStale:          core.ErrTooStale,
+	CodeSnapshotTooOld:    core.ErrSnapshotTooOld,
 }
 
 var sentinelToCode = []struct {
@@ -254,6 +269,8 @@ var sentinelToCode = []struct {
 	{core.ErrComputeNotReplicable, CodeComputeNotRepl},
 	{core.ErrReadOnlyWrites, CodeReadOnlyWrites},
 	{core.ErrNotFound, CodeNotFound},
+	{core.ErrTooStale, CodeTooStale},
+	{core.ErrSnapshotTooOld, CodeSnapshotTooOld},
 }
 
 // CodeFor maps an engine error to its wire code (CodeGeneric if unknown).

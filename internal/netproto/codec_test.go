@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"groupsafe/internal/core"
 	"groupsafe/internal/workload"
@@ -17,6 +18,8 @@ func TestRequestRoundTrip(t *testing.T) {
 	cases := []core.Request{
 		{},
 		{ID: 42, ReadOnly: true, MinFreshness: 7, Ops: []workload.Op{{Item: 1}, {Item: 2}}},
+		{ID: 43, ReadOnly: true, MaxStaleness: 250 * time.Millisecond, Ops: []workload.Op{{Item: 5}}},
+		{ID: 44, ReadOnly: true, MinFreshness: 3, MaxStaleness: time.Second, Ops: []workload.Op{{Item: 6}}},
 		{ID: 9, Safety: &lvl, Ops: []workload.Op{
 			{Item: 3, Write: true, Value: -5},
 			{Item: 0, Write: true, Value: 1 << 40},
@@ -78,6 +81,7 @@ func TestErrorCodesPreserveSentinels(t *testing.T) {
 		core.ErrCrashed, core.ErrTimeout, core.ErrNotPrimary,
 		core.ErrSafetyUnavailable, core.ErrComputeNotReplicable,
 		core.ErrReadOnlyWrites, core.ErrNotFound,
+		core.ErrTooStale, core.ErrSnapshotTooOld,
 	} {
 		wrapped := fmt.Errorf("context: %w", sentinel)
 		back := DecodeError(AppendError(nil, wrapped))

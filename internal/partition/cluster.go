@@ -214,6 +214,19 @@ func (c *Cluster) Unsuspect(observer, suspect int) {
 	}
 }
 
+// AppliedSeq returns the applied broadcast sequence of server i's replica of
+// partition p (0 when either index is out of range).  It is a lock-free
+// atomic read, cheap enough for per-request routing decisions.
+func (c *Cluster) AppliedSeq(i, p int) uint64 {
+	if p < 0 || p >= len(c.parts) {
+		return 0
+	}
+	if r := c.parts[p].Replica(i); r != nil {
+		return r.LastAppliedSeq()
+	}
+	return 0
+}
+
 // DurableLSN sums server i's per-partition database-log durable frontiers: a
 // coarse "how much of this server survives a crash" measure used by the fuzz
 // harness to pick recovery donors (per-partition LSNs are not comparable

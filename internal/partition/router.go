@@ -188,7 +188,7 @@ func (c *Cluster) executeReadOnlyFanout(ctx context.Context, delegate int, req c
 				mu.Unlock()
 				return
 			}
-			vals, _, token, err := r.SnapshotReads(ctx, items[p], floorFor(&req, p), true)
+			vals, _, token, err := r.SnapshotReads(ctx, items[p], floorFor(&req, p), req.MaxStaleness, true)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -335,7 +335,9 @@ func (c *Cluster) readPhase(ctx context.Context, delegate int, req *core.Request
 				mu.Unlock()
 				return
 			}
-			vals, vers, token, err := r.SnapshotReads(ctx, items, floorFor(req, p), false)
+			// The read phase of an update is invisible to the client, so a
+			// staleness lease (query semantics) never applies here.
+			vals, vers, token, err := r.SnapshotReads(ctx, items, floorFor(req, p), 0, false)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

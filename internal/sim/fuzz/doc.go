@@ -28,6 +28,11 @@
 //     their floor, tokens of a session's updates are monotone, and every
 //     value read under a floor appears in the item's committed timeline at
 //     or after the token;
+//   - session routing: the tokens served to one session's floored queries
+//     never move backwards, even as the freshness-aware router moves the
+//     session between replicas across crashes and recoveries (the
+//     "readheavy" profile — query-dominated, floors almost always on, under
+//     crash/recover churn — is built to hammer exactly this claim);
 //   - the Stale flag is set exactly on lazy secondary reads;
 //   - post-heal convergence: after the rescue phase every live replica holds
 //     identical state (WaitConsistent), for the lazy technique only when the

@@ -113,6 +113,10 @@ func TestFuzzPinned(t *testing.T) {
 		// its holders, and at 2-safe where atomicity has no excuse.
 		{"certification", "group-safe", "sharded", 18, false, 0, 2},
 		{"certification", "2-safe", "sharded", 19, false, 0, 3},
+		// The read scale-out sweep: floored queries dominate while crashes
+		// and recoveries move the session routing between replicas — the
+		// session-routing invariant (tokens never travel backwards) bites.
+		{"certification", "group-safe", "readheavy", 20, false, 0, 0},
 	}
 	for _, c := range cases {
 		c := c
@@ -212,6 +216,51 @@ func TestTracePartitionsHeaderRoundTrip(t *testing.T) {
 	}
 	if bytes.Contains(plain.Marshal(), []byte("partitions")) {
 		t.Fatal("unpartitioned config leaked a partitions header line into the trace")
+	}
+}
+
+// TestSessionRoutingInvariant exercises the checker on synthetic records: a
+// floored read travelling backwards is flagged, equal tokens and unfloored
+// dips are legal, total-failure runs are skipped, and the partitioned
+// comparison only bites where both queries actually read the partition.
+func TestSessionRoutingInvariant(t *testing.T) {
+	mk := func(floor, fresh uint64) *TxnRec {
+		return &TxnRec{Query: true, Acked: true, Floor: floor, Freshness: fresh}
+	}
+	check := func(rec *RunRecord) []Violation {
+		var out []Violation
+		checkSessionRouting(rec, &out)
+		return out
+	}
+	bad := &RunRecord{Partitions: 1, Sessions: [][]*TxnRec{{mk(1, 5), mk(5, 5), mk(5, 3)}}}
+	if out := check(bad); len(out) != 1 || out[0].Invariant != "session-routing" {
+		t.Fatalf("backwards floored read not flagged: %v", out)
+	}
+	// An unfloored query may legally dip — it accepts any snapshot.
+	ok := &RunRecord{Partitions: 1, Sessions: [][]*TxnRec{
+		{mk(1, 5), {Query: true, Acked: true, Freshness: 2}, mk(5, 5)},
+	}}
+	if out := check(ok); len(out) != 0 {
+		t.Fatalf("legal run flagged: %v", out)
+	}
+	// Across a total failure the sequence may restart: skipped, not guessed.
+	tf := &RunRecord{Partitions: 1, TotalFailures: []uint64{9},
+		Sessions: [][]*TxnRec{{mk(1, 5), mk(5, 3)}}}
+	if out := check(tf); len(out) != 0 {
+		t.Fatalf("total-failure run not skipped: %v", out)
+	}
+	// Partitioned: disjoint reads say nothing, a shared partition moving
+	// backwards is a violation.
+	mkv := func(vec ...uint64) *TxnRec {
+		return &TxnRec{Query: true, Acked: true, FloorVec: []uint64{1}, FreshnessVec: vec}
+	}
+	disjoint := &RunRecord{Partitions: 2, Sessions: [][]*TxnRec{{mkv(5, 0), mkv(0, 7)}}}
+	if out := check(disjoint); len(out) != 0 {
+		t.Fatalf("disjoint partitioned reads flagged: %v", out)
+	}
+	shared := &RunRecord{Partitions: 2, Sessions: [][]*TxnRec{{mkv(5, 0), mkv(3, 7)}}}
+	if out := check(shared); len(out) != 1 {
+		t.Fatalf("backwards partitioned read not flagged: %v", out)
 	}
 }
 

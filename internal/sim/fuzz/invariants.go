@@ -40,6 +40,7 @@ func CheckAll(rec *RunRecord) []Violation {
 	checkAtomicCommit(rec, &out)
 	checkFreshness(rec, &out)
 	checkFreshnessVec(rec, &out)
+	checkSessionRouting(rec, &out)
 	checkTimeline(rec, &out)
 	checkStale(rec, &out)
 	checkConvergence(rec, &out)
@@ -429,6 +430,49 @@ func checkFreshnessVec(rec *RunRecord, out *[]Violation) {
 					"session %d txn %#x read item %d from partition %d asking for freshness >= %d but was served token %d",
 					t.Session, t.TxnID, item, p, t.FloorVec[p], served)
 			}
+		}
+	}
+}
+
+// checkSessionRouting is the read scale-out claim: within one session, the
+// freshness tokens served to FLOORED queries never move backwards — even as
+// the freshness-aware router moves the session between replicas (crash,
+// recovery, load), a later floored read is never handed an older snapshot
+// than an earlier one.  Unfloored queries are exempt by design (they accept
+// any snapshot and the session deliberately sends no floor), and on
+// partitioned runs the comparison is per partition, only where both queries
+// actually read (an untouched partition's vector entry stays zero and says
+// nothing).  Runs containing a total failure are skipped entirely: the
+// broadcast sequence may restart across it and the session loop resets its
+// floor on a schedule the checker cannot reconstruct soundly.
+func checkSessionRouting(rec *RunRecord, out *[]Violation) {
+	if len(rec.TotalFailures) > 0 {
+		return
+	}
+	for _, session := range rec.Sessions {
+		var prev *TxnRec
+		for _, t := range session {
+			if !t.Acked || !t.Query || (t.Floor == 0 && len(t.FloorVec) == 0) {
+				continue
+			}
+			if prev != nil {
+				if rec.Partitions == 1 && t.Freshness < prev.Freshness {
+					violationf(out, "session-routing",
+						"session %d: floored query %#x (served by %s) returned token %d, below the session's earlier floored query %#x (served by %s) at token %d — the session travelled backwards in time across replicas",
+						t.Session, t.TxnID, t.DelegateID, t.Freshness, prev.TxnID, prev.DelegateID, prev.Freshness)
+				}
+				for p, f := range prev.FreshnessVec {
+					if f == 0 || p >= len(t.FreshnessVec) || t.FreshnessVec[p] == 0 {
+						continue
+					}
+					if t.FreshnessVec[p] < f {
+						violationf(out, "session-routing",
+							"session %d: floored query %#x read partition %d at token %d, below the session's earlier floored query %#x at token %d",
+							t.Session, t.TxnID, p, t.FreshnessVec[p], prev.TxnID, f)
+					}
+				}
+			}
+			prev = t
 		}
 	}
 }

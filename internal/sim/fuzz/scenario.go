@@ -39,9 +39,13 @@ type Config struct {
 	// (crash-recover heavy, always ends in a total-failure storm),
 	// "partition" (split-brain heavy), "calm" (delay/sleep only — every
 	// message still arrives, which is what the lazy convergence invariant
-	// needs) or "sharded" (the mixed fault mix over a PARTITIONED keyspace:
+	// needs), "sharded" (the mixed fault mix over a PARTITIONED keyspace:
 	// Partitions derives to >1, pinning the certification technique and a
-	// group-communication level, so cross-partition 2PC runs under fire).
+	// group-communication level, so cross-partition 2PC runs under fire) or
+	// "readheavy" (query-dominated with session freshness floors under
+	// crash/recover churn — the read scale-out sweep; the technique and
+	// level draws are constrained to group-communication configurations so
+	// the floors, and the session-routing invariant, are meaningful).
 	Profile string
 	// TxnTimeout bounds each transaction submission (0: 300ms).  Scenario
 	// generation does not depend on it, so tests may stretch it without
@@ -65,7 +69,9 @@ type Config struct {
 }
 
 // Profiles lists the supported adversary profiles.
-func Profiles() []string { return []string{"mixed", "storm", "partition", "calm", "sharded"} }
+func Profiles() []string {
+	return []string{"mixed", "storm", "partition", "calm", "sharded", "readheavy"}
+}
 
 // resolve fills defaults and derives the free cluster parameters from the
 // seed.  The returned config is fully concrete: resolving it again is the
@@ -116,6 +122,18 @@ func (c Config) resolve() (Config, error) {
 	if c.Partitions < 1 {
 		c.Partitions = 1
 	}
+	// The readheavy profile is the read scale-out sweep: floored queries are
+	// only meaningful on a totally-ordered cross-replica sequence, so the
+	// technique draw is constrained to the group-communication techniques
+	// (the level draw below is constrained to match).
+	if c.Profile == "readheavy" && c.Technique == "" {
+		rng := rand.New(rand.NewSource(sim.DeriveSeed(c.Seed, streamTechnique)))
+		if rng.Intn(3) == 2 {
+			c.Technique = core.TechActive.String()
+		} else {
+			c.Technique = core.TechCertification.String()
+		}
+	}
 	if c.Technique == "" {
 		rng := rand.New(rand.NewSource(sim.DeriveSeed(c.Seed, streamTechnique)))
 		switch rng.Intn(4) {
@@ -139,6 +157,13 @@ func (c Config) resolve() (Config, error) {
 				core.GroupSafe, core.GroupSafe, core.GroupSafe,
 				core.Group1Safe, core.Group1Safe,
 				core.Safety2, core.Safety2,
+				core.VerySafe,
+			}).String()
+		case c.Profile == "readheavy" && tech != core.TechLazyPrimary:
+			c.Level = pick(rng, []core.SafetyLevel{
+				core.GroupSafe, core.GroupSafe, core.GroupSafe,
+				core.Group1Safe,
+				core.Safety2,
 				core.VerySafe,
 			}).String()
 		case tech == core.TechActive:
@@ -305,7 +330,7 @@ type stepGen struct {
 }
 
 func (g *stepGen) next() Step {
-	txnProb := map[string]float64{"mixed": 0.72, "storm": 0.58, "partition": 0.66, "calm": 0.9, "sharded": 0.72}[g.cfg.Profile]
+	txnProb := map[string]float64{"mixed": 0.72, "storm": 0.58, "partition": 0.66, "calm": 0.9, "sharded": 0.72, "readheavy": 0.86}[g.cfg.Profile]
 	if g.rng.Float64() < txnProb {
 		return g.txnStep()
 	}
@@ -313,14 +338,21 @@ func (g *stepGen) next() Step {
 }
 
 func (g *stepGen) txnStep() Step {
+	// The readheavy profile inverts the mix: queries dominate and almost all
+	// of them carry the session floor, so the schedule keeps exercising the
+	// freshness-aware routing (a few updates remain to move the tokens).
+	queryProb, floorProb := 0.35, 0.6
+	if g.cfg.Profile == "readheavy" {
+		queryProb, floorProb = 0.82, 0.88
+	}
 	s := Step{
 		Kind:     StepTxn,
 		Session:  g.rng.Intn(g.cfg.Sessions),
 		Delegate: g.rng.Intn(g.cfg.Replicas),
-		Query:    g.rng.Float64() < 0.35,
+		Query:    g.rng.Float64() < queryProb,
 	}
 	if s.Query {
-		s.Floor = g.rng.Float64() < 0.6
+		s.Floor = g.rng.Float64() < floorProb
 		n := 1 + g.rng.Intn(3)
 		for i := 0; i < n; i++ {
 			s.Ops = append(s.Ops, workload.Op{Item: g.rng.Intn(g.cfg.Items)})
@@ -350,6 +382,12 @@ func (g *stepGen) faultWeights() ([]StepKind, []float64) {
 			[]float64{0.28, 0.20, 0.14, 0.10, 0.08, 0.08, 0.06, 0.06}
 	case "calm":
 		return []StepKind{StepDelay, StepSleep}, []float64{0.5, 0.5}
+	case "readheavy":
+		// Crash/recover churn moves the session routing between replicas
+		// mid-stream (the interesting case for token monotonicity); delays
+		// skew the freshness race without destroying messages.
+		return []StepKind{StepCrash, StepRecover, StepDelay, StepSleep},
+			[]float64{0.26, 0.36, 0.20, 0.18}
 	default: // mixed, sharded
 		return []StepKind{StepCrash, StepRecover, StepPartition, StepHeal, StepDelay, StepLoss, StepBlock, StepUnblock, StepSleep},
 			[]float64{0.26, 0.20, 0.12, 0.08, 0.10, 0.07, 0.07, 0.04, 0.06}

@@ -59,8 +59,11 @@ type Config struct {
 	// Pipeline carries the shared tuning knobs (BatchSize, BatchDelay, Mode,
 	// DelayCap, ApplyWorkers) mirroring core.ReplicaConfig; the simulator
 	// reads ApplyWorkers 0 as its historical default of one install slot per
-	// disk, and models the Adaptive batching mode with the steady-state
-	// expected inter-arrival gap in place of the real sender's EWMA.  The
+	// disk, and models the Adaptive batching mode delivery-clocked like the
+	// real sender: an idle delegate broadcasts immediately and co-travellers
+	// accumulate behind the in-flight round, flushing as one batch when the
+	// round completes.  DelayCap is accepted but not modelled (it backstops
+	// stalled rounds, which the simulated network cannot produce), and the
 	// Sequencer knobs are accepted but not modelled (the simulated sequencer
 	// is already a zero-latency oracle).  See the tuning package.
 	tuning.Pipeline

@@ -83,12 +83,11 @@ type simulation struct {
 
 	batchSize  int
 	batchDelay time.Duration
-	// adaptiveGap is the expected update inter-arrival time at one delegate
-	// (zero in FixedDelay mode): the simulator's closed-form stand-in for the
-	// EWMA the real abcast sender tracks.  A gap at or above the delay cap
-	// means the delegate is idle and partial batches flush without waiting.
-	adaptiveGap time.Duration
-	delayCap    time.Duration
+	// adaptive selects the delivery-clocked batching model: a delegate with
+	// no round in flight sends immediately, and co-travellers accumulate only
+	// behind the in-flight round (see batcher).  False means the fixed
+	// BatchDelay co-traveller window.
+	adaptive bool
 
 	parts     int // keyspace partitions (>= 1), each its own total order
 	nextSeqs  []uint64
@@ -141,21 +140,7 @@ func newSimulation(cfg Config, level core.SafetyLevel, loadTPS float64) *simulat
 	if s.batchSize > 1 && mode == tuning.FixedDelay && s.batchDelay <= 0 {
 		mode = tuning.Adaptive
 	}
-	if mode == tuning.Adaptive {
-		s.delayCap = cfg.DelayCap
-		if s.delayCap <= 0 {
-			s.delayCap = tuning.DefaultDelayCap
-		}
-		// Expected update inter-arrival at one delegate: offered load split
-		// across servers, thinned by the read-only fraction (queries never
-		// reach the broadcast stage).
-		updTPS := loadTPS * (1 - cfg.ReadFraction) / float64(cfg.Servers)
-		if updTPS > 0 {
-			s.adaptiveGap = time.Duration(float64(time.Second) / updTPS)
-		} else {
-			s.adaptiveGap = s.delayCap // no updates: always idle-flush
-		}
-	}
+	s.adaptive = mode == tuning.Adaptive
 	applyWorkers := cfg.ApplyWorkers
 	if applyWorkers <= 0 {
 		applyWorkers = cfg.DisksPerServer
@@ -462,7 +447,7 @@ func (s *simulation) batcher(p *sim.Process, srv *server) {
 		// still waits the remainder — an upper bound on the real latency.)
 		take()
 		if len(batch) < s.batchSize {
-			if hold := s.coTravellerWindow(len(batch)); hold > 0 {
+			if hold := s.coTravellerWindow(); hold > 0 {
 				p.Hold(hold)
 				take()
 			}
@@ -476,23 +461,23 @@ func (s *simulation) batcher(p *sim.Process, srv *server) {
 	}
 }
 
-// coTravellerWindow is how long a partial batch of the given size waits for
-// co-travellers: the fixed BatchDelay, or in adaptive mode the expected time
-// for the remaining slots to fill, capped by delayCap — and zero (flush now)
-// when the delegate's update rate is too low for co-travellers to be worth
-// waiting for, so an idle delegate never pays the window at all.
-func (s *simulation) coTravellerWindow(have int) time.Duration {
-	if s.adaptiveGap == 0 {
-		return s.batchDelay
-	}
-	if s.adaptiveGap >= s.delayCap {
+// coTravellerWindow is how long a partial batch waits for co-travellers.  In
+// FixedDelay mode it is the configured BatchDelay.  In Adaptive mode it is
+// zero: the real sender is delivery-clocked — a payload arriving with nothing
+// in flight is sent immediately, and later arrivals buffer only until the
+// in-flight round's own delivery drains the pipe.  The batcher process models
+// that clock structurally: while it pays an in-flight round's CPU and network
+// costs, arrivals accumulate in bcastQueue and the next loop iteration
+// flushes them as one batch, so the round time itself is the batching window
+// and an idle delegate never pays any window at all.  (The real sender's
+// EWMA-derived backstop deadline exists only for stalled rounds — loss or a
+// sequencer change — which the simulated resource holds cannot exhibit, so
+// it is not modelled.)
+func (s *simulation) coTravellerWindow() time.Duration {
+	if s.adaptive {
 		return 0
 	}
-	hold := s.adaptiveGap * time.Duration(s.batchSize-have)
-	if hold > s.delayCap {
-		hold = s.delayCap
-	}
-	return hold
+	return s.batchDelay
 }
 
 // certify implements first-updater-wins certification against the logical

@@ -26,6 +26,12 @@ import (
 // ErrItemOutOfRange is returned when an item index does not exist.
 var ErrItemOutOfRange = fmt.Errorf("storage: item out of range")
 
+// ErrSnapshotTooOld is returned by Snap.Read after the snapshot's pin was
+// evicted by the pin-age cap: the snapshot fell further behind the visible
+// watermark than MaxPinAge sequences, its versions may have been pruned, and
+// the reader must retry on a fresh snapshot.
+var ErrSnapshotTooOld = fmt.Errorf("storage: snapshot too old")
+
 // Item is the newest committed value and version of a single database item
 // (the representation used by state-transfer checkpoints).
 type Item struct {
@@ -87,6 +93,16 @@ type Store struct {
 	// rebuilt under snapMu whenever the registry changes.
 	pins atomic.Value
 
+	// maxPinAge bounds how many sequences a pinned snapshot may trail the
+	// visible watermark (0: unlimited).  When an install advances visible past
+	// a pin's budget the pin is evicted — its reads fail with
+	// ErrSnapshotTooOld instead of retaining unbounded version history.
+	// pinFloor is the oldest snapshot sequence still honoured; evictions
+	// counts evicted pins.
+	maxPinAge atomic.Uint64
+	pinFloor  atomic.Uint64
+	evictions atomic.Uint64
+
 	// pruned counts versions removed by the garbage collector.
 	pruned atomic.Uint64
 }
@@ -143,7 +159,8 @@ func (s *Store) beginInstall() uint64 {
 }
 
 // endInstall marks a reserved sequence fully installed and advances the
-// visible prefix over completed sequences.
+// visible prefix over completed sequences, evicting pins that fell past
+// their age budget.
 func (s *Store) endInstall(seq uint64) {
 	s.seqMu.Lock()
 	s.done[seq] = struct{}{}
@@ -156,8 +173,53 @@ func (s *Store) endInstall(seq uint64) {
 		vis++
 	}
 	s.visible.Store(vis)
+	if age := s.maxPinAge.Load(); age != 0 && vis > age {
+		if floor := vis - age; floor > s.pinFloor.Load() {
+			if pins, _ := s.pins.Load().([]uint64); len(pins) > 0 && pins[0] < floor {
+				s.evictPins(floor)
+			}
+		}
+	}
 	s.seqMu.Unlock()
 }
+
+// evictPins removes every pin older than floor from the registry (seqMu held;
+// the seqMu→snapMu order matches AcquireSnapVal).  The floor is published
+// BEFORE the shrunken pin list: a pruner that observes the smaller list can
+// only free versions whose snapshots already fail the floor check, so an
+// evicted Snap can never read a half-pruned chain as valid data.
+func (s *Store) evictPins(floor uint64) {
+	s.snapMu.Lock()
+	s.pinFloor.Store(floor)
+	old, _ := s.pins.Load().([]uint64)
+	kept := make([]uint64, 0, len(old))
+	for _, p := range old {
+		if p >= floor {
+			kept = append(kept, p)
+			continue
+		}
+		s.evictions.Add(uint64(s.snaps[p]))
+		delete(s.snaps, p)
+	}
+	s.pins.Store(kept)
+	s.snapMu.Unlock()
+}
+
+// SetMaxPinAge bounds how many apply sequences a live snapshot may trail the
+// visible watermark before it is evicted (0 disables the cap).  The knob is
+// safe to change at runtime.
+func (s *Store) SetMaxPinAge(age uint64) { s.maxPinAge.Store(age) }
+
+// MaxPinAge returns the current pin-age cap (0: unlimited).
+func (s *Store) MaxPinAge() uint64 { return s.maxPinAge.Load() }
+
+// PinFloor returns the oldest snapshot sequence the store still honours;
+// snapshots below it have been evicted and read ErrSnapshotTooOld.
+func (s *Store) PinFloor() uint64 { return s.pinFloor.Load() }
+
+// EvictedSnaps returns the cumulative number of snapshots evicted by the
+// pin-age cap.
+func (s *Store) EvictedSnaps() uint64 { return s.evictions.Load() }
 
 // VisibleSeq returns the newest snapshot sequence: every transaction with an
 // apply sequence at or below it is fully installed.
@@ -183,9 +245,15 @@ func (s *Store) addPinLocked(seq uint64) {
 	s.pins.Store(pins)
 }
 
-// dropPinLocked deregisters one snapshot sequence (snapMu held).
+// dropPinLocked deregisters one snapshot sequence (snapMu held).  A sequence
+// already evicted by the pin-age cap is absent from the registry; releasing
+// such a snapshot is a no-op.
 func (s *Store) dropPinLocked(seq uint64) {
-	if n := s.snaps[seq]; n > 1 {
+	n, ok := s.snaps[seq]
+	if !ok {
+		return
+	}
+	if n > 1 {
 		s.snaps[seq] = n - 1
 		return
 	}
@@ -487,8 +555,19 @@ func (s *Store) AcquireSnapVal() Snap {
 // Seq returns the snapshot's apply sequence.
 func (p *Snap) Seq() uint64 { return p.seq }
 
-// Read returns the value and version of item i as of the snapshot.
-func (p *Snap) Read(i int) (int64, uint64, error) { return p.s.ReadAt(i, p.seq) }
+// Read returns the value and version of item i as of the snapshot, or
+// ErrSnapshotTooOld when the snapshot was evicted by the pin-age cap.  The
+// floor is checked AFTER the chain read: an eviction publishes the floor
+// before the pruner can drop this snapshot's versions, so a read that passes
+// the check is guaranteed to have seen an intact chain.
+func (p *Snap) Read(i int) (int64, uint64, error) {
+	v, ver, err := p.s.ReadAt(i, p.seq)
+	if err == nil && p.seq < p.s.pinFloor.Load() {
+		return 0, 0, fmt.Errorf("%w: snapshot seq %d evicted (floor %d, visible %d)",
+			ErrSnapshotTooOld, p.seq, p.s.pinFloor.Load(), p.s.visible.Load())
+	}
+	return v, ver, err
+}
 
 // Release deregisters the snapshot, allowing GC to prune the versions only it
 // could see.  Release is idempotent; like the reads, it must not be called
